@@ -1,0 +1,100 @@
+// Ablation A4: the full baseline field at equal memory.
+//
+// Beyond the paper's SH comparison this pits MLQ against:
+//   * NN          — the online curve-fitting (neural network) approach the
+//                   paper cites [Boulos et al.] but declines to implement;
+//   * GLOBAL-AVG  — the structureless sanity floor;
+// on both a smooth and a spiky synthetic surface, plus one real UDF. All
+// self-tuning models run the same feedback loop at the same 1.8 KB budget;
+// SH-H is trained a-priori as usual.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+#include "model/global_average_model.h"
+#include "model/mlq_model.h"
+#include "model/neural_model.h"
+#include "model/online_grid_model.h"
+
+namespace mlq {
+namespace {
+
+void RunCase(const char* label, CostedUdf& udf, QueryDistributionKind kind,
+             int n, uint64_t seed) {
+  const Box space = udf.model_space();
+  const TrainTestWorkload workloads =
+      MakePaperTrainTestWorkloads(space, kind, n, n, seed);
+
+  std::vector<EvalResult> rows;
+  auto run_self_tuning = [&](CostModel& model) {
+    udf.ResetState();
+    rows.push_back(
+        RunSelfTuningEvaluation(model, udf, workloads.test, EvalOptions{}));
+  };
+
+  MlqModel mlq_e(space, MakePaperMlqConfig(InsertionStrategy::kEager,
+                                           CostKind::kCpu));
+  run_self_tuning(mlq_e);
+  MlqModel mlq_l(space, MakePaperMlqConfig(InsertionStrategy::kLazy,
+                                           CostKind::kCpu));
+  run_self_tuning(mlq_l);
+  NeuralCostModel nn(space, kPaperMemoryBytes);
+  run_self_tuning(nn);
+  OnlineGridModel grid(space, kPaperMemoryBytes);
+  run_self_tuning(grid);
+  GlobalAverageModel global;
+  run_self_tuning(global);
+  {
+    udf.ResetState();
+    EquiHeightHistogram sh(space, kPaperMemoryBytes);
+    rows.push_back(RunStaticEvaluation(sh, udf, workloads.training,
+                                       workloads.test, EvalOptions{}));
+  }
+
+  std::printf("\nBaselines on %s (%s queries, CPU cost, NAE; all models "
+              "%lld bytes)\n",
+              label, std::string(QueryDistributionKindName(kind)).c_str(),
+              static_cast<long long>(kPaperMemoryBytes));
+  TablePrinter table({"model", "NAE", "APC(us)", "AUC(us)", "self-tuning"});
+  for (const EvalResult& r : rows) {
+    table.AddRow({r.model_name, TablePrinter::Num(r.nae),
+                  TablePrinter::Num(r.apc_micros, 3),
+                  TablePrinter::Num(r.auc_micros, 3),
+                  r.model_name == "SH-H" ? "no (a-priori)" : "yes"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Ablation A4: MLQ vs curve fitting vs histograms ==\n");
+
+  // Smooth surface: few peaks with *wide* decay regions (half the space
+  // diagonal) — gentle slopes everywhere, curve fitting's best case.
+  mlq::PeakSurfaceConfig smooth_config;
+  smooth_config.num_peaks = 5;
+  smooth_config.decay_radius_frac = 0.5;
+  smooth_config.seed = 11;
+  mlq::SyntheticUdf smooth(smooth_config, /*noise_probability=*/0.0);
+  mlq::RunCase("SYNTH-5p-wide (smooth)", smooth,
+               mlq::QueryDistributionKind::kGaussianRandom, 5000, 21);
+
+  // Spiky surface: many narrow peaks — structure's best case.
+  auto spiky = mlq::MakePaperSyntheticUdf(/*num_peaks=*/200, 0.0, /*seed=*/12);
+  mlq::RunCase("SYNTH-200p (spiky)", *spiky,
+               mlq::QueryDistributionKind::kGaussianRandom, 5000, 22);
+
+  // One real UDF.
+  const mlq::RealUdfSuite suite =
+      mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
+  mlq::RunCase("WIN (real spatial UDF)", *suite.Find("WIN"),
+               mlq::QueryDistributionKind::kGaussianRandom,
+               mlq::kPaperRealQueries, 23);
+  return 0;
+}

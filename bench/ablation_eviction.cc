@@ -1,0 +1,67 @@
+// Ablation A5: what each factor of the paper's eviction key buys.
+//
+// Eq. 9's SSEG(b) = C(b) * (AVG(parent) - AVG(b))^2 combines an access-
+// frequency proxy (the count) with a value-information term (the squared
+// average difference). This bench runs the same workloads with
+//   SSEG (paper)  |  count-only  |  random
+// eviction, reporting NAE and the tree shape each policy converges to.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "quadtree/tree_stats.h"
+
+namespace mlq {
+namespace {
+
+const char* PolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kSseg:
+      return "SSEG (paper)";
+    case EvictionPolicy::kCountOnly:
+      return "count-only";
+    case EvictionPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+void RunCase(const char* label, int num_peaks, QueryDistributionKind kind) {
+  std::printf("\nEviction policies on SYNTH-%dp, %s queries (CPU, NAE)\n",
+              num_peaks, std::string(QueryDistributionKindName(kind)).c_str());
+  TablePrinter table(
+      {"policy", "NAE", "mean leaf depth", "redundant nodes"});
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kSseg, EvictionPolicy::kCountOnly,
+        EvictionPolicy::kRandom}) {
+    auto udf = MakePaperSyntheticUdf(num_peaks, 0.0, /*seed=*/3100);
+    const auto test = MakePaperWorkload(udf->model_space(), kind,
+                                        kPaperSyntheticQueries, /*seed=*/3200);
+    MlqConfig config =
+        MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu);
+    config.eviction_policy = policy;
+    MlqModel model(udf->model_space(), config);
+    const EvalResult result =
+        RunSelfTuningEvaluation(model, *udf, test, EvalOptions{});
+    const TreeStats stats = ComputeTreeStats(model.tree());
+    table.AddRow({PolicyName(policy), TablePrinter::Num(result.nae),
+                  TablePrinter::Num(stats.mean_leaf_depth, 2),
+                  TablePrinter::Num(100.0 * stats.redundant_node_fraction, 1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  (void)label;
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Ablation A5: compression eviction policies ==\n");
+  mlq::RunCase("clustered", 50, mlq::QueryDistributionKind::kGaussianRandom);
+  mlq::RunCase("uniform", 50, mlq::QueryDistributionKind::kUniform);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Parameter ablation (the sweeps the paper defers to its technical report
+// [18]): the effect of alpha, beta, gamma, lambda, and the memory budget on
+// MLQ prediction accuracy and compression behaviour. Gaussian-random
+// queries over a 50-peak synthetic surface, CPU cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+
+namespace mlq {
+namespace {
+
+struct RunOutput {
+  double nae = 0.0;
+  int64_t compressions = 0;
+  double auc_micros = 0.0;
+};
+
+RunOutput RunOnce(const MlqConfig& config, InsertionStrategy strategy,
+                  double noise = 0.0, CostKind kind = CostKind::kCpu) {
+  auto udf = MakePaperSyntheticUdf(/*num_peaks=*/50, noise, /*seed=*/900);
+  const Box space = udf->model_space();
+  const auto test = MakePaperWorkload(
+      space, QueryDistributionKind::kGaussianRandom, 5000, /*seed=*/901);
+  MlqConfig c = config;
+  c.strategy = strategy;
+  MlqModel model(space, c);
+  EvalOptions options;
+  options.cost_kind = kind;
+  const EvalResult r = RunSelfTuningEvaluation(model, *udf, test, options);
+  return RunOutput{r.nae, r.compressions, r.auc_micros};
+}
+
+MlqConfig BaseConfig() {
+  return MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu);
+}
+
+void SweepAlpha() {
+  std::printf("\nAblation: alpha (lazy partition threshold scale; paper "
+              "default 0.05)\n");
+  TablePrinter table({"alpha", "MLQ-L NAE", "compressions", "AUC(us)"});
+  for (double alpha : {0.001, 0.01, 0.05, 0.2, 0.5}) {
+    MlqConfig config = BaseConfig();
+    config.alpha = alpha;
+    const RunOutput out = RunOnce(config, InsertionStrategy::kLazy);
+    table.AddRow({TablePrinter::Num(alpha, 3), TablePrinter::Num(out.nae),
+                  std::to_string(out.compressions),
+                  TablePrinter::Num(out.auc_micros, 3)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepBeta() {
+  std::printf("\nAblation: beta (min points for a prediction node; paper: 1 "
+              "for CPU, 10 for IO) — evaluated under 20%% noise\n");
+  TablePrinter table({"beta", "MLQ-E NAE (noisy)"});
+  for (int64_t beta : {1, 2, 5, 10, 25, 100}) {
+    MlqConfig config = BaseConfig();
+    config.beta = beta;
+    const RunOutput out =
+        RunOnce(config, InsertionStrategy::kEager, /*noise=*/0.2);
+    table.AddRow({std::to_string(beta), TablePrinter::Num(out.nae)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepGamma() {
+  std::printf("\nAblation: gamma (fraction of budget freed per compression; "
+              "paper default 0.1%%)\n");
+  TablePrinter table({"gamma", "MLQ-E NAE", "compressions", "AUC(us)"});
+  for (double gamma : {0.001, 0.01, 0.05, 0.2, 0.5}) {
+    MlqConfig config = BaseConfig();
+    config.gamma = gamma;
+    const RunOutput out = RunOnce(config, InsertionStrategy::kEager);
+    table.AddRow({TablePrinter::Num(gamma, 3), TablePrinter::Num(out.nae),
+                  std::to_string(out.compressions),
+                  TablePrinter::Num(out.auc_micros, 3)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepLambda() {
+  std::printf("\nAblation: lambda (max depth; paper default 6)\n");
+  TablePrinter table({"lambda", "MLQ-E NAE", "MLQ-L NAE"});
+  for (int lambda : {1, 2, 3, 4, 6, 8}) {
+    MlqConfig config = BaseConfig();
+    config.max_depth = lambda;
+    const RunOutput eager = RunOnce(config, InsertionStrategy::kEager);
+    const RunOutput lazy = RunOnce(config, InsertionStrategy::kLazy);
+    table.AddRow({std::to_string(lambda), TablePrinter::Num(eager.nae),
+                  TablePrinter::Num(lazy.nae)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepMemory() {
+  std::printf("\nAblation: memory budget (paper default 1800 bytes)\n");
+  TablePrinter table({"bytes", "MLQ-E NAE", "MLQ-L NAE", "MLQ-E compressions"});
+  for (int64_t budget : {600, 1800, 4096, 16384, 65536}) {
+    MlqConfig config = BaseConfig();
+    config.memory_limit_bytes = budget;
+    const RunOutput eager = RunOnce(config, InsertionStrategy::kEager);
+    const RunOutput lazy = RunOnce(config, InsertionStrategy::kLazy);
+    table.AddRow({std::to_string(budget), TablePrinter::Num(eager.nae),
+                  TablePrinter::Num(lazy.nae),
+                  std::to_string(eager.compressions)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepTrainingSize() {
+  std::printf("\nAblation: SH-H a-priori training size (how much training "
+              "data the static baseline needs)\n");
+  TablePrinter table({"training_n", "SH-H NAE"});
+  auto udf = MakePaperSyntheticUdf(/*num_peaks=*/50, 0.0, /*seed=*/900);
+  const Box space = udf->model_space();
+  for (int n : {100, 500, 2000, 5000, 20000}) {
+    const TrainTestWorkload workloads = MakePaperTrainTestWorkloads(
+        space, QueryDistributionKind::kGaussianRandom, n, 5000, /*seed=*/901);
+    udf->ResetState();
+    EquiHeightHistogram model(space, kPaperMemoryBytes);
+    const EvalResult r = RunStaticEvaluation(model, *udf, workloads.training,
+                                             workloads.test, EvalOptions{});
+    table.AddRow({std::to_string(n), TablePrinter::Num(r.nae)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Ablation A1: MLQ parameter sweeps (tech-report [18] "
+              "territory) ==\n");
+  mlq::SweepAlpha();
+  mlq::SweepBeta();
+  mlq::SweepGamma();
+  mlq::SweepLambda();
+  mlq::SweepMemory();
+  mlq::SweepTrainingSize();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation A6: encoding domain knowledge into the model space.
+//
+// Two mechanisms for spending a fixed memory budget more wisely:
+//   * the transformation function T (Section 3 of the paper): collapse
+//     arguments the cost depends on only jointly (window width x height
+//     -> area), shrinking the model space's dimensionality;
+//   * influence-weighted interval allocation (SH-V — the improvement the
+//     SH paper proposes but leaves unspecified): give more histogram
+//     resolution to the variables that explain more cost variance.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "model/static_histogram.h"
+#include "udf/transformed_udf.h"
+
+namespace mlq {
+namespace {
+
+void TransformSection(const RealUdfSuite& suite) {
+  std::printf("\nTransformation T on WIN: raw (x, y, w, h) vs transformed "
+              "(x, y, w*h) at %lld bytes\n",
+              static_cast<long long>(kPaperMemoryBytes));
+  CostedUdf* win = suite.Find("WIN");
+
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Identity(0));
+  vars.push_back(Identity(1));
+  vars.push_back(Product(2, 3));
+  auto transform = std::make_shared<const ArgumentTransform>(
+      win->model_space(), std::move(vars));
+  TransformedUdf transformed(win, transform);
+  std::printf("  %s\n", transform->Describe().c_str());
+
+  TablePrinter table({"model space", "MLQ-E NAE", "MLQ-L NAE"});
+  for (int use_transform = 0; use_transform <= 1; ++use_transform) {
+    CostedUdf& udf = use_transform ? static_cast<CostedUdf&>(transformed)
+                                   : static_cast<CostedUdf&>(*win);
+    const auto queries =
+        MakePaperWorkload(udf.execution_space(),
+                          QueryDistributionKind::kGaussianRandom,
+                          kPaperRealQueries, /*seed=*/6100);
+    std::string row[2];
+    int m = 0;
+    for (InsertionStrategy strategy :
+         {InsertionStrategy::kEager, InsertionStrategy::kLazy}) {
+      udf.ResetState();
+      MlqModel model(udf.model_space(),
+                     MakePaperMlqConfig(strategy, CostKind::kCpu));
+      const EvalResult r =
+          RunSelfTuningEvaluation(model, udf, queries, EvalOptions{});
+      row[m++] = TablePrinter::Num(r.nae);
+    }
+    table.AddRow({use_transform ? "(x, y, area)  [3-d]" : "(x, y, w, h) [4-d]",
+                  row[0], row[1]});
+  }
+  table.Print(std::cout);
+}
+
+void InfluenceSection() {
+  std::printf("\nInfluence-weighted intervals (SH-V) vs uniform grids, on "
+              "surfaces with a varying number of *relevant* dimensions\n");
+  TablePrinter table({"relevant dims", "SH-V NAE", "SH-W NAE", "SH-H NAE",
+                      "SH-V intervals"});
+  for (int relevant = 1; relevant <= 4; ++relevant) {
+    const Box space = Box::Cube(4, 0.0, 1000.0);
+    // Cost = product of ridge functions over the first `relevant` dims.
+    auto cost_at = [relevant](const Point& p) {
+      double value = 1.0;
+      for (int d = 0; d < relevant; ++d) value *= 1.0 + p[d] / 1000.0;
+      return 1000.0 * value;
+    };
+    Rng rng(6200 + static_cast<uint64_t>(relevant));
+    std::vector<Point> train;
+    std::vector<double> train_costs;
+    for (int i = 0; i < 5000; ++i) {
+      Point p(4);
+      for (int d = 0; d < 4; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+      train.push_back(p);
+      train_costs.push_back(cost_at(p));
+    }
+
+    InfluenceWeightedHistogram v(space, kPaperMemoryBytes);
+    v.Train(train, train_costs);
+    EquiWidthHistogram w(space, kPaperMemoryBytes);
+    w.Train(std::span<const Point>(train), std::span<const double>(train_costs));
+    EquiHeightHistogram h(space, kPaperMemoryBytes);
+    h.Train(std::span<const Point>(train), std::span<const double>(train_costs));
+
+    double v_err = 0.0;
+    double w_err = 0.0;
+    double h_err = 0.0;
+    double act = 0.0;
+    for (int i = 0; i < 3000; ++i) {
+      Point q(4);
+      for (int d = 0; d < 4; ++d) q[d] = rng.Uniform(0.0, 1000.0);
+      const double actual = cost_at(q);
+      v_err += std::abs(v.Predict(q) - actual);
+      w_err += std::abs(w.Predict(q) - actual);
+      h_err += std::abs(h.Predict(q) - actual);
+      act += actual;
+    }
+    std::string intervals = "(";
+    for (int d = 0; d < 4; ++d) {
+      intervals += (d ? "," : "") + std::to_string(v.intervals()[static_cast<size_t>(d)]);
+    }
+    intervals += ")";
+    table.AddRow({std::to_string(relevant), TablePrinter::Num(v_err / act),
+                  TablePrinter::Num(w_err / act), TablePrinter::Num(h_err / act),
+                  intervals});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Ablation A6: model-space engineering (transformation T "
+              "and influence-weighted intervals) ==\n");
+  const mlq::RealUdfSuite suite =
+      mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
+  mlq::TransformSection(suite);
+  mlq::InfluenceSection();
+  return 0;
+}

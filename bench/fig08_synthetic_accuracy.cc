@@ -1,0 +1,70 @@
+// Reproduces Figure 8 of the paper: prediction accuracy (NAE) of MLQ-E,
+// MLQ-L, SH-H, SH-W on synthetic UDFs as the number of peaks varies, for
+// the three query distributions. CPU cost, beta = 1, 1.8 KB budget,
+// n = 5000 queries (SH additionally trains on 5000 points of the same
+// distribution).
+
+// Pass --csv=PATH to additionally dump every EvalResult row as CSV.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table_printer.h"
+#include "eval/csv_export.h"
+#include "eval/experiment_setup.h"
+
+namespace mlq {
+namespace {
+
+std::vector<EvalResult> g_all_results;
+
+void RunDistribution(QueryDistributionKind kind) {
+  std::printf("\nFig. 8 — synthetic prediction accuracy, %s queries\n",
+              std::string(QueryDistributionKindName(kind)).c_str());
+  TablePrinter table({"peaks", "MLQ-E", "MLQ-L", "SH-H", "SH-W"});
+  for (int peaks : {10, 50, 100, 200}) {
+    auto udf = MakePaperSyntheticUdf(peaks, /*noise_probability=*/0.0,
+                                     /*seed=*/1000 + static_cast<uint64_t>(peaks));
+    const Box space = udf->model_space();
+    const TrainTestWorkload workloads = MakePaperTrainTestWorkloads(
+        space, kind, kPaperSyntheticQueries, kPaperSyntheticQueries,
+        /*seed=*/3300 + static_cast<uint64_t>(peaks));
+    const auto results =
+        CompareAllMethods(*udf, workloads.training, workloads.test,
+                          CostKind::kCpu, kPaperMemoryBytes);
+    table.AddRow({std::to_string(peaks), TablePrinter::Num(results[0].nae),
+                  TablePrinter::Num(results[1].nae),
+                  TablePrinter::Num(results[2].nae),
+                  TablePrinter::Num(results[3].nae)});
+    for (EvalResult r : results) {
+      r.udf_name += "/" + std::string(QueryDistributionKindName(kind));
+      g_all_results.push_back(std::move(r));
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main(int argc, char** argv) {
+  std::printf("== Experiment 1 (Fig. 8): synthetic UDFs, CPU cost, NAE ==\n");
+  std::printf("memory budget: %lld bytes, d = 4, n = %d\n",
+              static_cast<long long>(mlq::kPaperMemoryBytes),
+              mlq::kPaperSyntheticQueries);
+  mlq::RunDistribution(mlq::QueryDistributionKind::kUniform);
+  mlq::RunDistribution(mlq::QueryDistributionKind::kGaussianRandom);
+  mlq::RunDistribution(mlq::QueryDistributionKind::kGaussianSequential);
+
+  const std::string csv_path = mlq::ArgValue(argc, argv, "csv");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    mlq::WriteEvalResultsCsv(csv, mlq::g_all_results);
+    std::printf("\nwrote %zu rows to %s\n", mlq::g_all_results.size(),
+                csv_path.c_str());
+  }
+  return 0;
+}

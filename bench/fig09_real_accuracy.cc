@@ -1,0 +1,65 @@
+// Reproduces Figure 9 of the paper: prediction accuracy (NAE) of MLQ-E,
+// MLQ-L, SH-H, SH-W for the CPU cost of the six "real" UDFs (three text
+// searches, three spatial searches) under the two skewed query
+// distributions — the paper's 12 test cases. n = 2500 queries, 1.8 KB.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+
+namespace mlq {
+namespace {
+
+void RunDistribution(const RealUdfSuite& suite, QueryDistributionKind kind,
+                     int wins_counter[2]) {
+  std::printf("\nFig. 9 — real UDFs, CPU cost, %s queries\n",
+              std::string(QueryDistributionKindName(kind)).c_str());
+  TablePrinter table({"UDF", "MLQ-E", "MLQ-L", "SH-H", "SH-W", "MLQ-E vs SH-H"});
+  uint64_t seed = 40;
+  for (const auto& udf : suite.udfs) {
+    const Box space = udf->model_space();
+    const TrainTestWorkload workloads = MakePaperTrainTestWorkloads(
+        space, kind, kPaperRealQueries, kPaperRealQueries, seed);
+    seed += 10;
+    const auto results =
+        CompareAllMethods(*udf, workloads.training, workloads.test,
+                          CostKind::kCpu, kPaperMemoryBytes);
+    // The paper's Fig. 9 criterion: MLQ lower, or within 0.02 absolute NAE.
+    const bool mlq_ok = results[0].nae <= results[2].nae + 0.02 ||
+                        results[1].nae <= results[2].nae + 0.02;
+    ++wins_counter[mlq_ok ? 0 : 1];
+    table.AddRow({std::string(udf->name()), TablePrinter::Num(results[0].nae),
+                  TablePrinter::Num(results[1].nae),
+                  TablePrinter::Num(results[2].nae),
+                  TablePrinter::Num(results[3].nae),
+                  mlq_ok ? "MLQ ok (within 0.02 or better)" : "SH-H better"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Experiment 1 (Fig. 9): real UDFs, CPU cost, NAE ==\n");
+  std::printf("building substrates (synthetic Reuters-scale corpus + urban-area maps)...\n");
+  const mlq::RealUdfSuite suite =
+      mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
+  std::printf("corpus: %d docs, vocab %d; spatial: %d rects\n",
+              suite.text_engine->index().num_docs(),
+              suite.text_engine->index().vocab_size(),
+              suite.spatial_engine->dataset().size());
+
+  int wins_counter[2] = {0, 0};
+  mlq::RunDistribution(suite, mlq::QueryDistributionKind::kGaussianRandom,
+                  wins_counter);
+  mlq::RunDistribution(suite, mlq::QueryDistributionKind::kGaussianSequential,
+                  wins_counter);
+  std::printf(
+      "\nsummary: MLQ better-or-within-0.02 in %d of %d cases "
+      "(paper: 10 of 12)\n",
+      wins_counter[0], wins_counter[0] + wins_counter[1]);
+  return 0;
+}

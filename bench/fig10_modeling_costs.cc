@@ -1,0 +1,65 @@
+// Reproduces Figure 10 of the paper: the modeling-cost breakdown of the
+// self-tuning methods — prediction cost (PC), insertion cost (IC),
+// compression cost (CC) and model update cost (MUC = IC + CC) — normalized
+// against the total UDF execution cost, using uniform queries.
+// (a) the WIN real UDF; (b) a synthetic UDF. SH is static, so the
+// experiment applies to the MLQ variants only, as in the paper.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+
+namespace mlq {
+namespace {
+
+void Report(const char* label, CostedUdf& udf, int num_queries) {
+  std::printf("\nFig. 10 — modeling costs over %s (uniform queries, %% of "
+              "total UDF execution cost)\n",
+              label);
+  TablePrinter table({"method", "PC%", "IC%", "CC%", "MUC%", "APC(us)",
+                      "AUC(us)", "compressions"});
+  const auto test = MakePaperWorkload(udf.model_space(),
+                                      QueryDistributionKind::kUniform,
+                                      num_queries, /*seed=*/500);
+  for (InsertionStrategy strategy :
+       {InsertionStrategy::kEager, InsertionStrategy::kLazy}) {
+    udf.ResetState();
+    MlqModel model(udf.model_space(),
+                   MakePaperMlqConfig(strategy, CostKind::kCpu));
+    const EvalResult r =
+        RunSelfTuningEvaluation(model, udf, test, EvalOptions{});
+    table.AddRow({std::string(model.name()),
+                  TablePrinter::Num(100.0 * r.PcOverUdf(), 4),
+                  TablePrinter::Num(100.0 * r.IcOverUdf(), 4),
+                  TablePrinter::Num(100.0 * r.CcOverUdf(), 4),
+                  TablePrinter::Num(100.0 * r.MucOverUdf(), 4),
+                  TablePrinter::Num(r.apc_micros, 3),
+                  TablePrinter::Num(r.auc_micros, 3),
+                  std::to_string(r.compressions)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main() {
+  std::printf("== Experiment 2 (Fig. 10): modeling costs ==\n");
+  std::printf("paper reference: PC ~ 0.02%%, MUC between 0.04%% and 1.2%%; "
+              "MLQ-L updates cheaper than MLQ-E\n");
+
+  const mlq::RealUdfSuite suite =
+      mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
+  mlq::CostedUdf* win = suite.Find("WIN");
+  mlq::Report("WIN (real spatial UDF)", *win, mlq::kPaperRealQueries);
+
+  auto synthetic = mlq::MakePaperSyntheticUdf(/*num_peaks=*/50,
+                                              /*noise_probability=*/0.0,
+                                              /*seed=*/501);
+  mlq::Report("SYNTH-50p (synthetic UDF)", *synthetic,
+              mlq::kPaperSyntheticQueries);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Figure 12 of the paper: prediction error (windowed NAE) of
+// MLQ-E and MLQ-L as the number of query points processed increases, with
+// uniform queries — the learning curves. SH is static and therefore not
+// applicable, as in the paper.
+
+// Pass --csv=PATH to additionally dump the curves as CSV.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table_printer.h"
+#include "eval/csv_export.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+
+namespace mlq {
+namespace {
+
+std::vector<EvalResult> g_curve_results;
+int g_csv_window = 250;
+
+// Index (1-based window number) of the first window whose NAE is within 5%
+// of the series' eventual minimum — "when the curve flattens".
+size_t ConvergenceWindow(const std::vector<double>& series) {
+  double best = series.empty() ? 0.0 : series[0];
+  for (double v : series) best = std::min(best, v);
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i] <= best * 1.05 + 1e-9) return i + 1;
+  }
+  return series.size();
+}
+
+void Report(const char* label, CostedUdf& udf, int num_queries, int window) {
+  std::printf("\nFig. 12 — learning curves over %s (uniform queries, "
+              "windowed NAE, window = %d)\n",
+              label, window);
+
+  std::vector<double> curves[2];
+  size_t convergence[2] = {0, 0};
+  const auto test =
+      MakePaperWorkload(udf.model_space(), QueryDistributionKind::kUniform,
+                        num_queries, /*seed=*/800);
+  int m = 0;
+  for (InsertionStrategy strategy :
+       {InsertionStrategy::kEager, InsertionStrategy::kLazy}) {
+    udf.ResetState();
+    MlqModel model(udf.model_space(),
+                   MakePaperMlqConfig(strategy, CostKind::kCpu));
+    EvalOptions options;
+    options.learning_curve_window = window;
+    const EvalResult r =
+        RunSelfTuningEvaluation(model, udf, test, options);
+    curves[m] = r.learning_curve;
+    convergence[m] = ConvergenceWindow(r.learning_curve);
+    g_curve_results.push_back(r);
+    g_csv_window = window;
+    ++m;
+  }
+
+  TablePrinter table({"queries", "MLQ-E", "MLQ-L"});
+  for (size_t w = 0; w < curves[0].size(); ++w) {
+    table.AddRow({std::to_string((w + 1) * static_cast<size_t>(window)),
+                  TablePrinter::Num(curves[0][w]),
+                  w < curves[1].size() ? TablePrinter::Num(curves[1][w]) : ""});
+  }
+  table.Print(std::cout);
+  std::printf("convergence (first window within 5%% of minimum): MLQ-E at "
+              "window %zu, MLQ-L at window %zu\n",
+              convergence[0], convergence[1]);
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main(int argc, char** argv) {
+  std::printf("== Experiment 4 (Fig. 12): prediction error vs number of "
+              "query points processed ==\n");
+  std::printf("paper reference: MLQ-L reaches its minimum error much earlier "
+              "than MLQ-E\n");
+
+  const mlq::RealUdfSuite suite =
+      mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
+  mlq::CostedUdf* win = suite.Find("WIN");
+  mlq::Report("WIN (real spatial UDF)", *win, mlq::kPaperRealQueries, 250);
+
+  auto synthetic = mlq::MakePaperSyntheticUdf(/*num_peaks=*/50,
+                                              /*noise_probability=*/0.0,
+                                              /*seed=*/801);
+  mlq::Report("SYNTH-50p (synthetic UDF)", *synthetic,
+              mlq::kPaperSyntheticQueries, 500);
+
+  const std::string csv_path = mlq::ArgValue(argc, argv, "csv");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    mlq::WriteLearningCurvesCsv(csv, mlq::g_curve_results, mlq::g_csv_window);
+    std::printf("\nwrote learning curves to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) of the model operations on the hot
+// path of query optimization: prediction, insertion, compression, and the
+// SH histogram probe. APC/AUC in the paper are averages of exactly these.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "model/static_histogram.h"
+#include "quadtree/memory_limited_quadtree.h"
+
+namespace mlq {
+namespace {
+
+constexpr int kDims = 4;
+
+std::vector<Point> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Point p(kDims);
+    for (int d = 0; d < kDims; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    points.push_back(p);
+  }
+  return points;
+}
+
+MlqConfig ConfigWithBudget(int64_t budget, InsertionStrategy strategy) {
+  MlqConfig config = MakePaperMlqConfig(strategy, CostKind::kCpu, budget);
+  return config;
+}
+
+// Builds a tree filled to its budget.
+std::unique_ptr<MemoryLimitedQuadtree> FilledTree(int64_t budget,
+                                                  InsertionStrategy strategy) {
+  auto tree = std::make_unique<MemoryLimitedQuadtree>(
+      Box::Cube(kDims, 0.0, 1000.0), ConfigWithBudget(budget, strategy));
+  Rng rng(1);
+  const auto points = RandomPoints(4000, 2);
+  for (const Point& p : points) tree->Insert(p, rng.Uniform(0.0, 10000.0));
+  return tree;
+}
+
+void BM_QuadtreePredict(benchmark::State& state) {
+  auto tree = FilledTree(state.range(0), InsertionStrategy::kEager);
+  const auto queries = RandomPoints(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Predict(queries[i++ & 1023]).value);
+  }
+  state.SetLabel(std::to_string(tree->num_nodes()) + " nodes");
+}
+BENCHMARK(BM_QuadtreePredict)->Arg(1800)->Arg(16384)->Arg(262144);
+
+void BM_QuadtreeInsertEager(benchmark::State& state) {
+  auto tree = FilledTree(state.range(0), InsertionStrategy::kEager);
+  const auto points = RandomPoints(1024, 4);
+  Rng rng(5);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree->Insert(points[i++ & 1023], rng.Uniform(0.0, 10000.0));
+  }
+}
+BENCHMARK(BM_QuadtreeInsertEager)->Arg(1800)->Arg(16384)->Arg(262144);
+
+void BM_QuadtreeInsertLazy(benchmark::State& state) {
+  auto tree = FilledTree(state.range(0), InsertionStrategy::kLazy);
+  const auto points = RandomPoints(1024, 6);
+  Rng rng(7);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree->Insert(points[i++ & 1023], rng.Uniform(0.0, 10000.0));
+  }
+}
+BENCHMARK(BM_QuadtreeInsertLazy)->Arg(1800)->Arg(16384)->Arg(262144);
+
+void BM_QuadtreeCompress(benchmark::State& state) {
+  // Measures one full compression pass (PQ build + gamma eviction) on a
+  // freshly refilled tree each iteration. The rebuild dominates wall time,
+  // so the iteration count is pinned rather than letting the harness loop
+  // until the (tiny) measured time accumulates.
+  const auto points = RandomPoints(4000, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryLimitedQuadtree tree(
+        Box::Cube(kDims, 0.0, 1000.0),
+        ConfigWithBudget(state.range(0), InsertionStrategy::kEager));
+    for (const Point& p : points) tree.Insert(p, rng.Uniform(0.0, 10000.0));
+    state.ResumeTiming();
+    tree.Compress();
+  }
+}
+BENCHMARK(BM_QuadtreeCompress)
+    ->Arg(1800)
+    ->Arg(16384)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ShHistogramPredict(benchmark::State& state) {
+  const Box space = Box::Cube(kDims, 0.0, 1000.0);
+  EquiHeightHistogram histogram(space, state.range(0));
+  const auto training = RandomPoints(5000, 10);
+  std::vector<double> costs(training.size());
+  Rng rng(11);
+  for (double& c : costs) c = rng.Uniform(0.0, 10000.0);
+  histogram.Train(training, costs);
+  const auto queries = RandomPoints(1024, 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.Predict(queries[i++ & 1023]));
+  }
+  state.SetLabel(std::to_string(histogram.num_buckets()) + " buckets");
+}
+BENCHMARK(BM_ShHistogramPredict)->Arg(1800)->Arg(262144);
+
+void BM_ShHistogramTrain(benchmark::State& state) {
+  const Box space = Box::Cube(kDims, 0.0, 1000.0);
+  const auto training = RandomPoints(static_cast<int>(state.range(0)), 13);
+  std::vector<double> costs(training.size());
+  Rng rng(14);
+  for (double& c : costs) c = rng.Uniform(0.0, 10000.0);
+  for (auto _ : state) {
+    EquiHeightHistogram histogram(space, 1800);
+    histogram.Train(training, costs);
+    benchmark::DoNotOptimize(histogram.num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShHistogramTrain)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndSelfTuningStep(benchmark::State& state) {
+  // One full optimizer-loop step: predict + synthetic-UDF execute + observe.
+  auto udf = MakePaperSyntheticUdf(50, 0.0, 15);
+  MlqModel model(udf->model_space(),
+                 MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu));
+  const auto queries = RandomPoints(1024, 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& q = queries[i++ & 1023];
+    benchmark::DoNotOptimize(model.Predict(q));
+    const double actual = udf->Execute(q).cpu_work;
+    model.Observe(q, actual);
+  }
+}
+BENCHMARK(BM_EndToEndSelfTuningStep);
+
+}  // namespace
+}  // namespace mlq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// IO-noise tour: why the paper models CPU and disk-IO costs separately and
+// predicts IO with a larger beta.
+//
+// This example runs the WIN spatial UDF through its buffer pool and shows
+// (1) that the *same* query point returns different IO costs depending on
+// cache history — the "noise" of Experiment 3 — and (2) that averaging over
+// more feedback points (beta = 10) stabilizes IO predictions, while CPU
+// predictions are served best at full resolution (beta = 1).
+
+#include <cstdio>
+
+#include "eval/experiment_setup.h"
+#include "eval/metrics.h"
+#include "model/mlq_model.h"
+
+using namespace mlq;
+
+int main() {
+  std::printf("== Disk-IO cost noise and the beta parameter ==\n\n");
+
+  const RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  CostedUdf* win = suite.Find("WIN");
+
+  // 1. The same call, repeated: CPU cost is deterministic, IO cost decays
+  //    as the cache warms, then fluctuates as other queries evict pages.
+  //    Probe a populated area: the neighborhood of the first data rectangle.
+  const Rect& seed_rect = suite.spatial_engine->dataset().rects().front();
+  const Point probe{seed_rect.CenterX(), seed_rect.CenterY(), 180.0, 180.0};
+  std::printf("repeated WIN executions at the same model point:\n");
+  std::printf("%6s  %12s  %10s\n", "call", "cpu (work)", "io (pages)");
+  for (int i = 0; i < 5; ++i) {
+    const UdfCost cost = win->Execute(probe);
+    std::printf("%6d  %12.0f  %10.0f\n", i + 1, cost.cpu_work, cost.io_pages);
+  }
+  std::printf("(cold misses -> warm hits: the cost model sees a noisy IO "
+              "surface)\n\n");
+
+  // 2. beta sweep for IO prediction accuracy on a mixed workload.
+  const auto queries = MakePaperWorkload(
+      win->model_space(), QueryDistributionKind::kGaussianRandom, 2500, 42);
+  std::printf("IO prediction accuracy vs beta (same tree shape, NAE):\n");
+  std::printf("%6s  %10s\n", "beta", "NAE");
+  for (int64_t beta : {1, 2, 5, 10, 25}) {
+    win->ResetState();
+    MlqConfig config = MakePaperMlqConfig(InsertionStrategy::kEager,
+                                          CostKind::kIo);
+    config.beta = beta;
+    MlqModel model(win->model_space(), config);
+    NaeAccumulator nae;
+    for (const Point& q : queries) {
+      const double predicted = model.Predict(q);
+      const double actual = win->Execute(q).io_pages;
+      nae.Add(predicted, actual);
+      model.Observe(q, actual);
+    }
+    std::printf("%6lld  %10.4f%s\n", static_cast<long long>(beta), nae.Nae(),
+                beta == kPaperBetaIo ? "   <- paper's IO setting" : "");
+  }
+
+  std::printf("\nLarger beta averages over more data points before trusting "
+              "a node,\nwhich absorbs cache-induced fluctuation — exactly why "
+              "the paper uses\nbeta = 1 for CPU but beta = 10 for disk IO.\n");
+  return 0;
+}

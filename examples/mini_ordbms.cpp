@@ -1,0 +1,99 @@
+// Mini ORDBMS: the complete loop the paper targets, in one binary.
+//
+// A table of documents-with-locations is queried repeatedly with the
+// paper's introductory query shape:
+//
+//   select * from docs d
+//   where  Proximity(d.kw1, d.kw2, 20) >= 1      -- "Contains(d.text, ...)"
+//     and  Window(d.x, d.y, 120, 120) >= 5       -- "Contained(m.img, ...)"
+//     and  Knn(d.x, d.y, 10) >= 1                -- "SimilarityDistance(...)"
+//
+// The optimizer costs predicate orders with the catalog's self-tuning MLQ
+// models (CPU, IO, and selectivity — all learned from feedback, starting
+// from zero). Watch the plan and the actual execution cost evolve across
+// episodes.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "engine/cost_catalog.h"
+#include "engine/executor.h"
+#include "engine/query_optimizer.h"
+#include "engine/table.h"
+#include "engine/udf_predicate.h"
+#include "eval/experiment_setup.h"
+
+using namespace mlq;
+
+int main() {
+  std::printf("== Mini ORDBMS: self-tuning cost models inside an "
+              "optimizer/executor loop ==\n\n");
+
+  RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  const auto vocab =
+      static_cast<double>(suite.text_engine->index().vocab_size());
+
+  // One table per episode (fresh tuples, same distribution), as if new
+  // batches of documents keep arriving.
+  auto make_table = [&vocab](uint64_t seed) {
+    auto table =
+        std::make_unique<Table>("docs", std::vector<std::string>{
+                                            "kw1", "kw2", "x", "y"});
+    Rng rng(seed);
+    for (int i = 0; i < 250; ++i) {
+      table->AddRow(std::vector<double>{
+          std::floor(rng.Uniform(1.0, vocab)),
+          std::floor(rng.Uniform(1.0, vocab)),
+          rng.Uniform(0.0, 1000.0),
+          rng.Uniform(0.0, 1000.0),
+      });
+    }
+    return table;
+  };
+
+  UdfPredicate contains("Contains", suite.Find("PROX"), {0, 1, -1},
+                        Point{0.0, 0.0, 20.0}, 1);
+  UdfPredicate in_urban("InUrbanArea", suite.Find("WIN"), {2, 3, -1, -1},
+                        Point{0.0, 0.0, 120.0, 120.0}, 5);
+  UdfPredicate near_poi("NearPOI", suite.Find("KNN"), {2, 3, -1},
+                        Point{0.0, 0.0, 10.0}, 1);
+
+  CostCatalog catalog(/*memory_limit_bytes=*/1800);
+
+  std::printf("%8s  %14s  %10s  %s\n", "episode", "actual cost", "rows out",
+              "plan order");
+  double first_cost = 0.0;
+  double last_cost = 0.0;
+  std::string last_explain;
+  for (int episode = 1; episode <= 8; ++episode) {
+    auto table = make_table(1000 + static_cast<uint64_t>(episode));
+    Query query;
+    query.table = table.get();
+    query.predicates = {&near_poi, &contains, &in_urban};  // Worst-first.
+
+    const PlannedExecution run = PlanAndExecute(query, catalog);
+    std::string order;
+    for (int index : run.plan.order) {
+      if (!order.empty()) order += " -> ";
+      order += query.predicates[static_cast<size_t>(index)]->name();
+    }
+    std::printf("%8d  %11.0f us  %10lld  %s\n", episode,
+                run.stats.actual_cost_micros,
+                static_cast<long long>(run.stats.rows_out), order.c_str());
+    if (episode == 1) first_cost = run.stats.actual_cost_micros;
+    last_cost = run.stats.actual_cost_micros;
+    last_explain = run.plan.Explain();
+  }
+
+  std::printf("\nfinal %s", last_explain.c_str());
+  std::printf("\nexecution cost, episode 8 vs episode 1: %.2fx\n",
+              last_cost / first_cost);
+  std::printf("\nEpisode 1 plans blind (every estimate is 0.5 / 0 us); as "
+              "feedback\naccumulates, the catalog's MLQ models learn each "
+              "predicate's cost and\nselectivity, and the optimizer starts "
+              "running the cheap, selective\npredicates first — no manual "
+              "cost model, no a-priori training.\n");
+  return 0;
+}

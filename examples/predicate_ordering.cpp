@@ -1,0 +1,93 @@
+// Predicate ordering: the motivating application from the paper's
+// introduction. A query has three expensive UDF predicates in its WHERE
+// clause:
+//
+//   select ... from Documents d, Maps m
+//   where Contains(d.text, kw)                -- PROX-style text search
+//     and SnowCoverage(m.img) < 20%           -- WIN-style spatial search
+//     and SimilarityDistance(d.image, shape)  -- KNN-style search
+//
+// The optimizer must order them by cost and selectivity. This example
+// builds self-tuning MLQ cost models for the three UDFs from execution
+// feedback, then shows how the learned per-tuple costs change the chosen
+// predicate order — and how much the right order saves.
+
+#include <cstdio>
+#include <memory>
+
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "optimizer/predicate_ordering.h"
+
+using namespace mlq;
+
+namespace {
+
+// Trains a cost model for one UDF with feedback from `n` executions drawn
+// from the given workload, then returns the predicted cost at `probe`.
+double LearnAndPredict(CostedUdf& udf, MlqModel& model, int n, uint64_t seed,
+                       const Point& probe) {
+  const auto queries = MakePaperWorkload(
+      udf.model_space(), QueryDistributionKind::kGaussianRandom, n, seed);
+  for (const Point& q : queries) {
+    model.Observe(q, udf.Execute(q).cpu_work);
+  }
+  return model.Predict(probe);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Predicate ordering with self-tuning UDF cost models ==\n\n");
+
+  const RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  CostedUdf* prox = suite.Find("PROX");
+  CostedUdf* win = suite.Find("WIN");
+  CostedUdf* knn = suite.Find("KNN");
+
+  // The probe points stand for the argument values of the current query.
+  const Point prox_args = prox->model_space().Center();
+  const Point win_args = win->model_space().Center();
+  const Point knn_args = knn->model_space().Center();
+
+  // Cost models learn from past executions of each UDF.
+  MlqConfig config = MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu);
+  MlqModel prox_model(prox->model_space(), config);
+  MlqModel win_model(win->model_space(), config);
+  MlqModel knn_model(knn->model_space(), config);
+
+  const double prox_cost =
+      LearnAndPredict(*prox, prox_model, 1500, 1, prox_args);
+  const double win_cost = LearnAndPredict(*win, win_model, 1500, 2, win_args);
+  const double knn_cost = LearnAndPredict(*knn, knn_model, 1500, 3, knn_args);
+
+  // Selectivities would come from the selectivity estimator; fixed here.
+  std::vector<PredicateEstimate> predicates = {
+      {"Contains(text)", prox_cost * kMicrosPerWorkUnit, 0.15},
+      {"SnowCoverage(img)", win_cost * kMicrosPerWorkUnit, 0.60},
+      {"SimilarityDistance(img)", knn_cost * kMicrosPerWorkUnit, 0.30},
+  };
+
+  std::printf("learned per-tuple cost estimates (microseconds):\n");
+  for (const auto& p : predicates) {
+    std::printf("  %-26s cost=%10.2f  selectivity=%.2f  rank=%.6f\n",
+                p.name.c_str(), p.cost_per_tuple, p.selectivity, p.Rank());
+  }
+
+  const OrderingResult best = OrderPredicates(predicates);
+  const double worst = WorstSequenceCostPerTuple(predicates);
+
+  std::printf("\noptimal evaluation order:\n");
+  for (size_t i = 0; i < best.order.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1,
+                predicates[static_cast<size_t>(best.order[i])].name.c_str());
+  }
+  std::printf("\nexpected cost per tuple: %.2f us (worst order: %.2f us, "
+              "saving %.1fx)\n",
+              best.expected_cost_per_tuple, worst,
+              worst / best.expected_cost_per_tuple);
+  std::printf("\nWithout a UDF cost model the optimizer cannot tell these "
+              "orders apart;\nwith MLQ it learns the costs from feedback, "
+              "with zero a-priori training.\n");
+  return 0;
+}

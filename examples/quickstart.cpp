@@ -1,0 +1,68 @@
+// Quickstart: build a self-tuning MLQ cost model for a UDF, feed it
+// execution feedback, and watch its predictions sharpen.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "workload/query_distribution.h"
+
+int main() {
+  using namespace mlq;
+
+  // A synthetic UDF whose cost surface has 30 peaks in a 4-d model space.
+  std::unique_ptr<SyntheticUdf> udf =
+      MakePaperSyntheticUdf(/*num_peaks=*/30, /*noise_probability=*/0.0,
+                            /*seed=*/12345);
+
+  // A memory-limited quadtree cost model with the paper's tuning, lazy
+  // insertions, and a 1.8 KB budget.
+  MlqConfig config =
+      MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu);
+  MlqModel model(udf->model_space(), config);
+
+  // Simulate the optimizer loop: predict, execute, feed the actual cost
+  // back (Fig. 1 of the paper).
+  std::vector<Point> queries = MakePaperWorkload(
+      udf->model_space(), QueryDistributionKind::kGaussianRandom,
+      /*num_points=*/3000, /*seed=*/99);
+
+  double abs_err_first = 0.0;
+  double act_first = 0.0;
+  double abs_err_last = 0.0;
+  double act_last = 0.0;
+  const size_t half = queries.size() / 2;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Point& q = queries[i];
+    const double predicted = model.Predict(q);
+    const double actual = udf->Execute(q).cpu_work;
+    model.Observe(q, actual);
+    if (i < half) {
+      abs_err_first += std::abs(predicted - actual);
+      act_first += actual;
+    } else {
+      abs_err_last += std::abs(predicted - actual);
+      act_last += actual;
+    }
+  }
+
+  std::printf("MLQ quickstart (%s over %s)\n", std::string(model.name()).c_str(),
+              std::string(udf->name()).c_str());
+  std::printf("  queries processed        : %zu\n", queries.size());
+  std::printf("  NAE, first half (learning): %.4f\n",
+              act_first > 0 ? abs_err_first / act_first : 0.0);
+  std::printf("  NAE, second half (tuned)  : %.4f\n",
+              act_last > 0 ? abs_err_last / act_last : 0.0);
+  std::printf("  memory used / limit       : %lld / %lld bytes\n",
+              static_cast<long long>(model.MemoryBytes()),
+              static_cast<long long>(config.memory_limit_bytes));
+  std::printf("  quadtree nodes            : %lld\n",
+              static_cast<long long>(model.tree().num_nodes()));
+  std::printf("  compressions triggered    : %lld\n",
+              static_cast<long long>(model.tree().counters().compressions));
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef MLQ_COMMON_ARGS_H_
+#define MLQ_COMMON_ARGS_H_
+
+#include <string>
+#include <string_view>
+
+namespace mlq {
+
+// Minimal command-line handling for the bench binaries: finds "--name=value"
+// in argv and returns the value, or `default_value` when absent. Keeps the
+// harness dependency-free; the benches only need one or two switches
+// (e.g. --csv=out.csv).
+inline std::string ArgValue(int argc, char** argv, std::string_view name,
+                            std::string_view default_value = "") {
+  const std::string prefix = "--" + std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, prefix.size()) == prefix) {
+      return std::string(arg.substr(prefix.size()));
+    }
+  }
+  return std::string(default_value);
+}
+
+// True when the bare flag "--name" (no value) is present.
+inline bool HasFlag(int argc, char** argv, std::string_view name) {
+  const std::string flag = "--" + std::string(name);
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_ARGS_H_

@@ -1,0 +1,134 @@
+#include "common/geometry.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mlq {
+
+Point::Point(int dims, double fill) : dims_(dims) {
+  assert(dims >= 0 && dims <= kMaxDims);
+  for (int i = 0; i < dims_; ++i) coords_[static_cast<size_t>(i)] = fill;
+}
+
+Point::Point(std::initializer_list<double> coords)
+    : dims_(static_cast<int>(coords.size())) {
+  assert(dims_ <= kMaxDims);
+  int i = 0;
+  for (double c : coords) coords_[static_cast<size_t>(i++)] = c;
+}
+
+double Point::DistanceTo(const Point& other) const {
+  assert(dims_ == other.dims_);
+  double sum = 0.0;
+  for (int i = 0; i < dims_; ++i) {
+    double diff = (*this)[i] - other[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dims_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.6g", i == 0 ? "" : ", ", (*this)[i]);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Point& a, const Point& b) {
+  if (a.dims_ != b.dims_) return false;
+  for (int i = 0; i < a.dims_; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+Box::Box(const Point& lo, const Point& hi) : lo_(lo), hi_(hi) {
+  assert(lo.dims() == hi.dims());
+#ifndef NDEBUG
+  for (int i = 0; i < lo.dims(); ++i) assert(lo[i] <= hi[i]);
+#endif
+}
+
+Box Box::Cube(int dims, double lo, double hi) {
+  return Box(Point(dims, lo), Point(dims, hi));
+}
+
+bool Box::Contains(const Point& p) const {
+  assert(p.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i] || p[i] >= hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Box::ContainsClosed(const Point& p) const {
+  assert(p.dims() == dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Point Box::Center() const {
+  Point center(dims());
+  for (int i = 0; i < dims(); ++i) center[i] = 0.5 * (lo_[i] + hi_[i]);
+  return center;
+}
+
+double Box::Volume() const {
+  double volume = 1.0;
+  for (int i = 0; i < dims(); ++i) volume *= Extent(i);
+  return volume;
+}
+
+double Box::DiagonalLength() const { return lo_.DistanceTo(hi_); }
+
+Box Box::Child(int child_index) const {
+  assert(child_index >= 0 && child_index < (1 << dims()));
+  Point lo(dims());
+  Point hi(dims());
+  for (int i = 0; i < dims(); ++i) {
+    double mid = 0.5 * (lo_[i] + hi_[i]);
+    if ((child_index >> i) & 1) {
+      lo[i] = mid;
+      hi[i] = hi_[i];
+    } else {
+      lo[i] = lo_[i];
+      hi[i] = mid;
+    }
+  }
+  return Box(lo, hi);
+}
+
+int Box::ChildIndexOf(const Point& p) const {
+  assert(ContainsClosed(p));
+  int index = 0;
+  for (int i = 0; i < dims(); ++i) {
+    double mid = 0.5 * (lo_[i] + hi_[i]);
+    if (p[i] >= mid) index |= (1 << i);
+  }
+  return index;
+}
+
+bool Box::Intersects(const Box& other) const {
+  assert(dims() == other.dims());
+  for (int i = 0; i < dims(); ++i) {
+    if (hi_[i] < other.lo_[i] || other.hi_[i] < lo_[i]) return false;
+  }
+  return true;
+}
+
+std::string Box::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+bool operator==(const Box& a, const Box& b) {
+  return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+}
+
+}  // namespace mlq

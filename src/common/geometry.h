@@ -1,0 +1,95 @@
+#ifndef MLQ_COMMON_GEOMETRY_H_
+#define MLQ_COMMON_GEOMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace mlq {
+
+// Maximum number of model variables (dimensions) supported by the library.
+// The paper evaluates d = 1..4; eight leaves generous headroom while keeping
+// Point a small, stack-only value type.
+inline constexpr int kMaxDims = 8;
+
+// A point in up-to-kMaxDims-dimensional space. Cheap to copy; the dimension
+// is fixed at construction.
+class Point {
+ public:
+  Point() = default;
+  // All coordinates initialized to `fill`.
+  explicit Point(int dims, double fill = 0.0);
+  Point(std::initializer_list<double> coords);
+
+  int dims() const { return dims_; }
+  double operator[](int i) const { return coords_[static_cast<size_t>(i)]; }
+  double& operator[](int i) { return coords_[static_cast<size_t>(i)]; }
+
+  // Euclidean distance to another point of the same dimensionality.
+  double DistanceTo(const Point& other) const;
+
+  // "(x0, x1, ...)" for logs and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const Point& a, const Point& b);
+
+ private:
+  std::array<double, kMaxDims> coords_{};
+  int dims_ = 0;
+};
+
+// An axis-aligned box [lo, hi] in up-to-kMaxDims dimensions. Quadtree blocks
+// are Boxes; containment treats blocks as half-open [lo, hi) so that sibling
+// blocks never overlap, except that a point lying exactly on the global upper
+// boundary is owned by the topmost block along that edge (see Contains).
+class Box {
+ public:
+  Box() = default;
+  Box(const Point& lo, const Point& hi);
+
+  // The cube [lo, hi]^dims.
+  static Box Cube(int dims, double lo, double hi);
+
+  int dims() const { return lo_.dims(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  // Half-open containment: lo <= p < hi in every dimension, with the upper
+  // edge included when `closed_above` is set for that comparison. The
+  // quadtree root uses closed-above containment so the whole model space is
+  // covered.
+  bool Contains(const Point& p) const;
+  bool ContainsClosed(const Point& p) const;
+
+  Point Center() const;
+  double Extent(int dim) const { return hi_[dim] - lo_[dim]; }
+  double Volume() const;
+  // Length of the main diagonal (distance between extreme corners); the
+  // paper expresses the decay radius D as a fraction of this.
+  double DiagonalLength() const;
+
+  // Quadtree child block for `child_index` in [0, 2^dims). Bit i of the
+  // index selects the upper half along dimension i.
+  Box Child(int child_index) const;
+
+  // Index of the child block that `p` falls into. `p` must satisfy
+  // ContainsClosed(p); points on the midpoint plane go to the upper child,
+  // points on the global upper edge are clamped into the top child.
+  int ChildIndexOf(const Point& p) const;
+
+  // True when the boxes intersect (closed comparison).
+  bool Intersects(const Box& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Box& a, const Box& b);
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_GEOMETRY_H_

@@ -1,0 +1,29 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace mlq {
+
+void RunningStat::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::Stddev() const { return std::sqrt(Variance()); }
+
+}  // namespace mlq

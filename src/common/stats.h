@@ -1,0 +1,79 @@
+#ifndef MLQ_COMMON_STATS_H_
+#define MLQ_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace mlq {
+
+// The summary triple stored in every quadtree node (Section 4.1 of the
+// paper): sum S(b), count C(b) and sum of squares SS(b) of the cost values
+// of all data points that map into block b. From these the node derives
+//   AVG(b) = S(b) / C(b)                         (Eq. 3)
+//   SSE(b) = SS(b) - C(b) * AVG(b)^2             (Eq. 4)
+// both in O(1).
+struct SummaryTriple {
+  double sum = 0.0;
+  int64_t count = 0;
+  double sum_squares = 0.0;
+
+  // Folds one observation with value `v` into the summary.
+  void Add(double v) {
+    sum += v;
+    count += 1;
+    sum_squares += v * v;
+  }
+
+  // Folds another summary into this one (used by tests and validators; the
+  // tree itself maintains summaries cumulatively on the insert path).
+  void Merge(const SummaryTriple& other) {
+    sum += other.sum;
+    count += other.count;
+    sum_squares += other.sum_squares;
+  }
+
+  // Average value; 0 when empty.
+  double Avg() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  // Sum of squared errors about the average (Eq. 4), clamped at zero to
+  // absorb floating-point cancellation.
+  double Sse() const {
+    if (count <= 0) return 0.0;
+    double avg = Avg();
+    double sse = sum_squares - static_cast<double>(count) * avg * avg;
+    return sse > 0.0 ? sse : 0.0;
+  }
+
+  bool Empty() const { return count == 0; }
+};
+
+inline bool operator==(const SummaryTriple& a, const SummaryTriple& b) {
+  return a.sum == b.sum && a.count == b.count && a.sum_squares == b.sum_squares;
+}
+
+// Streaming mean / variance / extrema over a sequence of doubles (Welford).
+// Used by evaluation reporting; not part of the quadtree itself.
+class RunningStat {
+ public:
+  void Add(double v);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  // Population variance / stddev; 0 with fewer than two samples.
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_STATS_H_

@@ -1,0 +1,34 @@
+#ifndef MLQ_COMMON_TABLE_PRINTER_H_
+#define MLQ_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlq {
+
+// Minimal fixed-width table formatter so every bench binary prints its
+// figure/table in the same aligned, grep-friendly layout:
+//
+//   TablePrinter t({"peaks", "MLQ-E", "MLQ-L", "SH-H", "SH-W"});
+//   t.AddRow({"10", "0.213", "0.246", "0.232", "0.301"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 4);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_TABLE_PRINTER_H_

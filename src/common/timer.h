@@ -1,0 +1,84 @@
+#ifndef MLQ_COMMON_TIMER_H_
+#define MLQ_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mlq {
+
+// Monotonic wall-clock stopwatch used to measure prediction / insertion /
+// compression overheads (APC and AUC in Section 3 of the paper).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across many start/stop intervals, e.g. total compression
+// time over a whole workload.
+class AccumulatingTimer {
+ public:
+  void Start() { running_ = WallTimer(); }
+  void Stop() {
+    total_seconds_ += running_.ElapsedSeconds();
+    ++intervals_;
+  }
+
+  double total_seconds() const { return total_seconds_; }
+  int64_t intervals() const { return intervals_; }
+
+  void Add(double seconds) {
+    total_seconds_ += seconds;
+    ++intervals_;
+  }
+
+  void Reset() {
+    total_seconds_ = 0.0;
+    intervals_ = 0;
+  }
+
+ private:
+  WallTimer running_;
+  double total_seconds_ = 0.0;
+  int64_t intervals_ = 0;
+};
+
+// Deterministic work-unit counter. The substrate UDFs report their "actual
+// CPU cost" in abstract work units (each unit standing for a fixed bundle
+// of instructions) so experiments are reproducible bit-for-bit across
+// machines; kMicrosPerWorkUnit converts units into nominal microseconds
+// when a wall-clock-like figure is needed (Fig. 10 normalization).
+inline constexpr double kMicrosPerWorkUnit = 0.05;
+
+// Nominal cost of one buffer-pool miss (a random page read on ~2003
+// hardware), used for the same normalization of disk-IO costs.
+inline constexpr double kMicrosPerPageMiss = 5000.0;
+
+class WorkCounter {
+ public:
+  void Add(int64_t units) { units_ += units; }
+  int64_t units() const { return units_; }
+  double NominalMicros() const {
+    return static_cast<double>(units_) * kMicrosPerWorkUnit;
+  }
+  void Reset() { units_ = 0; }
+
+ private:
+  int64_t units_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_TIMER_H_

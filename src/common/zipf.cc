@@ -1,0 +1,39 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlq {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double z) : z_(z) {
+  assert(n >= 1);
+  cdf_.resize(static_cast<size_t>(n));
+  double running = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    running += 1.0 / std::pow(static_cast<double>(k), z_);
+    cdf_[static_cast<size_t>(k - 1)] = running;
+  }
+  normalizer_ = running;
+  for (double& v : cdf_) v /= normalizer_;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(int64_t rank) const {
+  if (rank < 1 || rank > n()) return 0.0;
+  return 1.0 / std::pow(static_cast<double>(rank), z_) / normalizer_;
+}
+
+double ZipfDistribution::RelativeWeight(int64_t rank) const {
+  if (rank < 1) return 0.0;
+  return 1.0 / std::pow(static_cast<double>(rank), z_);
+}
+
+}  // namespace mlq

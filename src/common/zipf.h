@@ -1,0 +1,44 @@
+#ifndef MLQ_COMMON_ZIPF_H_
+#define MLQ_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlq {
+
+// Zipf distribution over ranks 1..n with exponent z:
+//   P(rank = k) proportional to 1 / k^z.
+//
+// The paper draws synthetic peak heights from Zipf(z = 1) and news-corpus
+// term frequencies are classically Zipfian, so this sampler backs both the
+// synthetic cost surfaces and the text substrate.
+class ZipfDistribution {
+ public:
+  // Builds the cumulative table once; sampling is then O(log n).
+  ZipfDistribution(int64_t n, double z);
+
+  // Number of ranks.
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double z() const { return z_; }
+
+  // Draws a rank in [1, n].
+  int64_t Sample(Rng& rng) const;
+
+  // Probability mass of a rank in [1, n].
+  double Pmf(int64_t rank) const;
+
+  // Relative frequency of `rank` normalized so that rank 1 has weight 1.
+  // Used to turn ranks into magnitudes (e.g. peak heights, term counts).
+  double RelativeWeight(int64_t rank) const;
+
+ private:
+  double z_ = 1.0;
+  double normalizer_ = 1.0;             // Generalized harmonic number H_{n,z}.
+  std::vector<double> cdf_;             // cdf_[k-1] = P(rank <= k).
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_ZIPF_H_

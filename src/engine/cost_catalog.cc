@@ -1,0 +1,76 @@
+#include "engine/cost_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.h"
+
+namespace mlq {
+namespace {
+
+// The paper's tuning (Section 5.1) with the beta appropriate to what the
+// model predicts: 1 for deterministic CPU costs, 10 for cache-noisy IO
+// costs, 5 for Bernoulli-noisy pass outcomes.
+MlqConfig CatalogModelConfig(int64_t memory_limit_bytes, int64_t beta) {
+  MlqConfig config;
+  config.strategy = InsertionStrategy::kLazy;
+  config.max_depth = 6;
+  config.alpha = 0.05;
+  config.gamma = 0.001;
+  config.beta = beta;
+  config.memory_limit_bytes = memory_limit_bytes;
+  return config;
+}
+
+}  // namespace
+
+CostCatalog::CostCatalog(int64_t memory_limit_bytes)
+    : memory_limit_bytes_(memory_limit_bytes) {}
+
+CostCatalog::Entry& CostCatalog::For(CostedUdf* udf) {
+  assert(udf != nullptr);
+  for (auto& entry : entries_) {
+    if (entry->udf == udf) return *entry;
+  }
+  const Box space = udf->model_space();
+  // Models are immovable (they own the quadtree); aggregate-initialize the
+  // Entry in place (guaranteed elision), not through make_unique's forward.
+  entries_.push_back(std::unique_ptr<Entry>(new Entry{
+      udf,
+      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/1)),
+      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/10)),
+      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/5))}));
+  return *entries_.back();
+}
+
+const CostCatalog::Entry* CostCatalog::Find(const CostedUdf* udf) const {
+  for (const auto& entry : entries_) {
+    if (entry->udf == udf) return entry.get();
+  }
+  return nullptr;
+}
+
+void CostCatalog::RecordExecution(CostedUdf* udf, const Point& model_point,
+                                  const UdfCost& cost, bool passed) {
+  Entry& entry = For(udf);
+  entry.cpu_model.Observe(model_point, cost.cpu_work);
+  entry.io_model.Observe(model_point, cost.io_pages);
+  entry.selectivity_model.Observe(model_point, passed ? 1.0 : 0.0);
+}
+
+double CostCatalog::PredictCostMicros(CostedUdf* udf,
+                                      const Point& model_point) {
+  Entry& entry = For(udf);
+  return entry.cpu_model.Predict(model_point) * kMicrosPerWorkUnit +
+         entry.io_model.Predict(model_point) * kMicrosPerPageMiss;
+}
+
+double CostCatalog::PredictSelectivity(CostedUdf* udf,
+                                       const Point& model_point) {
+  Entry& entry = For(udf);
+  const Prediction p = entry.selectivity_model.PredictDetailed(model_point);
+  if (!p.reliable && p.count == 0) return 0.5;  // Nothing known yet.
+  return std::clamp(p.value, 0.01, 1.0);
+}
+
+}  // namespace mlq

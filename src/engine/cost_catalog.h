@@ -1,0 +1,62 @@
+#ifndef MLQ_ENGINE_COST_CATALOG_H_
+#define MLQ_ENGINE_COST_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/mlq_model.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// The optimizer-side metadata for UDFs: for every UDF, the two cost
+// estimators the paper prescribes (one CPU, one disk-IO; Section 1) plus —
+// reusing the same machinery — a self-tuning *selectivity* estimator, an
+// MLQ whose "cost" values are the 0/1 pass outcomes of the predicate, so
+// its block averages are local pass probabilities.
+//
+// Every executed predicate feeds all three models (the Fig. 1 feedback
+// loop); the optimizer reads them when costing plans.
+class CostCatalog {
+ public:
+  struct Entry {
+    CostedUdf* udf;
+    MlqModel cpu_model;
+    MlqModel io_model;
+    MlqModel selectivity_model;
+  };
+
+  // `memory_limit_bytes` is the per-model budget (the paper's 1.8 KB each).
+  explicit CostCatalog(int64_t memory_limit_bytes = 1800);
+
+  CostCatalog(const CostCatalog&) = delete;
+  CostCatalog& operator=(const CostCatalog&) = delete;
+
+  // Lazily creates the entry for a UDF.
+  Entry& For(CostedUdf* udf);
+  // Read-only lookup; nullptr if the UDF has never been registered.
+  const Entry* Find(const CostedUdf* udf) const;
+
+  // Records one execution outcome for the UDF at the given model point.
+  void RecordExecution(CostedUdf* udf, const Point& model_point,
+                       const UdfCost& cost, bool passed);
+
+  // Predicted per-call cost in nominal microseconds (CPU + IO combined).
+  double PredictCostMicros(CostedUdf* udf, const Point& model_point);
+
+  // Predicted pass probability in [0.01, 1] (clamped away from 0 so plan
+  // cost formulas stay finite); 0.5 when nothing is known yet.
+  double PredictSelectivity(CostedUdf* udf, const Point& model_point);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  int64_t memory_limit_bytes() const { return memory_limit_bytes_; }
+
+ private:
+  int64_t memory_limit_bytes_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_COST_CATALOG_H_

@@ -1,0 +1,81 @@
+#include "engine/estimate_audit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace mlq {
+namespace {
+
+double Drift(double before, double after) {
+  if (before == after) return 1.0;  // Covers 0 == 0.
+  if (before <= 0.0 || after <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(before / after, after / before);
+}
+
+}  // namespace
+
+double PredicateAudit::CostDrift() const {
+  return Drift(estimated_cost_micros, post_cost_micros);
+}
+
+double PredicateAudit::SelectivityDrift() const {
+  return Drift(estimated_selectivity, post_selectivity);
+}
+
+std::string PlanAudit::ToString() const {
+  std::string out = "estimate audit:\n";
+  char buf[200];
+  for (const PredicateAudit& p : predicates) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-14s cost %9.2f -> %9.2f us (x%.2f)   sel %.3f -> %.3f "
+                  "(x%.2f)\n",
+                  p.predicate_name.c_str(), p.estimated_cost_micros,
+                  p.post_cost_micros, p.CostDrift(), p.estimated_selectivity,
+                  p.post_selectivity, p.SelectivityDrift());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  max cost drift: x%.2f\n", max_cost_drift);
+  out += buf;
+  return out;
+}
+
+PlanAudit AuditPlan(const Query& query, const Plan& plan,
+                    CostCatalog& catalog, int sample_rows) {
+  assert(query.table != nullptr);
+  assert(plan.estimates.size() == query.predicates.size());
+  PlanAudit audit;
+
+  const int64_t n = query.table->num_rows();
+  const int64_t stride = n > sample_rows ? n / sample_rows : 1;
+
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const UdfPredicate* predicate = query.predicates[i];
+    PredicateAudit entry;
+    entry.predicate_name = predicate->name();
+    entry.estimated_cost_micros = plan.estimates[i].estimated_cost_micros;
+    entry.estimated_selectivity = plan.estimates[i].estimated_selectivity;
+
+    double cost_sum = 0.0;
+    double selectivity_sum = 0.0;
+    int64_t samples = 0;
+    for (int64_t row = 0; row < n; row += stride) {
+      const Point point = predicate->ModelPointFor(query.table->Row(row));
+      cost_sum += catalog.PredictCostMicros(predicate->udf(), point);
+      selectivity_sum += catalog.PredictSelectivity(predicate->udf(), point);
+      ++samples;
+    }
+    if (samples > 0) {
+      entry.post_cost_micros = cost_sum / static_cast<double>(samples);
+      entry.post_selectivity = selectivity_sum / static_cast<double>(samples);
+    }
+    audit.max_cost_drift = std::max(audit.max_cost_drift, entry.CostDrift());
+    audit.predicates.push_back(std::move(entry));
+  }
+  return audit;
+}
+
+}  // namespace mlq

@@ -1,0 +1,50 @@
+#ifndef MLQ_ENGINE_ESTIMATE_AUDIT_H_
+#define MLQ_ENGINE_ESTIMATE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/cost_catalog.h"
+#include "engine/query_optimizer.h"
+
+namespace mlq {
+
+// LEO-style estimate auditing (Section 2.2 of the paper discusses DB2's
+// LEarning Optimizer, which compares the optimizer's estimates with what
+// execution actually observed). After a query runs, AuditPlan re-executes
+// the *estimation* side — not the UDFs — against the catalog's post-feedback
+// models and reports, per predicate, how far the plan's estimates were off.
+// Useful for monitoring model quality in production and for tests that
+// assert the feedback loop actually closes.
+
+struct PredicateAudit {
+  std::string predicate_name;
+  // The plan's estimates at planning time.
+  double estimated_cost_micros = 0.0;
+  double estimated_selectivity = 1.0;
+  // Catalog estimates for the same rows after execution feedback.
+  double post_cost_micros = 0.0;
+  double post_selectivity = 1.0;
+
+  // Multiplicative estimation error (max of ratio and inverse ratio; 1 is
+  // perfect). Infinite when one side is zero and the other is not.
+  double CostDrift() const;
+  double SelectivityDrift() const;
+};
+
+struct PlanAudit {
+  std::vector<PredicateAudit> predicates;
+  // Largest cost drift over all predicates (the "most wrong" estimate).
+  double max_cost_drift = 1.0;
+
+  std::string ToString() const;
+};
+
+// Compares `plan`'s estimates with fresh estimates from `catalog` over the
+// same sample of `query`'s rows.
+PlanAudit AuditPlan(const Query& query, const Plan& plan,
+                    CostCatalog& catalog, int sample_rows = 32);
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_ESTIMATE_AUDIT_H_

@@ -1,0 +1,95 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace mlq {
+
+ExecutionStats ExecuteQuery(const Query& query, const Plan& plan,
+                            CostCatalog* catalog) {
+  assert(query.table != nullptr);
+  assert(plan.order.size() == query.predicates.size());
+
+  ExecutionStats stats;
+  stats.rows_in = query.table->num_rows();
+  stats.evaluations_per_predicate.assign(query.predicates.size(), 0);
+
+  for (int64_t row = 0; row < stats.rows_in; ++row) {
+    bool row_passes = true;
+    for (int index : plan.order) {
+      const UdfPredicate* predicate =
+          query.predicates[static_cast<size_t>(index)];
+      const UdfPredicate::Outcome outcome =
+          predicate->Evaluate(query.table->Row(row));
+      ++stats.evaluations_per_predicate[static_cast<size_t>(index)];
+      stats.actual_cost_micros += outcome.cost.NominalMicros();
+      if (catalog != nullptr) {
+        catalog->RecordExecution(predicate->udf(), outcome.model_point,
+                                 outcome.cost, outcome.passed);
+      }
+      if (!outcome.passed) {
+        row_passes = false;
+        break;  // Short-circuit AND: later predicates are never evaluated.
+      }
+    }
+    if (row_passes) ++stats.rows_out;
+  }
+  return stats;
+}
+
+ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog) {
+  assert(query.table != nullptr);
+  ExecutionStats stats;
+  stats.rows_in = query.table->num_rows();
+  stats.evaluations_per_predicate.assign(query.predicates.size(), 0);
+
+  const size_t n = query.predicates.size();
+  std::vector<int> order(n);
+  std::vector<double> rank(n);
+  for (int64_t row = 0; row < stats.rows_in; ++row) {
+    const auto row_values = query.table->Row(row);
+    // Rank each predicate at this row's own model point.
+    for (size_t i = 0; i < n; ++i) {
+      const UdfPredicate* predicate = query.predicates[i];
+      const Point point = predicate->ModelPointFor(row_values);
+      const double cost = catalog.PredictCostMicros(predicate->udf(), point);
+      const double selectivity =
+          catalog.PredictSelectivity(predicate->udf(), point);
+      rank[i] = cost > 0.0 ? (selectivity - 1.0) / cost
+                           : -std::numeric_limits<double>::infinity();
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&rank](int a, int b) {
+      return rank[static_cast<size_t>(a)] < rank[static_cast<size_t>(b)];
+    });
+
+    bool row_passes = true;
+    for (int index : order) {
+      const UdfPredicate* predicate =
+          query.predicates[static_cast<size_t>(index)];
+      const UdfPredicate::Outcome outcome = predicate->Evaluate(row_values);
+      ++stats.evaluations_per_predicate[static_cast<size_t>(index)];
+      stats.actual_cost_micros += outcome.cost.NominalMicros();
+      catalog.RecordExecution(predicate->udf(), outcome.model_point,
+                              outcome.cost, outcome.passed);
+      if (!outcome.passed) {
+        row_passes = false;
+        break;
+      }
+    }
+    if (row_passes) ++stats.rows_out;
+  }
+  return stats;
+}
+
+PlannedExecution PlanAndExecute(const Query& query, CostCatalog& catalog,
+                                int sample_rows) {
+  PlannedExecution result;
+  result.plan = PlanQuery(query, catalog, sample_rows);
+  result.stats = ExecuteQuery(query, result.plan, &catalog);
+  return result;
+}
+
+}  // namespace mlq

@@ -1,0 +1,70 @@
+#ifndef MLQ_ENGINE_JOIN_QUERY_H_
+#define MLQ_ENGINE_JOIN_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_catalog.h"
+#include "engine/executor.h"
+#include "engine/table.h"
+#include "engine/udf_predicate.h"
+
+namespace mlq {
+
+// Predicate placement around a join — the paper's second motivating
+// decision ("whether a join should be performed before UDF execution
+// depends on the cost of the UDFs", Section 1; Hellerstein & Stonebraker's
+// predicate migration). A query of the shape
+//
+//   select ... from L, R
+//   where L.key = R.key and udf_l(L...) and udf_r(R...)
+//
+// can evaluate each UDF predicate *before* the join (on every base-table
+// row) or *after* it (only on rows that survive the join). Pulling an
+// expensive predicate above a selective join can save most of its
+// evaluations; pushing a cheap selective predicate below the join shrinks
+// the join input. The optimizer decides per predicate, using the learned
+// cost and selectivity models plus exact join-key statistics.
+
+struct JoinQuery {
+  const Table* left = nullptr;
+  const Table* right = nullptr;
+  int left_join_column = 0;
+  int right_join_column = 0;
+  // UDF predicates over the left (resp. right) table's columns.
+  std::vector<const UdfPredicate*> left_predicates;
+  std::vector<const UdfPredicate*> right_predicates;
+};
+
+struct JoinPlan {
+  // Per predicate (parallel to JoinQuery's vectors): evaluated below the
+  // join (true) or above it (false).
+  std::vector<bool> left_before;
+  std::vector<bool> right_before;
+  // Estimates used for the decision, for EXPLAIN-style output.
+  double estimated_join_rows = 0.0;
+  double expected_cost_micros = 0.0;
+
+  std::string Explain(const JoinQuery& query) const;
+};
+
+// Exact number of join result rows (equi-join on the key columns), from
+// key-frequency statistics — the table-level statistics a real system
+// keeps. O(|L| + |R|).
+double ExpectedJoinRows(const JoinQuery& query);
+
+// Chooses a placement for every UDF predicate using catalog estimates.
+JoinPlan PlanJoinQuery(const JoinQuery& query, CostCatalog& catalog,
+                       int sample_rows = 32);
+
+// Hash-join executor honoring the placement; feeds every UDF execution
+// back into the catalog when non-null. Returns the same stats shape as the
+// single-table executor (evaluations_per_predicate lists left predicates
+// first, then right).
+ExecutionStats ExecuteJoinQuery(const JoinQuery& query, const JoinPlan& plan,
+                                CostCatalog* catalog);
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_JOIN_QUERY_H_

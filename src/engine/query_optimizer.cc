@@ -1,0 +1,70 @@
+#include "engine/query_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "optimizer/predicate_ordering.h"
+
+namespace mlq {
+
+std::string Plan::Explain() const {
+  std::string out = "plan (expected cost/row = ";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.2f us):\n",
+                expected_cost_per_row_micros);
+  out += buf;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const PlannedPredicate& p = estimates[static_cast<size_t>(order[i])];
+    std::snprintf(buf, sizeof(buf), "  %zu. %-12s cost=%9.2f us  sel=%.3f\n",
+                  i + 1, p.predicate->name().c_str(), p.estimated_cost_micros,
+                  p.estimated_selectivity);
+    out += buf;
+  }
+  return out;
+}
+
+Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows) {
+  assert(query.table != nullptr);
+  Plan plan;
+  plan.estimates.reserve(query.predicates.size());
+
+  // Deterministic stride sample of the table's rows; per-row model points
+  // differ, so estimates are sample averages.
+  const int64_t n = query.table->num_rows();
+  const int64_t stride =
+      n > sample_rows ? n / sample_rows : 1;
+
+  std::vector<PredicateEstimate> estimates;
+  for (const UdfPredicate* predicate : query.predicates) {
+    double cost_sum = 0.0;
+    double selectivity_sum = 0.0;
+    int64_t samples = 0;
+    for (int64_t row = 0; row < n; row += stride) {
+      const Point point = predicate->ModelPointFor(query.table->Row(row));
+      cost_sum += catalog.PredictCostMicros(predicate->udf(), point);
+      selectivity_sum += catalog.PredictSelectivity(predicate->udf(), point);
+      ++samples;
+    }
+    PlannedPredicate planned;
+    planned.predicate = predicate;
+    if (samples > 0) {
+      planned.estimated_cost_micros = cost_sum / static_cast<double>(samples);
+      planned.estimated_selectivity =
+          selectivity_sum / static_cast<double>(samples);
+    } else {
+      planned.estimated_selectivity = 0.5;
+    }
+    plan.estimates.push_back(planned);
+    estimates.push_back(PredicateEstimate{
+        predicate->name(), planned.estimated_cost_micros,
+        planned.estimated_selectivity});
+  }
+
+  const OrderingResult ordering = OrderPredicates(estimates);
+  plan.order = ordering.order;
+  plan.expected_cost_per_row_micros = ordering.expected_cost_per_tuple;
+  return plan;
+}
+
+}  // namespace mlq

@@ -1,0 +1,49 @@
+#ifndef MLQ_ENGINE_QUERY_OPTIMIZER_H_
+#define MLQ_ENGINE_QUERY_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_catalog.h"
+#include "engine/table.h"
+#include "engine/udf_predicate.h"
+
+namespace mlq {
+
+// A select query with a conjunctive WHERE clause of UDF predicates over one
+// table — the exact shape the paper's introduction motivates ("when faced
+// with multiple UDFs in the 'where' clause, the order in which the UDF
+// predicates are evaluated can make a significant difference").
+struct Query {
+  const Table* table = nullptr;
+  std::vector<const UdfPredicate*> predicates;
+};
+
+// Per-predicate plan estimates, for inspection and EXPLAIN-style output.
+struct PlannedPredicate {
+  const UdfPredicate* predicate = nullptr;
+  double estimated_cost_micros = 0.0;
+  double estimated_selectivity = 1.0;
+};
+
+// An execution plan: the predicate evaluation order plus its estimates.
+struct Plan {
+  // Indices into Query::predicates, in evaluation order.
+  std::vector<int> order;
+  std::vector<PlannedPredicate> estimates;  // Parallel to Query::predicates.
+  double expected_cost_per_row_micros = 0.0;
+
+  std::string Explain() const;
+};
+
+// The optimizer: estimates each predicate's per-row cost and selectivity
+// from the catalog's self-tuning models — averaged over a deterministic
+// sample of rows, since model points vary per row — and orders by the
+// classical rank metric (ascending (selectivity - 1) / cost).
+Plan PlanQuery(const Query& query, CostCatalog& catalog,
+               int sample_rows = 32);
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_QUERY_OPTIMIZER_H_

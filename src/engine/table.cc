@@ -1,0 +1,31 @@
+#include "engine/table.h"
+
+#include <cassert>
+
+namespace mlq {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  assert(!column_names_.empty());
+}
+
+int Table::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AddRow(std::span<const double> values) {
+  assert(static_cast<int>(values.size()) == num_columns());
+  cells_.insert(cells_.end(), values.begin(), values.end());
+  ++num_rows_;
+}
+
+std::span<const double> Table::Row(int64_t i) const {
+  assert(i >= 0 && i < num_rows_);
+  return std::span<const double>(
+      cells_.data() + i * num_columns(), static_cast<size_t>(num_columns()));
+}
+
+}  // namespace mlq

@@ -1,0 +1,48 @@
+#ifndef MLQ_ENGINE_TABLE_H_
+#define MLQ_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlq {
+
+// A minimal in-memory relation: named numeric columns, row-major storage.
+//
+// The engine exists to exercise cost-model-driven predicate ordering, so
+// rows carry exactly what UDF predicates consume — the (ordinal) argument
+// values that become model-variable coordinates. Strings and other payload
+// types are irrelevant to that loop and deliberately out of scope.
+class Table {
+ public:
+  explicit Table(std::string name, std::vector<std::string> column_names);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_columns() const { return static_cast<int>(column_names_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  // Index of a column by name, or -1.
+  int ColumnIndex(std::string_view column_name) const;
+
+  // Appends a row; must have exactly num_columns() values.
+  void AddRow(std::span<const double> values);
+
+  // The i-th row as a contiguous span of num_columns() values.
+  std::span<const double> Row(int64_t i) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<double> cells_;  // Row-major.
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_TABLE_H_

@@ -1,0 +1,55 @@
+#ifndef MLQ_ENGINE_UDF_PREDICATE_H_
+#define MLQ_ENGINE_UDF_PREDICATE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// A UDF predicate in a WHERE clause, bound to a table's columns:
+//
+//   WHERE Proximity(doc.kw1, doc.kw2, 20) >= 1
+//
+// Each of the UDF's model variables is fed either from a row column or
+// from a query constant; the predicate passes when the UDF's result count
+// reaches `min_result_count` (the "Contains(...)" / "SimilarityDistance(...)
+// < 10" shapes from the paper's introduction reduce to this).
+class UdfPredicate {
+ public:
+  // `column_of[d]` is the row column feeding model variable d, or -1 to use
+  // `constants[d]` instead. Sizes must match the UDF's model space.
+  UdfPredicate(std::string name, CostedUdf* udf, std::vector<int> column_of,
+               Point constants, int64_t min_result_count);
+
+  const std::string& name() const { return name_; }
+  CostedUdf* udf() const { return udf_; }
+  int64_t min_result_count() const { return min_result_count_; }
+
+  // Model-variable point for a row (the transformation T applied to the
+  // tuple's argument values).
+  Point ModelPointFor(std::span<const double> row) const;
+
+  struct Outcome {
+    bool passed = false;
+    UdfCost cost;
+    Point model_point;
+  };
+
+  // Executes the UDF for the row and evaluates the pass rule.
+  Outcome Evaluate(std::span<const double> row) const;
+
+ private:
+  std::string name_;
+  CostedUdf* udf_;
+  std::vector<int> column_of_;
+  Point constants_;
+  int64_t min_result_count_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_UDF_PREDICATE_H_

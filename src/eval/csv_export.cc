@@ -1,0 +1,49 @@
+#include "eval/csv_export.h"
+
+#include <ostream>
+
+namespace mlq {
+namespace {
+
+// Quotes a CSV field if needed (our names never contain quotes/commas, but
+// be defensive for user-supplied UDF names).
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void WriteEvalResultsCsv(std::ostream& os,
+                         std::span<const EvalResult> results) {
+  os << "model,udf,num_queries,nae,apc_us,ic_us,cc_us,auc_us,compressions,"
+        "pc_over_udf,muc_over_udf\n";
+  for (const EvalResult& r : results) {
+    os << CsvField(r.model_name) << ',' << CsvField(r.udf_name) << ','
+       << r.num_queries << ',' << r.nae << ',' << r.apc_micros << ','
+       << r.ic_micros << ',' << r.cc_micros << ',' << r.auc_micros << ','
+       << r.compressions << ',' << r.PcOverUdf() << ',' << r.MucOverUdf()
+       << '\n';
+  }
+}
+
+void WriteLearningCurvesCsv(std::ostream& os,
+                            std::span<const EvalResult> results,
+                            int window_size) {
+  os << "model,udf,window_index,queries_processed,window_nae\n";
+  for (const EvalResult& r : results) {
+    for (size_t w = 0; w < r.learning_curve.size(); ++w) {
+      os << CsvField(r.model_name) << ',' << CsvField(r.udf_name) << ','
+         << w + 1 << ',' << (w + 1) * static_cast<size_t>(window_size) << ','
+         << r.learning_curve[w] << '\n';
+    }
+  }
+}
+
+}  // namespace mlq

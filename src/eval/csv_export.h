@@ -1,0 +1,28 @@
+#ifndef MLQ_EVAL_CSV_EXPORT_H_
+#define MLQ_EVAL_CSV_EXPORT_H_
+
+#include <iosfwd>
+#include <span>
+
+#include "eval/evaluator.h"
+
+namespace mlq {
+
+// CSV export of experiment results, for plotting the figures outside the
+// terminal (gnuplot / pandas). Columns are stable and documented here so
+// downstream scripts can rely on them.
+
+// One row per result:
+// model,udf,num_queries,nae,apc_us,ic_us,cc_us,auc_us,compressions,
+// pc_over_udf,muc_over_udf
+void WriteEvalResultsCsv(std::ostream& os, std::span<const EvalResult> results);
+
+// One row per learning-curve window:
+// model,udf,window_index,queries_processed,window_nae
+void WriteLearningCurvesCsv(std::ostream& os,
+                            std::span<const EvalResult> results,
+                            int window_size);
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_CSV_EXPORT_H_

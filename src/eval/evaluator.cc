@@ -1,0 +1,132 @@
+#include "eval/evaluator.h"
+
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace mlq {
+namespace {
+
+double Ratio(double numerator, double denominator) {
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace
+
+double EvalResult::PcOverUdf() const {
+  return Ratio(total_prediction_seconds * 1e6, total_udf_micros);
+}
+double EvalResult::IcOverUdf() const {
+  return Ratio(ic_micros * static_cast<double>(num_queries), total_udf_micros);
+}
+double EvalResult::CcOverUdf() const {
+  return Ratio(cc_micros * static_cast<double>(num_queries), total_udf_micros);
+}
+double EvalResult::MucOverUdf() const { return IcOverUdf() + CcOverUdf(); }
+
+EvalResult RunSelfTuningEvaluation(CostModel& model, CostedUdf& udf,
+                                   std::span<const Point> queries,
+                                   const EvalOptions& options) {
+  EvalResult result;
+  result.model_name = std::string(model.name());
+  result.udf_name = std::string(udf.name());
+  result.num_queries = static_cast<int64_t>(queries.size());
+
+  NaeAccumulator nae;
+  LearningCurve curve(options.learning_curve_window);
+  double prediction_seconds = 0.0;
+
+  for (const Point& q : queries) {
+    // The transformation T maps the execution point onto model variables
+    // (identity for untransformed UDFs).
+    const Point model_point = udf.ToModelPoint(q);
+    WallTimer predict_timer;
+    const double predicted = model.Predict(model_point);
+    prediction_seconds += predict_timer.ElapsedSeconds();
+
+    const UdfCost actual_cost = udf.Execute(q);
+    const double actual = actual_cost.Get(options.cost_kind);
+    result.total_udf_micros += actual_cost.NominalMicros();
+
+    nae.Add(predicted, actual);
+    curve.Add(predicted, actual);
+
+    model.Observe(model_point, actual);
+  }
+  curve.Finish();
+
+  const ModelUpdateBreakdown breakdown = model.update_breakdown();
+  const auto n = static_cast<double>(result.num_queries);
+  result.nae = nae.Nae();
+  result.learning_curve = curve.series();
+  result.total_prediction_seconds = prediction_seconds;
+  result.total_update_seconds = breakdown.UpdateSeconds();
+  result.compressions = breakdown.compressions;
+  if (result.num_queries > 0) {
+    result.apc_micros = prediction_seconds * 1e6 / n;
+    result.ic_micros = breakdown.insert_seconds * 1e6 / n;
+    result.cc_micros = breakdown.compress_seconds * 1e6 / n;
+    result.auc_micros = result.ic_micros + result.cc_micros;
+  }
+  return result;
+}
+
+EvalResult RunStaticEvaluation(StaticHistogram& model, CostedUdf& udf,
+                               std::span<const Point> training,
+                               std::span<const Point> test,
+                               const EvalOptions& options) {
+  // A-priori training: execute the UDF over the training workload. (The
+  // training executions are not part of the measured workload, matching the
+  // paper's protocol for SH.) SH indexes the same transformed model
+  // variables as MLQ.
+  const std::vector<double> training_costs =
+      ExecuteAll(udf, training, options.cost_kind);
+  std::vector<Point> training_model_points;
+  training_model_points.reserve(training.size());
+  for (const Point& p : training) {
+    training_model_points.push_back(udf.ToModelPoint(p));
+  }
+  model.Train(training_model_points, training_costs);
+
+  EvalResult result;
+  result.model_name = std::string(model.name());
+  result.udf_name = std::string(udf.name());
+  result.num_queries = static_cast<int64_t>(test.size());
+
+  NaeAccumulator nae;
+  LearningCurve curve(options.learning_curve_window);
+  double prediction_seconds = 0.0;
+
+  for (const Point& q : test) {
+    WallTimer predict_timer;
+    const double predicted = model.Predict(udf.ToModelPoint(q));
+    prediction_seconds += predict_timer.ElapsedSeconds();
+
+    const UdfCost actual_cost = udf.Execute(q);
+    const double actual = actual_cost.Get(options.cost_kind);
+    result.total_udf_micros += actual_cost.NominalMicros();
+
+    nae.Add(predicted, actual);
+    curve.Add(predicted, actual);
+    // No feedback: SH is static.
+  }
+  curve.Finish();
+
+  result.nae = nae.Nae();
+  result.learning_curve = curve.series();
+  result.total_prediction_seconds = prediction_seconds;
+  if (result.num_queries > 0) {
+    result.apc_micros =
+        prediction_seconds * 1e6 / static_cast<double>(result.num_queries);
+  }
+  return result;
+}
+
+std::vector<double> ExecuteAll(CostedUdf& udf, std::span<const Point> points,
+                               CostKind kind) {
+  std::vector<double> costs;
+  costs.reserve(points.size());
+  for (const Point& p : points) costs.push_back(udf.Execute(p).Get(kind));
+  return costs;
+}
+
+}  // namespace mlq

@@ -1,0 +1,83 @@
+#ifndef MLQ_EVAL_EVALUATOR_H_
+#define MLQ_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "model/cost_model.h"
+#include "model/static_histogram.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// Options shared by both evaluation loops.
+struct EvalOptions {
+  // Which cost the model predicts (the paper keeps CPU and IO models
+  // separate).
+  CostKind cost_kind = CostKind::kCpu;
+  // Learning-curve granularity (queries per NAE window, Fig. 12).
+  int learning_curve_window = 250;
+};
+
+// Everything the experiments report about one (model, UDF, workload) run.
+struct EvalResult {
+  std::string model_name;
+  std::string udf_name;
+  int64_t num_queries = 0;
+
+  // Prediction accuracy (Eq. 10).
+  double nae = 0.0;
+
+  // APC (Eq. 1) and AUC (Eq. 2), in microseconds. AUC splits into insertion
+  // (ic) and compression (cc) components; static models report zeros.
+  double apc_micros = 0.0;
+  double auc_micros = 0.0;
+  double ic_micros = 0.0;
+  double cc_micros = 0.0;
+  int64_t compressions = 0;
+
+  // Total *nominal* UDF execution cost over the workload, in microseconds
+  // (work units and page misses mapped through the scales in
+  // common/timer.h); the denominator for Fig. 10's overhead ratios.
+  double total_udf_micros = 0.0;
+  // Total actual modeling time, in seconds, split as in Fig. 10.
+  double total_prediction_seconds = 0.0;
+  double total_update_seconds = 0.0;
+
+  // Windowed NAE over the stream (Fig. 12).
+  std::vector<double> learning_curve;
+
+  // Fig. 10 bars: modeling overheads as fractions of total UDF execution
+  // cost (PC, IC, CC, MUC = IC + CC).
+  double PcOverUdf() const;
+  double IcOverUdf() const;
+  double CcOverUdf() const;
+  double MucOverUdf() const;
+};
+
+// Self-tuning loop (Fig. 1 of the paper): for every query point, the model
+// predicts, the UDF executes, the error is recorded, and the actual cost is
+// fed back into the model.
+EvalResult RunSelfTuningEvaluation(CostModel& model, CostedUdf& udf,
+                                   std::span<const Point> queries,
+                                   const EvalOptions& options);
+
+// Static (SH) protocol: the model trains a-priori on `training` points
+// drawn from the same distribution as `test` — executing the UDF to obtain
+// training costs — and then predicts the test stream without any feedback.
+EvalResult RunStaticEvaluation(StaticHistogram& model, CostedUdf& udf,
+                               std::span<const Point> training,
+                               std::span<const Point> test,
+                               const EvalOptions& options);
+
+// Executes the UDF at every point and returns the observed costs of the
+// requested kind (helper for training and analysis).
+std::vector<double> ExecuteAll(CostedUdf& udf, std::span<const Point> points,
+                               CostKind kind);
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_EVALUATOR_H_

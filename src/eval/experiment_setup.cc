@@ -1,0 +1,138 @@
+#include "eval/experiment_setup.h"
+
+#include "model/mlq_model.h"
+#include "model/static_histogram.h"
+
+namespace mlq {
+
+MlqConfig MakePaperMlqConfig(InsertionStrategy strategy, CostKind cost_kind,
+                             int64_t memory_limit_bytes) {
+  MlqConfig config;
+  config.strategy = strategy;
+  config.max_depth = 6;
+  config.alpha = 0.05;
+  config.gamma = 0.001;
+  config.beta = cost_kind == CostKind::kCpu ? kPaperBetaCpu : kPaperBetaIo;
+  config.memory_limit_bytes = memory_limit_bytes;
+  return config;
+}
+
+std::unique_ptr<SyntheticUdf> MakePaperSyntheticUdf(int num_peaks,
+                                                    double noise_probability,
+                                                    uint64_t seed) {
+  PeakSurfaceConfig surface;
+  surface.dims = 4;
+  surface.num_peaks = num_peaks;
+  surface.range_lo = 0.0;
+  surface.range_hi = 1000.0;
+  surface.max_height = 10000.0;
+  surface.zipf_z = 1.0;
+  surface.decay_radius_frac = 0.10;
+  surface.seed = seed;
+  return std::make_unique<SyntheticUdf>(surface, noise_probability,
+                                        /*noise_seed=*/seed ^ 0x5eedf00dULL);
+}
+
+CostedUdf* RealUdfSuite::Find(std::string_view name) const {
+  for (const auto& udf : udfs) {
+    if (udf->name() == name) return udf.get();
+  }
+  return nullptr;
+}
+
+RealUdfSuite MakeRealUdfSuite(SubstrateScale scale, uint64_t seed) {
+  RealUdfSuite suite;
+
+  CorpusConfig corpus;
+  SpatialDatasetConfig spatial;
+  int grid_size = 64;
+  int64_t pool_pages = 1024;
+  if (scale == SubstrateScale::kSmall) {
+    corpus.num_docs = 2000;
+    corpus.vocab_size = 2000;
+    spatial.num_rects = 3000;
+    spatial.num_clusters = 10;
+    grid_size = 32;
+    pool_pages = 128;
+  }
+  corpus.seed ^= seed;
+  spatial.seed ^= seed;
+
+  suite.text_engine = std::make_shared<TextSearchEngine>(corpus, pool_pages);
+  suite.spatial_engine =
+      std::make_shared<SpatialEngine>(spatial, grid_size, pool_pages);
+
+  suite.udfs.push_back(std::make_unique<SimpleSearchUdf>(suite.text_engine));
+  suite.udfs.push_back(std::make_unique<ThresholdSearchUdf>(suite.text_engine));
+  suite.udfs.push_back(std::make_unique<ProximitySearchUdf>(suite.text_engine));
+  suite.udfs.push_back(std::make_unique<KnnUdf>(suite.spatial_engine));
+  suite.udfs.push_back(std::make_unique<WindowUdf>(suite.spatial_engine));
+  suite.udfs.push_back(std::make_unique<RangeSearchUdf>(suite.spatial_engine));
+  return suite;
+}
+
+std::vector<EvalResult> CompareAllMethods(CostedUdf& udf,
+                                          std::span<const Point> training,
+                                          std::span<const Point> test,
+                                          CostKind cost_kind,
+                                          int64_t memory_limit_bytes,
+                                          int learning_curve_window) {
+  const Box space = udf.model_space();
+  EvalOptions options;
+  options.cost_kind = cost_kind;
+  options.learning_curve_window = learning_curve_window;
+
+  std::vector<EvalResult> results;
+
+  // MLQ-E and MLQ-L: self-tuning, no a-priori training.
+  for (InsertionStrategy strategy :
+       {InsertionStrategy::kEager, InsertionStrategy::kLazy}) {
+    udf.ResetState();
+    MlqModel model(space,
+                   MakePaperMlqConfig(strategy, cost_kind, memory_limit_bytes));
+    results.push_back(RunSelfTuningEvaluation(model, udf, test, options));
+  }
+
+  // SH-H and SH-W: trained a-priori on the training workload.
+  {
+    udf.ResetState();
+    EquiHeightHistogram model(space, memory_limit_bytes);
+    results.push_back(RunStaticEvaluation(model, udf, training, test, options));
+  }
+  {
+    udf.ResetState();
+    EquiWidthHistogram model(space, memory_limit_bytes);
+    results.push_back(RunStaticEvaluation(model, udf, training, test, options));
+  }
+
+  // Order: MLQ-E, MLQ-L, SH-H, SH-W.
+  return results;
+}
+
+std::vector<Point> MakePaperWorkload(const Box& space,
+                                     QueryDistributionKind kind, int num_points,
+                                     uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_points = num_points;
+  config.num_centroids = kPaperNumCentroids;
+  config.stddev_frac = kPaperStddevFrac;
+  config.seed = seed;
+  return GenerateQueryPoints(space, config);
+}
+
+TrainTestWorkload MakePaperTrainTestWorkloads(const Box& space,
+                                              QueryDistributionKind kind,
+                                              int num_training_points,
+                                              int num_test_points,
+                                              uint64_t seed) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_centroids = kPaperNumCentroids;
+  config.stddev_frac = kPaperStddevFrac;
+  config.seed = seed;
+  return GenerateTrainTestWorkloads(space, config, num_training_points,
+                                    num_test_points);
+}
+
+}  // namespace mlq

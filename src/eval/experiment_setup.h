@@ -1,0 +1,84 @@
+#ifndef MLQ_EVAL_EXPERIMENT_SETUP_H_
+#define MLQ_EVAL_EXPERIMENT_SETUP_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "quadtree/quadtree_config.h"
+#include "spatial/spatial_udfs.h"
+#include "synthetic/synthetic_udf.h"
+#include "text/text_udfs.h"
+#include "udf/costed_udf.h"
+#include "workload/query_distribution.h"
+
+namespace mlq {
+
+// Paper-wide experimental constants (Section 5.1).
+inline constexpr int64_t kPaperMemoryBytes = 1800;
+inline constexpr int kPaperSyntheticQueries = 5000;
+inline constexpr int kPaperRealQueries = 2500;
+inline constexpr int kPaperNumCentroids = 3;
+inline constexpr double kPaperStddevFrac = 0.05;
+inline constexpr int64_t kPaperBetaCpu = 1;
+inline constexpr int64_t kPaperBetaIo = 10;
+
+// MLQ parameters as tuned in the paper: alpha = 0.05, gamma = 0.1%,
+// lambda = 6, beta depending on the cost kind.
+MlqConfig MakePaperMlqConfig(InsertionStrategy strategy, CostKind cost_kind,
+                             int64_t memory_limit_bytes = kPaperMemoryBytes);
+
+// Synthetic UDF with the paper's surface parameters (d = 4, range 0..1000,
+// max height 10000, Zipf z = 1, D = 10% of the diagonal).
+std::unique_ptr<SyntheticUdf> MakePaperSyntheticUdf(int num_peaks,
+                                                    double noise_probability,
+                                                    uint64_t seed);
+
+// How big to build the "real" UDF substrates. kFull mirrors the paper's
+// datasets (36,422 documents); kSmall is for unit tests and smoke runs.
+enum class SubstrateScale {
+  kSmall,
+  kFull,
+};
+
+// The six real UDFs of Section 5.1 over shared text and spatial engines.
+// Order: SIMPLE, THRESH, PROX, KNN, WIN, RANGE (the paper's listing).
+struct RealUdfSuite {
+  std::shared_ptr<TextSearchEngine> text_engine;
+  std::shared_ptr<SpatialEngine> spatial_engine;
+  std::vector<std::unique_ptr<CostedUdf>> udfs;
+
+  CostedUdf* Find(std::string_view name) const;
+};
+
+RealUdfSuite MakeRealUdfSuite(SubstrateScale scale, uint64_t seed = 1);
+
+// Runs all four paper methods (MLQ-E, MLQ-L, SH-H, SH-W) over the same UDF
+// and test workload at the same memory budget and returns their results in
+// that order. SH methods are trained on `training` (same distribution as
+// `test`, per the paper's protocol); the UDF state (caches) is reset before
+// every method so each sees an identical substrate.
+std::vector<EvalResult> CompareAllMethods(CostedUdf& udf,
+                                          std::span<const Point> training,
+                                          std::span<const Point> test,
+                                          CostKind cost_kind,
+                                          int64_t memory_limit_bytes,
+                                          int learning_curve_window = 250);
+
+// Convenience: workload of the paper's shape for a UDF's model space.
+std::vector<Point> MakePaperWorkload(const Box& space,
+                                     QueryDistributionKind kind, int num_points,
+                                     uint64_t seed);
+
+// Training + test workloads from the same distribution (shared centroids,
+// independent draws) — the paper's protocol for the SH baselines.
+TrainTestWorkload MakePaperTrainTestWorkloads(const Box& space,
+                                              QueryDistributionKind kind,
+                                              int num_training_points,
+                                              int num_test_points,
+                                              uint64_t seed);
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_EXPERIMENT_SETUP_H_

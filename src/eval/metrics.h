@@ -1,0 +1,79 @@
+#ifndef MLQ_EVAL_METRICS_H_
+#define MLQ_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mlq {
+
+// Accumulates the normalized absolute error of Eq. 10:
+//   NAE(Q) = sum_q |PC(q) - AC(q)| / sum_q AC(q).
+// Robust where relative error is not (low-cost points) and comparable
+// across UDFs/datasets where plain absolute error is not.
+class NaeAccumulator {
+ public:
+  void Add(double predicted, double actual) {
+    const double diff = predicted - actual;
+    abs_error_sum_ += diff < 0 ? -diff : diff;
+    actual_sum_ += actual;
+    ++count_;
+  }
+
+  // NAE over everything added so far; 0 when nothing was added. When the
+  // actual costs sum to zero the error is reported per-query unnormalized
+  // (the denominator of Eq. 10 degenerates).
+  double Nae() const {
+    if (count_ == 0) return 0.0;
+    if (actual_sum_ <= 0.0) return abs_error_sum_ / static_cast<double>(count_);
+    return abs_error_sum_ / actual_sum_;
+  }
+
+  int64_t count() const { return count_; }
+  double abs_error_sum() const { return abs_error_sum_; }
+  double actual_sum() const { return actual_sum_; }
+
+  void Reset() {
+    abs_error_sum_ = 0.0;
+    actual_sum_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double abs_error_sum_ = 0.0;
+  double actual_sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+// Windowed NAE series for the learning-curve experiment (Fig. 12): one NAE
+// value per consecutive window of `window_size` queries.
+class LearningCurve {
+ public:
+  explicit LearningCurve(int window_size) : window_size_(window_size) {}
+
+  void Add(double predicted, double actual) {
+    window_.Add(predicted, actual);
+    if (window_.count() >= window_size_) Flush();
+  }
+
+  // Closes a partial trailing window, if any.
+  void Finish() {
+    if (window_.count() > 0) Flush();
+  }
+
+  const std::vector<double>& series() const { return series_; }
+  int window_size() const { return window_size_; }
+
+ private:
+  void Flush() {
+    series_.push_back(window_.Nae());
+    window_.Reset();
+  }
+
+  int window_size_;
+  NaeAccumulator window_;
+  std::vector<double> series_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_METRICS_H_

@@ -1,0 +1,51 @@
+#ifndef MLQ_EVAL_TRACE_H_
+#define MLQ_EVAL_TRACE_H_
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "model/cost_model.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// Execution traces: the portable interchange format between a production
+// system ("log every UDF call's model point and observed costs") and this
+// library ("replay the log into a model and evaluate it"). The text format
+// is deliberately trivial:
+//
+//   # mlq-trace v1 dims=3
+//   12.5,881.0,3.0,1520.0,7.0     <- x0..x{d-1}, cpu_cost, io_cost
+//   ...
+//
+// Lines starting with '#' after the header are comments.
+
+struct TraceRecord {
+  Point point;
+  double cpu_cost = 0.0;
+  double io_cost = 0.0;
+};
+
+// Writes a trace. Records must all share the header's dimensionality.
+void WriteTrace(std::ostream& os, std::span<const TraceRecord> records,
+                int dims);
+
+// Parses a trace; returns false and sets *error on malformed input.
+bool ReadTrace(std::istream& is, std::vector<TraceRecord>* records,
+               std::string* error);
+
+// Runs `udf` over `points` and captures a trace.
+std::vector<TraceRecord> CaptureTrace(CostedUdf& udf,
+                                      std::span<const Point> points);
+
+// Replays a trace into a self-tuning model (predict-then-observe), and
+// returns the NAE over the replay — evaluation without re-running the UDF.
+double ReplayTrace(CostModel& model, std::span<const TraceRecord> records,
+                   CostKind cost_kind);
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_TRACE_H_

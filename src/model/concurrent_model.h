@@ -1,0 +1,59 @@
+#ifndef MLQ_MODEL_CONCURRENT_MODEL_H_
+#define MLQ_MODEL_CONCURRENT_MODEL_H_
+
+#include <memory>
+#include <mutex>
+
+#include "model/cost_model.h"
+
+namespace mlq {
+
+// Thread-safety decorator.
+//
+// Real optimizers plan queries concurrently while executors deliver
+// feedback; the underlying models are deliberately single-threaded (the
+// paper's setting, and the fast path stays lock-free when a model is owned
+// by one session). Wrapping a model in ConcurrentCostModel serializes all
+// access behind one mutex — correct and simple; predictions are ~100 ns,
+// so a contended mutex still supports millions of operations per second.
+class ConcurrentCostModel : public CostModel {
+ public:
+  explicit ConcurrentCostModel(std::unique_ptr<CostModel> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string_view name() const override { return inner_->name(); }
+
+  double Predict(const Point& point) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Predict(point);
+  }
+
+  void Observe(const Point& point, double actual_cost) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Observe(point, actual_cost);
+  }
+
+  int64_t MemoryBytes() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->MemoryBytes();
+  }
+
+  bool IsSelfTuning() const override { return inner_->IsSelfTuning(); }
+
+  ModelUpdateBreakdown update_breakdown() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->update_breakdown();
+  }
+
+  // Access to the wrapped model for single-threaded phases (no locking;
+  // callers must guarantee exclusivity).
+  CostModel& inner() { return *inner_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<CostModel> inner_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_MODEL_CONCURRENT_MODEL_H_

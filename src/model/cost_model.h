@@ -1,0 +1,57 @@
+#ifndef MLQ_MODEL_COST_MODEL_H_
+#define MLQ_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/geometry.h"
+
+namespace mlq {
+
+// Breakdown of the time a model spent updating itself, matching the
+// modeling-cost decomposition of Experiment 2 (Fig. 10): IC = insertion
+// cost, CC = compression cost, MUC = IC + CC.
+struct ModelUpdateBreakdown {
+  double insert_seconds = 0.0;
+  double compress_seconds = 0.0;
+  int64_t insertions = 0;
+  int64_t compressions = 0;
+
+  double UpdateSeconds() const { return insert_seconds + compress_seconds; }
+};
+
+// A UDF execution-cost model: maps a point in model-variable space to a
+// predicted cost (Section 3 of the paper). One instance models one cost
+// kind (CPU or disk IO) of one UDF.
+//
+// Self-tuning models (MLQ) learn from Observe feedback delivered by the
+// execution engine after each UDF call; static models (SH) are trained
+// a-priori and ignore feedback.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Short display name, e.g. "MLQ-E", "SH-H".
+  virtual std::string_view name() const = 0;
+
+  // Predicted cost at `point`. Never fails: models fall back to coarser
+  // information (up to a global average, or 0 when nothing is known).
+  virtual double Predict(const Point& point) const = 0;
+
+  // Query feedback: the actual cost observed at `point`. Static models
+  // ignore this.
+  virtual void Observe(const Point& point, double actual_cost) = 0;
+
+  // Logical bytes currently charged against the model's budget.
+  virtual int64_t MemoryBytes() const = 0;
+
+  // True when Observe actually updates the model.
+  virtual bool IsSelfTuning() const = 0;
+
+  // Update-cost accounting; static models report zeros.
+  virtual ModelUpdateBreakdown update_breakdown() const { return {}; }
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_MODEL_COST_MODEL_H_

@@ -1,0 +1,27 @@
+#include "model/mlq_model.h"
+
+namespace mlq {
+
+MlqModel::MlqModel(const Box& space, const MlqConfig& config)
+    : tree_(space, config),
+      name_(config.strategy == InsertionStrategy::kEager ? "MLQ-E" : "MLQ-L") {}
+
+double MlqModel::Predict(const Point& point) const {
+  return tree_.Predict(point).value;
+}
+
+void MlqModel::Observe(const Point& point, double actual_cost) {
+  tree_.Insert(point, actual_cost);
+}
+
+ModelUpdateBreakdown MlqModel::update_breakdown() const {
+  const QuadtreeCounters& counters = tree_.counters();
+  ModelUpdateBreakdown breakdown;
+  breakdown.insert_seconds = counters.insert_seconds;
+  breakdown.compress_seconds = counters.compress_seconds;
+  breakdown.insertions = counters.insertions;
+  breakdown.compressions = counters.compressions;
+  return breakdown;
+}
+
+}  // namespace mlq

@@ -1,0 +1,38 @@
+#ifndef MLQ_MODEL_MLQ_MODEL_H_
+#define MLQ_MODEL_MLQ_MODEL_H_
+
+#include <string>
+
+#include "model/cost_model.h"
+#include "quadtree/memory_limited_quadtree.h"
+
+namespace mlq {
+
+// CostModel adapter over the memory-limited quadtree: the paper's MLQ-E
+// (eager) and MLQ-L (lazy) methods, depending on config.strategy.
+class MlqModel : public CostModel {
+ public:
+  MlqModel(const Box& space, const MlqConfig& config);
+
+  std::string_view name() const override { return name_; }
+  double Predict(const Point& point) const override;
+  void Observe(const Point& point, double actual_cost) override;
+  int64_t MemoryBytes() const override { return tree_.memory_used(); }
+  bool IsSelfTuning() const override { return true; }
+  ModelUpdateBreakdown update_breakdown() const override;
+
+  // Full prediction detail (depth, count, reliability).
+  Prediction PredictDetailed(const Point& point) const {
+    return tree_.Predict(point);
+  }
+
+  const MemoryLimitedQuadtree& tree() const { return tree_; }
+
+ private:
+  MemoryLimitedQuadtree tree_;
+  std::string name_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_MODEL_MLQ_MODEL_H_

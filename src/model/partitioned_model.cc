@@ -1,0 +1,53 @@
+#include "model/partitioned_model.h"
+
+#include <cassert>
+
+namespace mlq {
+
+PartitionedCostModel::PartitionedCostModel(ModelFactory factory,
+                                           int max_partitions,
+                                           int64_t total_budget_bytes)
+    : factory_(std::move(factory)), max_partitions_(max_partitions) {
+  assert(max_partitions >= 0);
+  assert(total_budget_bytes > 0);
+  partition_budget_ = total_budget_bytes / (max_partitions_ + 1);
+  assert(partition_budget_ > 0);
+}
+
+const CostModel* PartitionedCostModel::ModelForKey(int64_t key) const {
+  for (const Partition& p : partitions_) {
+    if (p.key == key) return p.model.get();
+  }
+  return overflow_.get();
+}
+
+CostModel* PartitionedCostModel::FindOrCreate(int64_t key) {
+  for (Partition& p : partitions_) {
+    if (p.key == key) return p.model.get();
+  }
+  if (static_cast<int>(partitions_.size()) < max_partitions_) {
+    partitions_.push_back(Partition{key, factory_(partition_budget_)});
+    return partitions_.back().model.get();
+  }
+  if (overflow_ == nullptr) overflow_ = factory_(partition_budget_);
+  return overflow_.get();
+}
+
+double PartitionedCostModel::Predict(int64_t key, const Point& point) const {
+  const CostModel* model = ModelForKey(key);
+  return model != nullptr ? model->Predict(point) : 0.0;
+}
+
+void PartitionedCostModel::Observe(int64_t key, const Point& point,
+                                   double actual_cost) {
+  FindOrCreate(key)->Observe(point, actual_cost);
+}
+
+int64_t PartitionedCostModel::MemoryBytes() const {
+  int64_t total = 0;
+  for (const Partition& p : partitions_) total += p.model->MemoryBytes();
+  if (overflow_ != nullptr) total += overflow_->MemoryBytes();
+  return total;
+}
+
+}  // namespace mlq

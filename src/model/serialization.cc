@@ -1,0 +1,397 @@
+#include "model/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+
+namespace mlq {
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4c5154;  // "MLQT"
+constexpr uint16_t kVersion = 1;
+
+// --- little write/read cursor helpers --------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > in_.size()) return false;
+    std::memcpy(value, in_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return offset_ == in_.size(); }
+
+ private:
+  const std::vector<uint8_t>& in_;
+  size_t offset_ = 0;
+};
+
+void WriteNode(const QuadtreeNode& node, Writer& writer) {
+  writer.Put<double>(node.summary().sum);
+  writer.Put<int64_t>(node.summary().count);
+  writer.Put<double>(node.summary().sum_squares);
+  writer.Put<uint8_t>(static_cast<uint8_t>(node.num_children()));
+  for (const auto& entry : node.children()) {
+    writer.Put<uint8_t>(entry.index);
+    WriteNode(*entry.node, writer);
+  }
+}
+
+// Reads one node into `node` (already created); creates children
+// recursively. Returns false on malformed input.
+bool ReadNode(Reader& reader, QuadtreeNode* node, int dims, int max_depth,
+              int64_t* nodes_read, std::string* error) {
+  SummaryTriple summary;
+  uint8_t num_children = 0;
+  if (!reader.Get(&summary.sum) || !reader.Get(&summary.count) ||
+      !reader.Get(&summary.sum_squares) || !reader.Get(&num_children)) {
+    *error = "truncated node";
+    return false;
+  }
+  node->mutable_summary() = summary;
+  if (num_children > (1 << dims)) {
+    *error = "child count exceeds 2^d";
+    return false;
+  }
+  if (num_children > 0 && node->depth() >= max_depth) {
+    *error = "internal node at max depth";
+    return false;
+  }
+  int previous_index = -1;
+  for (int c = 0; c < num_children; ++c) {
+    uint8_t index = 0;
+    if (!reader.Get(&index)) {
+      *error = "truncated child index";
+      return false;
+    }
+    if (index >= (1 << dims) || static_cast<int>(index) <= previous_index) {
+      *error = "child index out of range or out of order";
+      return false;
+    }
+    previous_index = index;
+    QuadtreeNode* child = node->CreateChild(index);
+    ++*nodes_read;
+    if (!ReadNode(reader, child, dims, max_depth, nodes_read, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
+  std::vector<uint8_t> bytes;
+  Writer writer(&bytes);
+  const MlqConfig& config = tree.config();
+  const Box& space = tree.space();
+
+  writer.Put<uint32_t>(kMagic);
+  writer.Put<uint16_t>(kVersion);
+  writer.Put<uint8_t>(static_cast<uint8_t>(space.dims()));
+  writer.Put<uint8_t>(static_cast<uint8_t>(config.strategy));
+  writer.Put<int32_t>(config.max_depth);
+  writer.Put<double>(config.alpha);
+  writer.Put<double>(config.gamma);
+  writer.Put<int64_t>(config.beta);
+  writer.Put<int64_t>(config.memory_limit_bytes);
+  for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.lo()[d]);
+  for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.hi()[d]);
+  writer.Put<uint8_t>(tree.compressed_once() ? 1 : 0);
+  WriteNode(tree.root(), writer);
+  return bytes;
+}
+
+std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
+    const std::vector<uint8_t>& bytes, std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  Reader reader(bytes);
+
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t dims = 0;
+  uint8_t strategy = 0;
+  MlqConfig config;
+  if (!reader.Get(&magic) || !reader.Get(&version) || !reader.Get(&dims) ||
+      !reader.Get(&strategy) || !reader.Get(&config.max_depth) ||
+      !reader.Get(&config.alpha) || !reader.Get(&config.gamma) ||
+      !reader.Get(&config.beta) || !reader.Get(&config.memory_limit_bytes)) {
+    *err = "truncated header";
+    return nullptr;
+  }
+  if (magic != kMagic) {
+    *err = "bad magic";
+    return nullptr;
+  }
+  if (version != kVersion) {
+    *err = "unsupported version";
+    return nullptr;
+  }
+  if (dims < 1 || dims > kMaxDims) {
+    *err = "dims out of range";
+    return nullptr;
+  }
+  if (strategy > static_cast<uint8_t>(InsertionStrategy::kLazy)) {
+    *err = "unknown insertion strategy";
+    return nullptr;
+  }
+  config.strategy = static_cast<InsertionStrategy>(strategy);
+  if (config.max_depth < 0 || config.memory_limit_bytes < kNodeBaseBytes) {
+    *err = "invalid config";
+    return nullptr;
+  }
+
+  Point lo(dims);
+  Point hi(dims);
+  for (int d = 0; d < dims; ++d) {
+    if (!reader.Get(&lo[d])) {
+      *err = "truncated space";
+      return nullptr;
+    }
+  }
+  for (int d = 0; d < dims; ++d) {
+    if (!reader.Get(&hi[d])) {
+      *err = "truncated space";
+      return nullptr;
+    }
+    if (!(lo[d] < hi[d])) {
+      *err = "degenerate space";
+      return nullptr;
+    }
+  }
+  uint8_t compressed_once = 0;
+  if (!reader.Get(&compressed_once)) {
+    *err = "truncated flags";
+    return nullptr;
+  }
+
+  auto tree = std::make_unique<MemoryLimitedQuadtree>(Box(lo, hi), config);
+  int64_t nodes_read = 1;  // Root exists already.
+  if (!ReadNode(reader, tree->root_.get(), dims, config.max_depth, &nodes_read,
+                err)) {
+    return nullptr;
+  }
+  if (!reader.AtEnd()) {
+    *err = "trailing bytes";
+    return nullptr;
+  }
+  // Rebuild accounting: the constructor charged the root; charge the rest.
+  tree->num_nodes_ = nodes_read;
+  tree->budget_.Charge((nodes_read - 1) * kNonRootNodeBytes);
+  if (tree->budget_.used() > tree->budget_.limit()) {
+    *err = "tree larger than its own memory budget";
+    return nullptr;
+  }
+  tree->compressed_once_ = compressed_once != 0;
+
+  std::string invariant_error;
+  if (!tree->CheckInvariants(&invariant_error)) {
+    *err = "invariants violated after load: " + invariant_error;
+    return nullptr;
+  }
+  return tree;
+}
+
+namespace {
+
+constexpr uint32_t kHistogramMagic = 0x4d4c5148;  // "MLQH"
+constexpr uint16_t kHistogramVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHistogram(const StaticHistogram& histogram) {
+  std::vector<uint8_t> bytes;
+  Writer writer(&bytes);
+  const Box& space = histogram.space();
+  const bool is_height = histogram.name() == "SH-H";
+
+  writer.Put<uint32_t>(kHistogramMagic);
+  writer.Put<uint16_t>(kHistogramVersion);
+  writer.Put<uint8_t>(is_height ? 1 : 0);
+  writer.Put<uint8_t>(static_cast<uint8_t>(space.dims()));
+  writer.Put<int64_t>(histogram.memory_limit_bytes_);
+  writer.Put<int32_t>(histogram.intervals_per_dim_);
+  writer.Put<uint8_t>(histogram.trained_ ? 1 : 0);
+  for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.lo()[d]);
+  for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.hi()[d]);
+  if (!histogram.trained_) return bytes;
+
+  for (const auto& dim_bounds : histogram.boundaries_) {
+    for (double b : dim_bounds) writer.Put<double>(b);
+  }
+  writer.Put<double>(histogram.global_avg_);
+  for (size_t b = 0; b < histogram.bucket_avgs_.size(); ++b) {
+    writer.Put<double>(histogram.bucket_avgs_[b]);
+    writer.Put<int64_t>(histogram.bucket_counts_[b]);
+  }
+  return bytes;
+}
+
+std::unique_ptr<StaticHistogram> DeserializeHistogram(
+    const std::vector<uint8_t>& bytes, std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  Reader reader(bytes);
+
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t kind = 0;
+  uint8_t dims = 0;
+  int64_t budget = 0;
+  int32_t intervals = 0;
+  uint8_t trained = 0;
+  if (!reader.Get(&magic) || !reader.Get(&version) || !reader.Get(&kind) ||
+      !reader.Get(&dims) || !reader.Get(&budget) || !reader.Get(&intervals) ||
+      !reader.Get(&trained)) {
+    *err = "truncated histogram header";
+    return nullptr;
+  }
+  if (magic != kHistogramMagic) {
+    *err = "bad histogram magic";
+    return nullptr;
+  }
+  if (version != kHistogramVersion) {
+    *err = "unsupported histogram version";
+    return nullptr;
+  }
+  if (kind > 1 || dims < 1 || dims > kMaxDims || intervals < 1 ||
+      budget < 8) {
+    *err = "invalid histogram header";
+    return nullptr;
+  }
+  Point lo(dims);
+  Point hi(dims);
+  for (int d = 0; d < dims; ++d) {
+    if (!reader.Get(&lo[d])) {
+      *err = "truncated histogram space";
+      return nullptr;
+    }
+  }
+  for (int d = 0; d < dims; ++d) {
+    if (!reader.Get(&hi[d]) || !(lo[d] < hi[d])) {
+      *err = "truncated or degenerate histogram space";
+      return nullptr;
+    }
+  }
+  const Box space(lo, hi);
+  std::unique_ptr<StaticHistogram> histogram;
+  if (kind == 1) {
+    histogram = std::make_unique<EquiHeightHistogram>(space, budget);
+  } else {
+    histogram = std::make_unique<EquiWidthHistogram>(space, budget);
+  }
+  if (trained == 0) {
+    if (!reader.AtEnd()) {
+      *err = "trailing bytes in untrained histogram";
+      return nullptr;
+    }
+    return histogram;
+  }
+
+  histogram->intervals_per_dim_ = intervals;
+  histogram->boundaries_.assign(static_cast<size_t>(dims), {});
+  for (int d = 0; d < dims; ++d) {
+    auto& dim_bounds = histogram->boundaries_[static_cast<size_t>(d)];
+    dim_bounds.resize(static_cast<size_t>(intervals - 1));
+    double previous = -std::numeric_limits<double>::infinity();
+    for (double& b : dim_bounds) {
+      if (!reader.Get(&b)) {
+        *err = "truncated boundaries";
+        return nullptr;
+      }
+      if (b < previous) {
+        *err = "boundaries out of order";
+        return nullptr;
+      }
+      previous = b;
+    }
+  }
+  if (!reader.Get(&histogram->global_avg_)) {
+    *err = "truncated global average";
+    return nullptr;
+  }
+  int64_t buckets = 1;
+  for (int d = 0; d < dims; ++d) {
+    if (buckets > (1 << 28) / intervals) {
+      *err = "bucket count overflow";
+      return nullptr;
+    }
+    buckets *= intervals;
+  }
+  histogram->bucket_avgs_.resize(static_cast<size_t>(buckets));
+  histogram->bucket_counts_.resize(static_cast<size_t>(buckets));
+  for (int64_t b = 0; b < buckets; ++b) {
+    if (!reader.Get(&histogram->bucket_avgs_[static_cast<size_t>(b)]) ||
+        !reader.Get(&histogram->bucket_counts_[static_cast<size_t>(b)])) {
+      *err = "truncated buckets";
+      return nullptr;
+    }
+    if (histogram->bucket_counts_[static_cast<size_t>(b)] < 0) {
+      *err = "negative bucket count";
+      return nullptr;
+    }
+  }
+  if (!reader.AtEnd()) {
+    *err = "trailing bytes";
+    return nullptr;
+  }
+  histogram->charged_bytes_ = buckets * 8;
+  for (int d = 0; d < dims; ++d) {
+    histogram->charged_bytes_ += histogram->BoundaryBytesPerDim(intervals);
+  }
+  histogram->trained_ = true;
+  return histogram;
+}
+
+bool SaveQuadtreeToFile(const MemoryLimitedQuadtree& tree,
+                        const std::string& path) {
+  const std::vector<uint8_t> bytes = SerializeQuadtree(tree);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::unique_ptr<MemoryLimitedQuadtree> LoadQuadtreeFromFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open file";
+    return nullptr;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    if (error != nullptr) *error = "cannot read file";
+    return nullptr;
+  }
+  return DeserializeQuadtree(bytes, error);
+}
+
+}  // namespace mlq

@@ -1,0 +1,61 @@
+#ifndef MLQ_MODEL_SERIALIZATION_H_
+#define MLQ_MODEL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/static_histogram.h"
+#include "quadtree/memory_limited_quadtree.h"
+
+namespace mlq {
+
+// Catalog persistence for cost models.
+//
+// An ORDBMS keeps its cost models in the system catalog so they survive
+// restarts; MLQ is explicitly designed so its serialized form is what the
+// memory budget is charged against. This module provides a compact,
+// versioned, byte-oriented encoding of a memory-limited quadtree:
+//
+//   [magic u32][version u16][dims u8][strategy u8]
+//   [max_depth i32][alpha f64][gamma f64][beta i64][budget i64]
+//   [space lo f64 x dims][space hi f64 x dims]
+//   [compressed_once u8]
+//   node*: pre-order; each node is
+//     [sum f64][count i64][sum_squares f64][num_children u8]
+//     ([child_index u8] <recursive child>)*
+//
+// The encoding is self-delimiting; no pointers are stored.
+
+// Serializes the tree (structure + summaries + config) into bytes.
+std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree);
+
+// Reconstructs a tree from bytes produced by SerializeQuadtree. Returns
+// nullptr (and fills *error when non-null) on malformed input: bad magic,
+// unsupported version, truncation, or structural violations (child index
+// out of range, duplicate children, depth over max_depth).
+std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
+    const std::vector<uint8_t>& bytes, std::string* error = nullptr);
+
+// Convenience file I/O. Returns false on filesystem errors.
+bool SaveQuadtreeToFile(const MemoryLimitedQuadtree& tree,
+                        const std::string& path);
+std::unique_ptr<MemoryLimitedQuadtree> LoadQuadtreeFromFile(
+    const std::string& path, std::string* error = nullptr);
+
+// The SH baselines persist too (a DBMS catalog stores whatever the cost
+// model is). Encoding:
+//   [magic u32][version u16][kind u8: 0 = SH-W, 1 = SH-H][dims u8]
+//   [budget i64][intervals i32][trained u8]
+//   [space lo/hi f64 x dims]
+//   per dim: [boundary f64 x (intervals - 1)]
+//   [global_avg f64]
+//   per bucket: [avg f64][count i64]
+// Untrained histograms serialize the header only.
+std::vector<uint8_t> SerializeHistogram(const StaticHistogram& histogram);
+std::unique_ptr<StaticHistogram> DeserializeHistogram(
+    const std::vector<uint8_t>& bytes, std::string* error = nullptr);
+
+}  // namespace mlq
+
+#endif  // MLQ_MODEL_SERIALIZATION_H_

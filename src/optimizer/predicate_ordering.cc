@@ -1,0 +1,56 @@
+#include "optimizer/predicate_ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace mlq {
+
+double PredicateEstimate::Rank() const {
+  // Guard zero-cost predicates: they should always run first, which a
+  // -infinity rank achieves without dividing by zero.
+  if (cost_per_tuple <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return (selectivity - 1.0) / cost_per_tuple;
+}
+
+double SequenceCostPerTuple(std::span<const PredicateEstimate> predicates,
+                            std::span<const int> order) {
+  assert(order.size() == predicates.size());
+  double cost = 0.0;
+  double pass_probability = 1.0;
+  for (int index : order) {
+    const PredicateEstimate& p = predicates[static_cast<size_t>(index)];
+    cost += pass_probability * p.cost_per_tuple;
+    pass_probability *= p.selectivity;
+  }
+  return cost;
+}
+
+OrderingResult OrderPredicates(std::span<const PredicateEstimate> predicates) {
+  OrderingResult result;
+  result.order.resize(predicates.size());
+  std::iota(result.order.begin(), result.order.end(), 0);
+  std::stable_sort(result.order.begin(), result.order.end(),
+                   [&predicates](int a, int b) {
+                     return predicates[static_cast<size_t>(a)].Rank() <
+                            predicates[static_cast<size_t>(b)].Rank();
+                   });
+  result.expected_cost_per_tuple = SequenceCostPerTuple(predicates, result.order);
+  return result;
+}
+
+double WorstSequenceCostPerTuple(
+    std::span<const PredicateEstimate> predicates) {
+  std::vector<int> order(predicates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&predicates](int a, int b) {
+    return predicates[static_cast<size_t>(a)].Rank() >
+           predicates[static_cast<size_t>(b)].Rank();
+  });
+  return SequenceCostPerTuple(predicates, order);
+}
+
+}  // namespace mlq

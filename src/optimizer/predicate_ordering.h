@@ -1,0 +1,50 @@
+#ifndef MLQ_OPTIMIZER_PREDICATE_ORDERING_H_
+#define MLQ_OPTIMIZER_PREDICATE_ORDERING_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlq {
+
+// One UDF predicate in a conjunctive WHERE clause, as the optimizer sees
+// it: an estimated per-tuple evaluation cost (from a CostModel) and an
+// estimated selectivity. This is the motivating use of UDF cost models in
+// the paper's introduction (Hellerstein & Stonebraker's predicate
+// migration / Chaudhuri & Shim's optimization of expensive predicates).
+struct PredicateEstimate {
+  std::string name;
+  // Predicted cost of evaluating the predicate on one tuple (any consistent
+  // unit, e.g. microseconds).
+  double cost_per_tuple = 0.0;
+  // Fraction of tuples that pass, in [0, 1].
+  double selectivity = 1.0;
+
+  // Predicate rank (selectivity - 1) / cost: ordering by ascending rank
+  // minimizes expected evaluation cost of a conjunctive chain.
+  double Rank() const;
+};
+
+// Result of ordering a set of predicates.
+struct OrderingResult {
+  // Indices into the input span, in evaluation order.
+  std::vector<int> order;
+  // Expected evaluation cost of one tuple under that order.
+  double expected_cost_per_tuple = 0.0;
+};
+
+// Expected per-tuple cost of evaluating `predicates` in the given order:
+// sum_i cost_i * prod_{j before i} selectivity_j (short-circuit AND).
+double SequenceCostPerTuple(std::span<const PredicateEstimate> predicates,
+                            std::span<const int> order);
+
+// Orders predicates by ascending rank (optimal for independent predicates)
+// and reports the expected cost of the chosen order.
+OrderingResult OrderPredicates(std::span<const PredicateEstimate> predicates);
+
+// Expected cost of the *worst* ordering, for headroom reporting in demos.
+double WorstSequenceCostPerTuple(std::span<const PredicateEstimate> predicates);
+
+}  // namespace mlq
+
+#endif  // MLQ_OPTIMIZER_PREDICATE_ORDERING_H_

@@ -1,0 +1,403 @@
+#include "quadtree/memory_limited_quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+
+namespace mlq {
+namespace {
+
+// Clamps `point` onto the closed box `space`, coordinate by coordinate.
+Point ClampToSpace(const Point& point, const Box& space) {
+  Point p = point;
+  for (int i = 0; i < space.dims(); ++i) {
+    if (p[i] < space.lo()[i]) p[i] = space.lo()[i];
+    if (p[i] > space.hi()[i]) p[i] = space.hi()[i];
+  }
+  return p;
+}
+
+}  // namespace
+
+MemoryLimitedQuadtree::MemoryLimitedQuadtree(const Box& space,
+                                             const MlqConfig& config)
+    : space_(space), config_(config), budget_(config.memory_limit_bytes) {
+  assert(space.dims() >= 1 && space.dims() <= kMaxDims);
+  assert(config.max_depth >= 0);
+  assert(config.memory_limit_bytes >= kNodeBaseBytes);
+  root_ = std::make_unique<QuadtreeNode>(nullptr, 0, 0);
+  budget_.Charge(NodeCost(/*is_root=*/true));
+  num_nodes_ = 1;
+}
+
+Prediction MemoryLimitedQuadtree::Predict(const Point& point) const {
+  return PredictWithBeta(point, config_.beta);
+}
+
+Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
+                                                  int64_t beta) const {
+  const Point p = ClampToSpace(point, space_);
+  const QuadtreeNode* cn = root_.get();
+  Prediction out;
+  if (cn->summary().count < beta) {
+    // Not even the root qualifies; fall back to whatever average exists.
+    out.value = cn->summary().Avg();
+    out.stddev = cn->summary().count > 0
+                     ? std::sqrt(cn->summary().Sse() /
+                                 static_cast<double>(cn->summary().count))
+                     : 0.0;
+    out.count = cn->summary().count;
+    out.depth = 0;
+    out.reliable = false;
+    return out;
+  }
+  // Counts shrink monotonically along a root-to-leaf path (summaries are
+  // cumulative), so the lowest node with count >= beta is found by walking
+  // down until the next child is absent or under-populated.
+  Box box = space_;
+  while (true) {
+    const int ci = box.ChildIndexOf(p);
+    const QuadtreeNode* child = cn->Child(ci);
+    if (child == nullptr || child->summary().count < beta) break;
+    cn = child;
+    box = box.Child(ci);
+  }
+  out.value = cn->summary().Avg();
+  out.stddev =
+      std::sqrt(cn->summary().Sse() / static_cast<double>(cn->summary().count));
+  out.count = cn->summary().count;
+  out.depth = cn->depth();
+  out.reliable = true;
+  return out;
+}
+
+double MemoryLimitedQuadtree::CurrentSseThreshold() const {
+  if (config_.strategy == InsertionStrategy::kEager) return 0.0;
+  // Lazy uses th_SSE = alpha * SSE(root) only once the first compression
+  // has established how much cost variation the space holds (Section 4.4);
+  // before that it partitions eagerly.
+  if (!compressed_once_) return 0.0;
+  return config_.alpha * root_->summary().Sse();
+}
+
+void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
+  while (!space_.ContainsClosed(point)) {
+    // Grow the space away from the point's overflow direction: along every
+    // dimension where the point lies below the space, the old block becomes
+    // the *upper* half of the doubled space; everywhere else the lower half.
+    Point new_lo(space_.dims());
+    Point new_hi(space_.dims());
+    int old_root_index = 0;
+    for (int d = 0; d < space_.dims(); ++d) {
+      const double extent = space_.Extent(d);
+      if (point[d] < space_.lo()[d]) {
+        new_lo[d] = space_.lo()[d] - extent;
+        new_hi[d] = space_.hi()[d];
+        old_root_index |= (1 << d);
+      } else {
+        new_lo[d] = space_.lo()[d];
+        new_hi[d] = space_.hi()[d] + extent;
+      }
+    }
+
+    // The old root becomes a non-root node: it now occupies a child slot,
+    // and the new root costs a base charge. Make room first if needed.
+    const int64_t extra = kNodeBaseBytes + kChildSlotBytes;
+    if (!budget_.CanCharge(extra)) CompressInternal({});
+    // Even if compression could not free enough, expansion must proceed —
+    // the space has to cover the data. The budget check above keeps this
+    // within limits in all but pathological tiny-budget cases.
+    budget_.Charge(extra);
+
+    auto new_root = std::make_unique<QuadtreeNode>(nullptr, 0, 0);
+    new_root->mutable_summary() = root_->summary();
+    new_root->AdoptChild(old_root_index, std::move(root_));
+    root_ = std::move(new_root);
+    space_ = Box(new_lo, new_hi);
+    ++config_.max_depth;  // Preserve the finest block resolution.
+    ++num_nodes_;
+    ++counters_.nodes_created;
+  }
+}
+
+void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
+  // Non-finite feedback would permanently poison the summary triples (a
+  // single NaN makes every ancestor average NaN); drop such observations,
+  // as a production system would drop a garbled measurement.
+  if (!std::isfinite(value)) return;
+  for (int d = 0; d < point.dims(); ++d) {
+    if (!std::isfinite(point[d])) return;
+  }
+
+  WallTimer timer;
+  const double compress_seconds_before = counters_.compress_seconds;
+  ++counters_.insertions;
+
+  if (config_.auto_expand) ExpandToInclude(point);
+  const Point p = ClampToSpace(point, space_);
+  const double th_sse = CurrentSseThreshold();
+
+  std::vector<const QuadtreeNode*> path;
+  path.reserve(static_cast<size_t>(config_.max_depth) + 1);
+
+  QuadtreeNode* cn = root_.get();
+  Box box = space_;
+  cn->mutable_summary().Add(value);
+  cn->set_last_touch(counters_.insertions);
+  path.push_back(cn);
+
+  // Fig. 4: descend while the current node wants partitioning (SSE above
+  // threshold and below max depth) or is already internal; create missing
+  // children along the way.
+  while ((cn->summary().Sse() >= th_sse && cn->depth() < config_.max_depth) ||
+         !cn->IsLeaf()) {
+    const int ci = box.ChildIndexOf(p);
+    QuadtreeNode* child = cn->Child(ci);
+    if (child == nullptr) {
+      if (cn->depth() >= config_.max_depth) break;  // Never exceed lambda.
+      child = TryCreateChild(cn, ci, path);
+      if (child == nullptr) break;  // Budget exhausted even after compression.
+    }
+    cn = child;
+    box = box.Child(ci);
+    cn->mutable_summary().Add(value);
+    cn->set_last_touch(counters_.insertions);
+    path.push_back(cn);
+  }
+
+  const double compress_delta =
+      counters_.compress_seconds - compress_seconds_before;
+  counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
+}
+
+QuadtreeNode* MemoryLimitedQuadtree::TryCreateChild(
+    QuadtreeNode* parent, int index,
+    const std::vector<const QuadtreeNode*>& protected_path) {
+  const int64_t cost = NodeCost(/*is_root=*/false);
+  if (!budget_.CanCharge(cost)) {
+    CompressInternal(protected_path);
+    if (!budget_.CanCharge(cost)) return nullptr;
+  }
+  budget_.Charge(cost);
+  ++num_nodes_;
+  ++counters_.nodes_created;
+  return parent->CreateChild(index);
+}
+
+void MemoryLimitedQuadtree::Compress() { CompressInternal({}); }
+
+void MemoryLimitedQuadtree::CompressInternal(
+    const std::vector<const QuadtreeNode*>& protected_path) {
+  WallTimer timer;
+  ++counters_.compressions;
+  compressed_once_ = true;
+
+  auto is_protected = [&protected_path](const QuadtreeNode* n) {
+    return std::find(protected_path.begin(), protected_path.end(), n) !=
+           protected_path.end();
+  };
+
+  // Min-heap over leaves keyed by SSEG (Fig. 6, line 1). SSEG values never
+  // change during a compression pass — removing a leaf leaves every other
+  // node's summary intact — so entries are never stale. With the optional
+  // recency extension the key is SSEG damped by the node's idle age.
+  struct Entry {
+    double sseg;
+    QuadtreeNode* node;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.sseg > b.sseg; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
+
+  // The eviction key: smaller evicts first. kSseg is Eq. 9; the ablation
+  // policies replace it. Random uses a per-pass hash of the node address so
+  // the PQ machinery is identical across policies.
+  uint64_t random_salt = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(
+                             counters_.compressions);
+  auto eviction_key = [this, random_salt](const QuadtreeNode* node) {
+    double key = 0.0;
+    switch (config_.eviction_policy) {
+      case EvictionPolicy::kSseg:
+        key = node->Sseg();
+        break;
+      case EvictionPolicy::kCountOnly:
+        key = static_cast<double>(node->summary().count);
+        break;
+      case EvictionPolicy::kRandom: {
+        uint64_t h = reinterpret_cast<uint64_t>(node) ^ random_salt;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        key = static_cast<double>(h >> 11);
+        break;
+      }
+    }
+    if (config_.recency_half_life > 0.0) {
+      const double age =
+          static_cast<double>(counters_.insertions - node->last_touch());
+      key *= std::exp2(-age / config_.recency_half_life);
+    }
+    return key;
+  };
+
+  std::function<void(QuadtreeNode*)> collect = [&](QuadtreeNode* node) {
+    if (node->IsLeaf()) {
+      if (node != root_.get() && !is_protected(node)) {
+        pq.push(Entry{eviction_key(node), node});
+      }
+      return;
+    }
+    for (const auto& entry : node->children()) collect(entry.node.get());
+  };
+  collect(root_.get());
+
+  // Free at least gamma * budget bytes (Fig. 6, line 2), always at least
+  // one node so a triggered compression makes progress.
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(config_.gamma *
+                                           static_cast<double>(budget_.limit()))));
+  int64_t freed = 0;
+  while (!pq.empty() && freed < target) {
+    QuadtreeNode* leaf = pq.top().node;
+    pq.pop();
+    QuadtreeNode* parent = leaf->parent();
+    parent->RemoveChild(leaf->index_in_parent());
+    budget_.Release(NodeCost(/*is_root=*/false));
+    freed += NodeCost(/*is_root=*/false);
+    --num_nodes_;
+    ++counters_.nodes_freed;
+    if (parent != root_.get() && parent->IsLeaf() && !is_protected(parent)) {
+      pq.push(Entry{eviction_key(parent), parent});
+    }
+  }
+
+  counters_.compress_seconds += timer.ElapsedSeconds();
+}
+
+double MemoryLimitedQuadtree::TotalSsenc() const {
+  const int full_children = 1 << space_.dims();
+  double total = 0.0;
+  std::function<void(const QuadtreeNode&)> walk = [&](const QuadtreeNode& node) {
+    // SSENC(b) = SSE(b) - sum_children [SSE(c) + SSEG(c)]: the squared error
+    // about AVG(b) of points not summarized by any existing child.
+    double ssenc = node.summary().Sse();
+    for (const auto& entry : node.children()) {
+      const QuadtreeNode& child = *entry.node;
+      ssenc -= child.summary().Sse() + child.Sseg();
+      walk(child);
+    }
+    if (node.num_children() < full_children) {
+      total += std::max(0.0, ssenc);
+    }
+  };
+  walk(*root_);
+  return total;
+}
+
+void MemoryLimitedQuadtree::ForEachNode(
+    const std::function<void(const QuadtreeNode&, const Box&)>& fn) const {
+  std::function<void(const QuadtreeNode&, const Box&)> walk =
+      [&](const QuadtreeNode& node, const Box& box) {
+        fn(node, box);
+        for (const auto& entry : node.children()) {
+          walk(*entry.node, box.Child(entry.index));
+        }
+      };
+  walk(*root_, space_);
+}
+
+bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  char buf[256];
+
+  int64_t nodes_seen = 0;
+  int64_t expected_memory = 0;
+  bool ok = true;
+  std::string first_error;
+
+  std::function<void(const QuadtreeNode&, const Box&)> walk =
+      [&](const QuadtreeNode& node, const Box& box) {
+        if (!ok) return;
+        ++nodes_seen;
+        expected_memory += NodeCost(node.parent() == nullptr);
+        if (node.depth() > config_.max_depth) {
+          std::snprintf(buf, sizeof(buf), "node at depth %d exceeds lambda %d",
+                        node.depth(), config_.max_depth);
+          first_error = buf;
+          ok = false;
+          return;
+        }
+        if (node.parent() == nullptr && &node != root_.get()) {
+          first_error = "non-root node without parent";
+          ok = false;
+          return;
+        }
+        // Every node summarizes at least one data point — except the root
+        // of a never-inserted-into tree.
+        if (node.summary().count <= 0 && node.parent() != nullptr) {
+          first_error = "node with no data points at " + box.ToString();
+          ok = false;
+          return;
+        }
+        int64_t child_count_sum = 0;
+        int previous_index = -1;
+        for (const auto& entry : node.children()) {
+          if (entry.index <= previous_index) {
+            first_error = "child list not sorted/unique";
+            ok = false;
+            return;
+          }
+          previous_index = entry.index;
+          if (entry.index >= (1 << space_.dims())) {
+            first_error = "child index out of range";
+            ok = false;
+            return;
+          }
+          if (entry.node->parent() != &node ||
+              entry.node->index_in_parent() != entry.index ||
+              entry.node->depth() != node.depth() + 1) {
+            first_error = "child back-pointers inconsistent";
+            ok = false;
+            return;
+          }
+          child_count_sum += entry.node->summary().count;
+        }
+        if (child_count_sum > node.summary().count) {
+          std::snprintf(buf, sizeof(buf),
+                        "children count %lld exceeds parent count %lld",
+                        static_cast<long long>(child_count_sum),
+                        static_cast<long long>(node.summary().count));
+          first_error = buf;
+          ok = false;
+          return;
+        }
+        for (const auto& entry : node.children()) {
+          walk(*entry.node, box.Child(entry.index));
+        }
+      };
+  walk(*root_, space_);
+  if (!ok) return fail(first_error);
+
+  if (nodes_seen != num_nodes_) {
+    std::snprintf(buf, sizeof(buf), "num_nodes %lld but %lld reachable",
+                  static_cast<long long>(num_nodes_),
+                  static_cast<long long>(nodes_seen));
+    return fail(buf);
+  }
+  if (expected_memory != budget_.used()) {
+    std::snprintf(buf, sizeof(buf), "memory accounting %lld != expected %lld",
+                  static_cast<long long>(budget_.used()),
+                  static_cast<long long>(expected_memory));
+    return fail(buf);
+  }
+  if (budget_.used() > budget_.limit()) {
+    return fail("memory over budget");
+  }
+  return true;
+}
+
+}  // namespace mlq

@@ -1,0 +1,156 @@
+#ifndef MLQ_QUADTREE_MEMORY_LIMITED_QUADTREE_H_
+#define MLQ_QUADTREE_MEMORY_LIMITED_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/memory_budget.h"
+#include "common/timer.h"
+#include "quadtree/quadtree_config.h"
+#include "quadtree/quadtree_node.h"
+
+namespace mlq {
+
+// Result of a point prediction (Fig. 3 of the paper).
+struct Prediction {
+  // Predicted cost: the average stored in the chosen node.
+  double value = 0.0;
+  // Sample standard deviation of the costs summarized in the chosen node
+  // (sqrt(SSE/C), from the stored sum-of-squares): a confidence measure an
+  // optimizer can use for risk-aware planning. 0 for a single point.
+  double stddev = 0.0;
+  // Depth of the node the prediction came from (0 = root).
+  int depth = 0;
+  // Number of data points summarized in that node.
+  int64_t count = 0;
+  // False when even the root had fewer than beta points (including the
+  // empty-tree case, where value is 0): the caller is on its own.
+  bool reliable = false;
+};
+
+// Aggregate operation counters, exposed for the modeling-cost experiments
+// (Experiment 2 / Fig. 10).
+struct QuadtreeCounters {
+  int64_t insertions = 0;
+  int64_t compressions = 0;
+  int64_t nodes_created = 0;
+  int64_t nodes_freed = 0;
+  double insert_seconds = 0.0;    // Total time inside Insert, compression excluded.
+  double compress_seconds = 0.0;  // Total time inside Compress.
+};
+
+// The memory-limited quadtree (MLQ) of Section 4: a d-dimensional quadtree
+// over a fixed model space, storing a summary triple per block, supporting
+// beta-guided prediction, eager/lazy insertion and SSEG-guided compression
+// under a strict logical memory budget.
+//
+// Thread-compatible; not thread-safe (one model instance per UDF and cost
+// kind, as the paper assumes).
+class MemoryLimitedQuadtree {
+ public:
+  // `space` is the full model-variable space (the root block). Its
+  // dimensionality fixes d; 2^d children per node.
+  MemoryLimitedQuadtree(const Box& space, const MlqConfig& config);
+
+  MemoryLimitedQuadtree(const MemoryLimitedQuadtree&) = delete;
+  MemoryLimitedQuadtree& operator=(const MemoryLimitedQuadtree&) = delete;
+
+  const Box& space() const { return space_; }
+  const MlqConfig& config() const { return config_; }
+
+  // Predicts the cost at `point` using the configured beta: the average of
+  // the lowest node containing the point with count >= beta.
+  Prediction Predict(const Point& point) const;
+
+  // Same, with an explicit beta (the paper uses beta=1 for CPU and beta=10
+  // for disk-IO predictions from the same tree shape).
+  Prediction PredictWithBeta(const Point& point, int64_t beta) const;
+
+  // Inserts the observed cost `value` at `point` (Fig. 4), compressing
+  // first whenever materializing a new node would exceed the memory budget
+  // (Fig. 6). Points outside the model space are clamped onto its boundary,
+  // mirroring an optimizer that saturates out-of-range model variables —
+  // unless config.auto_expand is set, in which case the space grows to
+  // cover the point first (see ExpandToInclude).
+  void Insert(const Point& point, double value);
+
+  // Grows the model space until it covers `point` by repeatedly doubling
+  // the root block toward the point: a new root is created whose children
+  // include the old root, depths shift down one level, and max_depth grows
+  // by one so leaf resolution is unchanged. No-op for covered points.
+  // Extension beyond the paper (unknown argument ranges).
+  void ExpandToInclude(const Point& point);
+
+  // Forces one compression pass (normally triggered internally). Public so
+  // tests and ablations can exercise compression in isolation.
+  void Compress();
+
+  // Current lazy-insertion partitioning threshold th_SSE (Eq. 7): zero for
+  // the eager strategy and before the first compression, alpha * SSE(root)
+  // afterwards.
+  double CurrentSseThreshold() const;
+
+  // --- Introspection -------------------------------------------------------
+
+  const QuadtreeNode& root() const { return *root_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t memory_used() const { return budget_.used(); }
+  int64_t memory_limit() const { return budget_.limit(); }
+  int64_t memory_peak() const { return budget_.peak(); }
+  const QuadtreeCounters& counters() const { return counters_; }
+
+  // TSSENC(qt) of Eq. 6: the sum over all non-full blocks of their SSENC.
+  // SSENC of a block is estimated from the stored summaries as
+  // SSE(b) - sum_children SSE(child) - sum_children SSEG(child); exact for
+  // the quantities the tree maintains. O(num_nodes); used by tests and the
+  // compression-quality ablation, not on the hot path.
+  double TotalSsenc() const;
+
+  // Walks the whole tree calling `fn` on every node (pre-order).
+  void ForEachNode(const std::function<void(const QuadtreeNode&, const Box&)>& fn) const;
+
+  // Validates structural invariants (child counts vs parent counts, depth
+  // bounds, memory accounting, sorted child lists). Returns true when
+  // consistent; otherwise false with a description in `error`.
+  bool CheckInvariants(std::string* error) const;
+
+  // True once any compression has run (the lazy strategy keys th_SSE off
+  // this, Section 4.4); exposed for catalog serialization.
+  bool compressed_once() const { return compressed_once_; }
+
+ private:
+  // Catalog persistence rebuilds trees node by node (model/serialization.h).
+  friend std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
+      const std::vector<uint8_t>& bytes, std::string* error);
+  // Charged size of one materialized node.
+  static int64_t NodeCost(bool is_root) {
+    return is_root ? kNodeBaseBytes : kNonRootNodeBytes;
+  }
+
+  // Attempts to materialize child `index` of `parent`, compressing if the
+  // budget requires it. Returns nullptr when compression could not free
+  // enough memory (the insert then stops partitioning). `protected_path`
+  // holds the nodes on the current insertion path, which compression must
+  // not delete.
+  QuadtreeNode* TryCreateChild(QuadtreeNode* parent, int index,
+                               const std::vector<const QuadtreeNode*>& protected_path);
+
+  // Compression pass (Fig. 6) that never removes nodes in `protected_path`.
+  void CompressInternal(const std::vector<const QuadtreeNode*>& protected_path);
+
+  Box space_;
+  MlqConfig config_;
+  MemoryBudget budget_;
+  std::unique_ptr<QuadtreeNode> root_;
+  int64_t num_nodes_ = 0;
+  bool compressed_once_ = false;
+  QuadtreeCounters counters_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_QUADTREE_MEMORY_LIMITED_QUADTREE_H_

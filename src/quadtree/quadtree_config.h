@@ -1,0 +1,89 @@
+#ifndef MLQ_QUADTREE_QUADTREE_CONFIG_H_
+#define MLQ_QUADTREE_QUADTREE_CONFIG_H_
+
+#include <cstdint>
+
+namespace mlq {
+
+// Insertion strategies of Section 4.4. Eager partitions to the maximum
+// depth lambda on every insertion (th_SSE = 0); lazy partitions a leaf only
+// once its SSE reaches th_SSE = alpha * SSE(root) (Eq. 7), which delays
+// hitting the memory limit and therefore compresses less often.
+enum class InsertionStrategy {
+  kEager,
+  kLazy,
+};
+
+// Which leaves compression evicts first. kSseg is the paper's Eq. 9; the
+// other two ablate its factors (bench/ablation_eviction): kCountOnly keeps
+// only the access-frequency proxy C(b), kRandom keeps neither.
+enum class EvictionPolicy {
+  kSseg,       // C(b) * (AVG(parent) - AVG(b))^2 — the paper.
+  kCountOnly,  // C(b): evict rarely-hit blocks regardless of their values.
+  kRandom,     // Uniform-random leaf, the degenerate control.
+};
+
+// Tuning knobs of the memory-limited quadtree. Defaults are the values the
+// paper uses throughout Section 5.1 (beta = 1 is the CPU-cost setting;
+// disk-IO experiments pass beta = 10).
+struct MlqConfig {
+  InsertionStrategy strategy = InsertionStrategy::kEager;
+
+  // lambda: maximum tree depth (root is depth 0).
+  int max_depth = 6;
+
+  // alpha: scale factor applied to SSE(root) to obtain the lazy insertion
+  // threshold th_SSE. Only meaningful for the lazy strategy, and only after
+  // the first compression (before that, lazy behaves like eager).
+  double alpha = 0.05;
+
+  // gamma: minimum fraction of the memory budget each compression frees.
+  // The paper's 0.1% frees roughly one node per compression.
+  double gamma = 0.001;
+
+  // beta: minimum number of data points a node needs before its average is
+  // trusted at prediction time (Fig. 3).
+  int64_t beta = 1;
+
+  // M_max: strict memory budget in (logical) bytes; 1.8 KB in the paper.
+  int64_t memory_limit_bytes = 1800;
+
+  // Extension beyond the paper (its "future work": ordinal arguments with
+  // unknown ranges): when true, a data point outside the model space grows
+  // the space by repeatedly doubling the root block toward the point
+  // (classic quadtree root expansion) instead of clamping the point onto
+  // the boundary. max_depth grows with each expansion so the finest block
+  // resolution is preserved.
+  bool auto_expand = false;
+
+  // Which eviction key compression uses; kSseg is the paper's algorithm,
+  // the others exist for the ablation study.
+  EvictionPolicy eviction_policy = EvictionPolicy::kSseg;
+
+  // Extension beyond the paper: recency-aware compression. Eq. 9's SSEG
+  // never decays, so structure from a long-gone workload phase is never
+  // evicted in favour of the current phase (measured in
+  // bench/ablation_drift). With a positive half-life H (in insertions),
+  // compression ranks leaves by SSEG * 2^(-(age in insertions) / H), so
+  // long-unvisited blocks eventually yield their memory. 0 disables the
+  // decay (the paper's exact behaviour).
+  double recency_half_life = 0.0;
+};
+
+// Logical size accounting, shared with DESIGN.md Section 3: a node is
+// charged for its summary triple (sum 8B, count 4B, sum-of-squares 8B),
+// a child-presence bitmap (2 bytes covers d <= 4) and a depth/flags byte
+// pair; every materialized child additionally costs its parent one packed
+// 4-byte child reference (nodes live in a pool, so 32-bit offsets suffice).
+// This mirrors how a DBMS would serialize the model into its catalog and is
+// what the 1.8 KB budget of Section 5.1 is charged against.
+inline constexpr int64_t kNodeBaseBytes = 8 + 4 + 8 + 2 + 2;  // 24
+inline constexpr int64_t kChildSlotBytes = 4;
+
+// Bytes charged when materializing one non-root node (its own base cost
+// plus the slot it occupies in its parent).
+inline constexpr int64_t kNonRootNodeBytes = kNodeBaseBytes + kChildSlotBytes;
+
+}  // namespace mlq
+
+#endif  // MLQ_QUADTREE_QUADTREE_CONFIG_H_

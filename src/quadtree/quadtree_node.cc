@@ -1,0 +1,60 @@
+#include "quadtree/quadtree_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace mlq {
+
+QuadtreeNode* QuadtreeNode::Child(int index) const {
+  for (const auto& entry : children_) {
+    if (entry.index == index) return entry.node.get();
+  }
+  return nullptr;
+}
+
+QuadtreeNode* QuadtreeNode::CreateChild(int index) {
+  assert(Child(index) == nullptr);
+  auto node = std::make_unique<QuadtreeNode>(this, static_cast<uint8_t>(index),
+                                             depth_ + 1);
+  QuadtreeNode* raw = node.get();
+  auto pos = std::lower_bound(
+      children_.begin(), children_.end(), index,
+      [](const ChildEntry& e, int idx) { return e.index < idx; });
+  children_.insert(pos, ChildEntry{static_cast<uint8_t>(index), std::move(node)});
+  return raw;
+}
+
+void QuadtreeNode::RemoveChild(int index) {
+  auto pos = std::find_if(
+      children_.begin(), children_.end(),
+      [index](const ChildEntry& e) { return e.index == index; });
+  assert(pos != children_.end());
+  children_.erase(pos);
+}
+
+void QuadtreeNode::AdoptChild(int index, std::unique_ptr<QuadtreeNode> child) {
+  assert(Child(index) == nullptr);
+  assert(child != nullptr);
+  child->parent_ = this;
+  child->index_in_parent_ = static_cast<uint8_t>(index);
+  // Shift the whole adopted subtree one level down.
+  std::function<void(QuadtreeNode&)> shift = [&shift](QuadtreeNode& node) {
+    assert(node.depth_ < 255);
+    ++node.depth_;
+    for (const auto& entry : node.children_) shift(*entry.node);
+  };
+  shift(*child);
+  auto pos = std::lower_bound(
+      children_.begin(), children_.end(), index,
+      [](const ChildEntry& e, int idx) { return e.index < idx; });
+  children_.insert(pos, ChildEntry{static_cast<uint8_t>(index), std::move(child)});
+}
+
+double QuadtreeNode::Sseg() const {
+  assert(parent_ != nullptr);
+  double diff = parent_->summary().Avg() - summary_.Avg();
+  return static_cast<double>(summary_.count) * diff * diff;
+}
+
+}  // namespace mlq

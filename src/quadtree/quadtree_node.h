@@ -1,0 +1,86 @@
+#ifndef MLQ_QUADTREE_QUADTREE_NODE_H_
+#define MLQ_QUADTREE_QUADTREE_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mlq {
+
+// One block of the memory-limited quadtree.
+//
+// A node stores only the summary triple of the data points that map into
+// its block (Section 4.1) plus tree-structure bookkeeping. Children are
+// kept in a sparse vector sorted by child index, since with d dimensions a
+// node has up to 2^d children but most are absent in practice (empty blocks
+// are not materialized).
+class QuadtreeNode {
+ public:
+  QuadtreeNode(QuadtreeNode* parent, uint8_t index_in_parent, int depth)
+      : parent_(parent),
+        index_in_parent_(index_in_parent),
+        depth_(static_cast<uint8_t>(depth)) {}
+
+  QuadtreeNode(const QuadtreeNode&) = delete;
+  QuadtreeNode& operator=(const QuadtreeNode&) = delete;
+
+  const SummaryTriple& summary() const { return summary_; }
+  SummaryTriple& mutable_summary() { return summary_; }
+
+  QuadtreeNode* parent() const { return parent_; }
+  uint8_t index_in_parent() const { return index_in_parent_; }
+  int depth() const { return depth_; }
+
+  bool IsLeaf() const { return children_.empty(); }
+  int num_children() const { return static_cast<int>(children_.size()); }
+
+  // Child with the given quadrant index, or nullptr when that block is
+  // empty. O(#children) linear scan over the sparse vector, which is at
+  // most 2^d entries and in practice a handful.
+  QuadtreeNode* Child(int index) const;
+
+  // Creates (and returns) the child for `index`. Must not already exist.
+  // Memory accounting is the tree's job, not the node's.
+  QuadtreeNode* CreateChild(int index);
+
+  // Detaches and destroys the child with the given index. Must exist.
+  void RemoveChild(int index);
+
+  // SSEG(b) = C(b) * (AVG(parent) - AVG(b))^2 (Eq. 9): the increase in the
+  // tree's total expected prediction error if this node is discarded.
+  // Requires a parent.
+  double Sseg() const;
+
+  // Takes ownership of an existing subtree as the child at `index`,
+  // re-parenting its root and shifting every depth in the subtree down one
+  // level. Used when the tree grows a new root above the old one
+  // (model-space expansion for UDFs with unknown argument ranges).
+  void AdoptChild(int index, std::unique_ptr<QuadtreeNode> child);
+
+  // Iteration support for traversals (read-only view of the child list,
+  // sorted by quadrant index).
+  struct ChildEntry {
+    uint8_t index;
+    std::unique_ptr<QuadtreeNode> node;
+  };
+  const std::vector<ChildEntry>& children() const { return children_; }
+
+  // Insertion tick at which this node last lay on an insert path; drives
+  // the optional recency-aware compression (MlqConfig::recency_half_life).
+  int64_t last_touch() const { return last_touch_; }
+  void set_last_touch(int64_t tick) { last_touch_ = tick; }
+
+ private:
+  SummaryTriple summary_;
+  QuadtreeNode* parent_;
+  std::vector<ChildEntry> children_;
+  int64_t last_touch_ = 0;
+  uint8_t index_in_parent_;
+  uint8_t depth_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_QUADTREE_QUADTREE_NODE_H_

@@ -1,0 +1,84 @@
+#include "quadtree/tree_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mlq {
+
+TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree) {
+  TreeStats stats;
+  const double root_avg = tree.root().summary().Avg();
+  const double redundancy_threshold = 0.01 * std::abs(root_avg);
+  int64_t redundant = 0;
+  int64_t leaf_depth_sum = 0;
+
+  tree.ForEachNode([&](const QuadtreeNode& node, const Box&) {
+    ++stats.num_nodes;
+    const int depth = node.depth();
+    if (depth > stats.max_depth_present) stats.max_depth_present = depth;
+    if (static_cast<size_t>(depth) >= stats.nodes_per_depth.size()) {
+      stats.nodes_per_depth.resize(static_cast<size_t>(depth) + 1, 0);
+      stats.points_per_depth.resize(static_cast<size_t>(depth) + 1, 0);
+    }
+    ++stats.nodes_per_depth[static_cast<size_t>(depth)];
+    stats.points_per_depth[static_cast<size_t>(depth)] += node.summary().count;
+    if (node.IsLeaf()) {
+      ++stats.num_leaves;
+      leaf_depth_sum += depth;
+    }
+    if (node.parent() != nullptr &&
+        std::abs(node.summary().Avg() - node.parent()->summary().Avg()) <
+            redundancy_threshold) {
+      ++redundant;
+    }
+  });
+
+  if (stats.num_leaves > 0) {
+    stats.mean_leaf_depth = static_cast<double>(leaf_depth_sum) /
+                            static_cast<double>(stats.num_leaves);
+  }
+  if (stats.num_nodes > 1) {
+    stats.redundant_node_fraction =
+        static_cast<double>(redundant) / static_cast<double>(stats.num_nodes - 1);
+  }
+  return stats;
+}
+
+std::string TreeStatsToString(const TreeStats& stats) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%lld leaves=%lld mean_leaf_depth=%.2f redundant=%.1f%%\n",
+                static_cast<long long>(stats.num_nodes),
+                static_cast<long long>(stats.num_leaves),
+                stats.mean_leaf_depth, 100.0 * stats.redundant_node_fraction);
+  out += buf;
+  for (size_t depth = 0; depth < stats.nodes_per_depth.size(); ++depth) {
+    std::snprintf(buf, sizeof(buf), "  depth %zu: %6lld nodes, %9lld points\n",
+                  depth,
+                  static_cast<long long>(stats.nodes_per_depth[depth]),
+                  static_cast<long long>(stats.points_per_depth[depth]));
+    out += buf;
+  }
+  return out;
+}
+
+std::string DumpTree(const MemoryLimitedQuadtree& tree, int max_nodes) {
+  std::string out;
+  char buf[256];
+  int emitted = 0;
+  tree.ForEachNode([&](const QuadtreeNode& node, const Box& box) {
+    if (emitted >= max_nodes) return;
+    ++emitted;
+    std::snprintf(buf, sizeof(buf), "%*s%s: n=%lld avg=%.4g sse=%.4g%s\n",
+                  2 * node.depth(), "", box.ToString().c_str(),
+                  static_cast<long long>(node.summary().count),
+                  node.summary().Avg(), node.summary().Sse(),
+                  node.IsLeaf() ? " [leaf]" : "");
+    out += buf;
+  });
+  if (emitted >= max_nodes) out += "  ... (truncated)\n";
+  return out;
+}
+
+}  // namespace mlq

@@ -1,0 +1,44 @@
+#ifndef MLQ_QUADTREE_TREE_STATS_H_
+#define MLQ_QUADTREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quadtree/memory_limited_quadtree.h"
+
+namespace mlq {
+
+// Introspection over a memory-limited quadtree: where the model is spending
+// its memory and at what resolution it can answer. Used by the ablation
+// benches and handy for debugging a model that predicts poorly.
+struct TreeStats {
+  int64_t num_nodes = 0;
+  int64_t num_leaves = 0;
+  int max_depth_present = 0;
+  // nodes_per_depth[k] = node count at depth k (index 0 = root).
+  std::vector<int64_t> nodes_per_depth;
+  // Data points summarized per depth (cumulative counts, so depth 0 holds
+  // everything ever inserted).
+  std::vector<int64_t> points_per_depth;
+  // Mean leaf depth, weighted by leaf count: a proxy for the resolution a
+  // uniformly random prediction would get.
+  double mean_leaf_depth = 0.0;
+  // Fraction of nodes whose block average differs from their parent's by
+  // less than 1% of the root average — "redundant" nodes the compressor
+  // would evict first.
+  double redundant_node_fraction = 0.0;
+};
+
+TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree);
+
+// Multi-line human-readable dump of the stats.
+std::string TreeStatsToString(const TreeStats& stats);
+
+// Full structural dump (one line per node: depth, block, summary); intended
+// for debugging small trees.
+std::string DumpTree(const MemoryLimitedQuadtree& tree, int max_nodes = 200);
+
+}  // namespace mlq
+
+#endif  // MLQ_QUADTREE_TREE_STATS_H_

@@ -1,0 +1,64 @@
+#include "spatial/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace mlq {
+
+double Rect::DistanceTo(double x, double y) const {
+  const double dx = std::max({lo_x - x, 0.0, x - hi_x});
+  const double dy = std::max({lo_y - y, 0.0, y - hi_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SpatialDataset::SpatialDataset(const SpatialDatasetConfig& config)
+    : config_(config) {
+  assert(config.num_rects > 0);
+  assert(config.num_clusters > 0);
+
+  Rng rng(config.seed);
+  const double extent = config.range_hi - config.range_lo;
+  const double sigma = config.cluster_sigma_frac * extent;
+
+  // Cluster centers uniform; cluster populations Zipf-distributed.
+  struct Cluster {
+    double x;
+    double y;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<size_t>(config.num_clusters));
+  for (int32_t c = 0; c < config.num_clusters; ++c) {
+    clusters.push_back(Cluster{rng.Uniform(config.range_lo, config.range_hi),
+                               rng.Uniform(config.range_lo, config.range_hi)});
+  }
+  ZipfDistribution cluster_dist(config.num_clusters, config.cluster_zipf_z);
+
+  const double size_mu = std::log(config.mean_rect_size) -
+                         0.5 * config.rect_size_sigma * config.rect_size_sigma;
+
+  rects_.reserve(static_cast<size_t>(config.num_rects));
+  for (int32_t i = 0; i < config.num_rects; ++i) {
+    const auto c = static_cast<size_t>(cluster_dist.Sample(rng) - 1);
+    const double cx = std::clamp(rng.Gaussian(clusters[c].x, sigma),
+                                 config.range_lo, config.range_hi);
+    const double cy = std::clamp(rng.Gaussian(clusters[c].y, sigma),
+                                 config.range_lo, config.range_hi);
+    const double w = std::exp(rng.Gaussian(size_mu, config.rect_size_sigma));
+    const double h = std::exp(rng.Gaussian(size_mu, config.rect_size_sigma));
+    Rect rect;
+    rect.lo_x = std::max(config.range_lo, cx - 0.5 * w);
+    rect.hi_x = std::min(config.range_hi, cx + 0.5 * w);
+    rect.lo_y = std::max(config.range_lo, cy - 0.5 * h);
+    rect.hi_y = std::min(config.range_hi, cy + 0.5 * h);
+    rects_.push_back(rect);
+    max_half_extent_ = std::max(
+        {max_half_extent_, 0.5 * (rect.hi_x - rect.lo_x),
+         0.5 * (rect.hi_y - rect.lo_y)});
+  }
+}
+
+}  // namespace mlq

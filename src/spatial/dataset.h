@@ -1,0 +1,79 @@
+#ifndef MLQ_SPATIAL_DATASET_H_
+#define MLQ_SPATIAL_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace mlq {
+
+// One urban-area rectangle (axis-aligned).
+struct Rect {
+  double lo_x = 0.0;
+  double lo_y = 0.0;
+  double hi_x = 0.0;
+  double hi_y = 0.0;
+
+  double CenterX() const { return 0.5 * (lo_x + hi_x); }
+  double CenterY() const { return 0.5 * (lo_y + hi_y); }
+
+  bool IntersectsWindow(double wlo_x, double wlo_y, double whi_x,
+                        double whi_y) const {
+    return !(hi_x < wlo_x || whi_x < lo_x || hi_y < wlo_y || whi_y < lo_y);
+  }
+
+  // Minimum Euclidean distance from (x, y) to this rectangle (0 inside).
+  double DistanceTo(double x, double y) const;
+};
+
+// Parameters of the synthetic clustered rectangle dataset standing in for
+// the PASDA urban-area maps of Pennsylvania counties: urban areas cluster
+// around population centers with heavy-tailed cluster sizes, which is what
+// makes spatial UDF costs strongly location-dependent.
+struct SpatialDatasetConfig {
+  int32_t num_rects = 30000;
+  int32_t num_clusters = 40;
+  // Cluster point scatter, as a fraction of the space extent.
+  double cluster_sigma_frac = 0.04;
+  // Zipf exponent for cluster populations (cluster 1 is the "Philadelphia"
+  // of the dataset).
+  double cluster_zipf_z = 0.8;
+  double range_lo = 0.0;
+  double range_hi = 1000.0;
+  // Log-normal rectangle side lengths.
+  double mean_rect_size = 4.0;
+  double rect_size_sigma = 0.8;
+  uint64_t seed = 17760704;
+};
+
+// Generates and owns the rectangles. The 2-d data space is
+// [range_lo, range_hi]^2.
+class SpatialDataset {
+ public:
+  explicit SpatialDataset(const SpatialDatasetConfig& config);
+
+  SpatialDataset(const SpatialDataset&) = delete;
+  SpatialDataset& operator=(const SpatialDataset&) = delete;
+
+  const SpatialDatasetConfig& config() const { return config_; }
+  const std::vector<Rect>& rects() const { return rects_; }
+  int32_t size() const { return static_cast<int32_t>(rects_.size()); }
+  Box space() const {
+    return Box::Cube(2, config_.range_lo, config_.range_hi);
+  }
+
+  // Largest half side length over all rectangles; KNN's ring-pruning bound
+  // must allow for a rectangle body sticking out this far from the cell
+  // that owns its center.
+  double max_half_extent() const { return max_half_extent_; }
+
+ private:
+  SpatialDatasetConfig config_;
+  std::vector<Rect> rects_;
+  double max_half_extent_ = 0.0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_SPATIAL_DATASET_H_

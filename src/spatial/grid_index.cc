@@ -1,0 +1,74 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlq {
+
+GridIndex::GridIndex(const SpatialDataset* dataset, int grid_size)
+    : dataset_(dataset), grid_size_(grid_size) {
+  assert(dataset != nullptr);
+  assert(grid_size >= 1);
+  const SpatialDatasetConfig& config = dataset->config();
+  cell_extent_ = (config.range_hi - config.range_lo) / grid_size_;
+
+  const size_t num_cells =
+      static_cast<size_t>(grid_size_) * static_cast<size_t>(grid_size_);
+  cell_entries_.assign(num_cells, {});
+
+  // Assign every rectangle to each cell it overlaps.
+  const auto& rects = dataset->rects();
+  for (int32_t id = 0; id < static_cast<int32_t>(rects.size()); ++id) {
+    const Rect& r = rects[static_cast<size_t>(id)];
+    const int gx_lo = CellOf(r.lo_x);
+    const int gx_hi = CellOf(r.hi_x);
+    const int gy_lo = CellOf(r.lo_y);
+    const int gy_hi = CellOf(r.hi_y);
+    for (int gy = gy_lo; gy <= gy_hi; ++gy) {
+      for (int gx = gx_lo; gx <= gx_hi; ++gx) {
+        cell_entries_[CellSlot(gx, gy)].push_back(id);
+      }
+    }
+  }
+
+  // Page layout: one contiguous run per cell (at least one page per
+  // non-empty cell), then the object file.
+  cell_first_page_.assign(num_cells, kInvalidPageId);
+  cell_num_pages_.assign(num_cells, 0);
+  for (size_t slot = 0; slot < num_cells; ++slot) {
+    const int64_t bytes =
+        static_cast<int64_t>(cell_entries_[slot].size()) * kEntryBytes;
+    const int64_t pages = PagesForBytes(bytes);
+    cell_num_pages_[slot] = pages;
+    if (pages > 0) cell_first_page_[slot] = index_file_.AllocateRun(pages);
+  }
+  const int64_t object_pages =
+      (dataset->size() + kRectsPerPage - 1) / kRectsPerPage;
+  object_file_.AllocateRun(object_pages);
+}
+
+int GridIndex::CellOf(double coordinate) const {
+  const SpatialDatasetConfig& config = dataset_->config();
+  const double offset = coordinate - config.range_lo;
+  int g = static_cast<int>(offset / cell_extent_);
+  return std::clamp(g, 0, grid_size_ - 1);
+}
+
+double GridIndex::CellLowerEdge(int g) const {
+  return dataset_->config().range_lo + g * cell_extent_;
+}
+
+std::span<const int32_t> GridIndex::CellEntries(int gx, int gy) const {
+  assert(gx >= 0 && gx < grid_size_ && gy >= 0 && gy < grid_size_);
+  return cell_entries_[CellSlot(gx, gy)];
+}
+
+PageId GridIndex::CellFirstPage(int gx, int gy) const {
+  return cell_first_page_[CellSlot(gx, gy)];
+}
+
+int64_t GridIndex::CellNumPages(int gx, int gy) const {
+  return cell_num_pages_[CellSlot(gx, gy)];
+}
+
+}  // namespace mlq

@@ -1,0 +1,69 @@
+#ifndef MLQ_SPATIAL_GRID_INDEX_H_
+#define MLQ_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spatial/dataset.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace mlq {
+
+// A paged uniform grid over a SpatialDataset.
+//
+// The space is split into grid_size x grid_size cells; each cell's list of
+// overlapping rectangle ids (4 bytes each) is laid out contiguously in the
+// index page file, and the rectangles themselves live in an object file at
+// kRectsPerPage per page. Spatial UDFs read cells and objects through the
+// buffer pool, so their IO cost is the pages actually missed.
+class GridIndex {
+ public:
+  static constexpr int64_t kEntryBytes = 4;
+  static constexpr int64_t kRectsPerPage = 64;
+
+  GridIndex(const SpatialDataset* dataset, int grid_size = 64);
+
+  GridIndex(const GridIndex&) = delete;
+  GridIndex& operator=(const GridIndex&) = delete;
+
+  const SpatialDataset& dataset() const { return *dataset_; }
+  int grid_size() const { return grid_size_; }
+
+  // Grid coordinate of a spatial coordinate (clamped into range).
+  int CellOf(double coordinate) const;
+  // Lower edge of cell `g` along either axis.
+  double CellLowerEdge(int g) const;
+  double cell_extent() const { return cell_extent_; }
+
+  // Rect ids overlapping cell (gx, gy).
+  std::span<const int32_t> CellEntries(int gx, int gy) const;
+  PageId CellFirstPage(int gx, int gy) const;
+  int64_t CellNumPages(int gx, int gy) const;
+
+  // Home page of a rectangle in the object file.
+  PageId ObjectPage(int32_t rect_id) const { return rect_id / kRectsPerPage; }
+
+  PageFile* index_file() { return &index_file_; }
+  PageFile* object_file() { return &object_file_; }
+
+ private:
+  size_t CellSlot(int gx, int gy) const {
+    return static_cast<size_t>(gy) * static_cast<size_t>(grid_size_) +
+           static_cast<size_t>(gx);
+  }
+
+  const SpatialDataset* dataset_;
+  int grid_size_;
+  double cell_extent_;
+  std::vector<std::vector<int32_t>> cell_entries_;
+  std::vector<PageId> cell_first_page_;
+  std::vector<int64_t> cell_num_pages_;
+  PageFile index_file_{"spatial_index"};
+  PageFile object_file_{"spatial_objects"};
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_SPATIAL_GRID_INDEX_H_

@@ -1,0 +1,253 @@
+#include "spatial/spatial_udfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace mlq {
+namespace {
+
+constexpr double kWorkPerCandidate = 2.0;
+constexpr double kWorkPerResult = 4.0;
+constexpr double kWorkPerCell = 1.0;
+constexpr double kBaseWork = 16.0;
+
+}  // namespace
+
+SpatialEngine::SpatialEngine(const SpatialDatasetConfig& config, int grid_size,
+                             int64_t buffer_pool_pages)
+    : dataset_(config), grid_(&dataset_, grid_size), pool_(buffer_pool_pages) {}
+
+// --------------------------------------------------------------------------
+// WIN
+
+WindowUdf::WindowUdf(std::shared_ptr<SpatialEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box WindowUdf::model_space() const {
+  const SpatialDatasetConfig& config = engine_->dataset().config();
+  return Box(Point{config.range_lo, config.range_lo, 1.0, 1.0},
+             Point{config.range_hi, config.range_hi, 200.0, 200.0});
+}
+
+UdfCost WindowUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 4);
+  GridIndex& grid = engine_->grid();
+  BufferPool& pool = engine_->pool();
+  const auto& rects = engine_->dataset().rects();
+
+  const double x = model_point[0];
+  const double y = model_point[1];
+  const double w = std::max(1.0, model_point[2]);
+  const double h = std::max(1.0, model_point[3]);
+  const double wlo_x = x - 0.5 * w;
+  const double whi_x = x + 0.5 * w;
+  const double wlo_y = y - 0.5 * h;
+  const double whi_y = y + 0.5 * h;
+
+  int64_t misses = 0;
+  int64_t candidates = 0;
+  int64_t results = 0;
+  int64_t cells = 0;
+
+  const int gx_lo = grid.CellOf(wlo_x);
+  const int gx_hi = grid.CellOf(whi_x);
+  const int gy_lo = grid.CellOf(wlo_y);
+  const int gy_hi = grid.CellOf(whi_y);
+  for (int gy = gy_lo; gy <= gy_hi; ++gy) {
+    for (int gx = gx_lo; gx <= gx_hi; ++gx) {
+      ++cells;
+      const int64_t pages = grid.CellNumPages(gx, gy);
+      if (pages > 0) {
+        misses += pool.FetchRun(grid.index_file(), grid.CellFirstPage(gx, gy), pages);
+      }
+      for (int32_t id : grid.CellEntries(gx, gy)) {
+        const Rect& r = rects[static_cast<size_t>(id)];
+        ++candidates;
+        if (!r.IntersectsWindow(wlo_x, wlo_y, whi_x, whi_y)) continue;
+        // Report each result exactly once: from the first (lowest-indexed)
+        // scanned cell the rectangle overlaps — the standard grid-index
+        // de-duplication for extended objects.
+        if (std::max(grid.CellOf(r.lo_x), gx_lo) != gx ||
+            std::max(grid.CellOf(r.lo_y), gy_lo) != gy) {
+          continue;
+        }
+        ++results;
+        if (!pool.Fetch(grid.object_file(), grid.ObjectPage(id))) ++misses;
+      }
+    }
+  }
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work = kBaseWork + kWorkPerCell * static_cast<double>(cells) +
+                  kWorkPerCandidate * static_cast<double>(candidates) +
+                  kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+// --------------------------------------------------------------------------
+// RANGE
+
+RangeSearchUdf::RangeSearchUdf(std::shared_ptr<SpatialEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box RangeSearchUdf::model_space() const {
+  const SpatialDatasetConfig& config = engine_->dataset().config();
+  return Box(Point{config.range_lo, config.range_lo, 1.0},
+             Point{config.range_hi, config.range_hi, 150.0});
+}
+
+UdfCost RangeSearchUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 3);
+  GridIndex& grid = engine_->grid();
+  BufferPool& pool = engine_->pool();
+  const auto& rects = engine_->dataset().rects();
+
+  const double x = model_point[0];
+  const double y = model_point[1];
+  const double radius = std::max(1.0, model_point[2]);
+
+  int64_t misses = 0;
+  int64_t candidates = 0;
+  int64_t results = 0;
+  int64_t cells = 0;
+
+  const int gx_lo = grid.CellOf(x - radius);
+  const int gx_hi = grid.CellOf(x + radius);
+  const int gy_lo = grid.CellOf(y - radius);
+  const int gy_hi = grid.CellOf(y + radius);
+  for (int gy = gy_lo; gy <= gy_hi; ++gy) {
+    for (int gx = gx_lo; gx <= gx_hi; ++gx) {
+      ++cells;
+      const int64_t pages = grid.CellNumPages(gx, gy);
+      if (pages > 0) {
+        misses += pool.FetchRun(grid.index_file(), grid.CellFirstPage(gx, gy), pages);
+      }
+      for (int32_t id : grid.CellEntries(gx, gy)) {
+        const Rect& r = rects[static_cast<size_t>(id)];
+        ++candidates;
+        if (r.DistanceTo(x, y) > radius) continue;
+        // Exactly-once reporting from the first scanned cell the rectangle
+        // overlaps (see WindowUdf).
+        if (std::max(grid.CellOf(r.lo_x), gx_lo) != gx ||
+            std::max(grid.CellOf(r.lo_y), gy_lo) != gy) {
+          continue;
+        }
+        ++results;
+        if (!pool.Fetch(grid.object_file(), grid.ObjectPage(id))) ++misses;
+      }
+    }
+  }
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work = kBaseWork + kWorkPerCell * static_cast<double>(cells) +
+                  kWorkPerCandidate * static_cast<double>(candidates) +
+                  kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+// --------------------------------------------------------------------------
+// KNN
+
+KnnUdf::KnnUdf(std::shared_ptr<SpatialEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box KnnUdf::model_space() const {
+  const SpatialDatasetConfig& config = engine_->dataset().config();
+  return Box(Point{config.range_lo, config.range_lo, 1.0},
+             Point{config.range_hi, config.range_hi, 100.0});
+}
+
+UdfCost KnnUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 3);
+  GridIndex& grid = engine_->grid();
+  BufferPool& pool = engine_->pool();
+  const auto& rects = engine_->dataset().rects();
+  const int grid_size = grid.grid_size();
+
+  const double x = model_point[0];
+  const double y = model_point[1];
+  const auto k = static_cast<int64_t>(
+      std::clamp(std::llround(model_point[2]), 1LL, 100LL));
+
+  int64_t misses = 0;
+  int64_t candidates = 0;
+  int64_t cells = 0;
+
+  // Max-heap of the best k distances so far.
+  std::priority_queue<std::pair<double, int32_t>> best;
+
+  const int cgx = grid.CellOf(x);
+  const int cgy = grid.CellOf(y);
+  const int max_ring = grid_size;  // Upper bound; loop breaks earlier.
+
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once k candidates are held, a ring whose nearest possible rectangle is
+    // farther than the current k-th distance cannot improve the result. A
+    // rectangle owned (by center) by a ring cell can stick out of the cell
+    // toward the query by at most the dataset's max half extent.
+    if (static_cast<int64_t>(best.size()) >= k) {
+      const double ring_min_distance =
+          ring == 0 ? 0.0
+                    : (ring - 1) * grid.cell_extent() -
+                          engine_->dataset().max_half_extent();
+      if (ring_min_distance > best.top().first) break;
+    }
+    bool any_cell = false;
+    for (int gy = cgy - ring; gy <= cgy + ring; ++gy) {
+      if (gy < 0 || gy >= grid_size) continue;
+      for (int gx = cgx - ring; gx <= cgx + ring; ++gx) {
+        if (gx < 0 || gx >= grid_size) continue;
+        // Ring perimeter only.
+        if (std::max(std::abs(gx - cgx), std::abs(gy - cgy)) != ring) continue;
+        any_cell = true;
+        ++cells;
+        const int64_t pages = grid.CellNumPages(gx, gy);
+        if (pages > 0) {
+          misses +=
+              pool.FetchRun(grid.index_file(), grid.CellFirstPage(gx, gy), pages);
+        }
+        for (int32_t id : grid.CellEntries(gx, gy)) {
+          const Rect& r = rects[static_cast<size_t>(id)];
+          if (grid.CellOf(r.CenterX()) != gx || grid.CellOf(r.CenterY()) != gy) {
+            continue;  // De-duplicate multi-cell rectangles.
+          }
+          ++candidates;
+          const double distance = r.DistanceTo(x, y);
+          if (static_cast<int64_t>(best.size()) < k) {
+            best.emplace(distance, id);
+          } else if (distance < best.top().first) {
+            best.pop();
+            best.emplace(distance, id);
+          }
+        }
+      }
+    }
+    if (!any_cell && ring > 0 && static_cast<int64_t>(best.size()) >= k) break;
+  }
+
+  // Fetch the result objects.
+  int64_t results = 0;
+  while (!best.empty()) {
+    const int32_t id = best.top().second;
+    best.pop();
+    ++results;
+    if (!pool.Fetch(grid.object_file(), grid.ObjectPage(id))) ++misses;
+  }
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work = kBaseWork + kWorkPerCell * static_cast<double>(cells) +
+                  kWorkPerCandidate * static_cast<double>(candidates) +
+                  kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+}  // namespace mlq

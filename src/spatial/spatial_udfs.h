@@ -1,0 +1,94 @@
+#ifndef MLQ_SPATIAL_SPATIAL_UDFS_H_
+#define MLQ_SPATIAL_SPATIAL_UDFS_H_
+
+#include <memory>
+
+#include "spatial/grid_index.h"
+#include "storage/buffer_pool.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// The execution substrate shared by the three spatial UDFs: dataset, grid
+// index, and the buffer pool their page reads go through. Mirrors the
+// paper's Oracle Data Cartridge spatial functions over the PASDA urban-area
+// maps.
+class SpatialEngine {
+ public:
+  explicit SpatialEngine(const SpatialDatasetConfig& config, int grid_size = 64,
+                         int64_t buffer_pool_pages = 1024);
+
+  SpatialEngine(const SpatialEngine&) = delete;
+  SpatialEngine& operator=(const SpatialEngine&) = delete;
+
+  const SpatialDataset& dataset() const { return dataset_; }
+  GridIndex& grid() { return grid_; }
+  BufferPool& pool() { return pool_; }
+
+  void ResetCaches() { pool_.Invalidate(); }
+
+ private:
+  SpatialDataset dataset_;
+  GridIndex grid_;
+  BufferPool pool_;
+};
+
+// WIN(x, y, w, h): rectangles intersecting the w x h window centered at
+// (x, y). Model variables: (x, y in [0, 1000], w, h in [1, 200]).
+// CPU ~ candidates tested; IO ~ cell pages + result object pages.
+class WindowUdf : public CostedUdf {
+ public:
+  explicit WindowUdf(std::shared_ptr<SpatialEngine> engine);
+
+  std::string_view name() const override { return "WIN"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<SpatialEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+// RANGE(x, y, r): rectangles within distance r of (x, y). Model variables:
+// (x, y in [0, 1000], r in [1, 150]).
+class RangeSearchUdf : public CostedUdf {
+ public:
+  explicit RangeSearchUdf(std::shared_ptr<SpatialEngine> engine);
+
+  std::string_view name() const override { return "RANGE"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<SpatialEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+// KNN(x, y, k): the k rectangles nearest to (x, y), found by expanding
+// square rings of grid cells until the k-th best distance is safe. Model
+// variables: (x, y in [0, 1000], k in [1, 100]).
+class KnnUdf : public CostedUdf {
+ public:
+  explicit KnnUdf(std::shared_ptr<SpatialEngine> engine);
+
+  std::string_view name() const override { return "KNN"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<SpatialEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_SPATIAL_SPATIAL_UDFS_H_

@@ -1,0 +1,49 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace mlq {
+
+BufferPool::BufferPool(int64_t capacity_pages) : capacity_(capacity_pages) {
+  assert(capacity_pages > 0);
+}
+
+bool BufferPool::Fetch(PageFile* file, PageId page) {
+  assert(file != nullptr);
+  assert(page >= 0 && page < file->num_pages());
+  const FrameKey key{file, page};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  // Miss: evict if full, then admit at MRU.
+  ++misses_;
+  file->RecordPhysicalRead(page);
+  if (static_cast<int64_t>(frames_.size()) >= capacity_) {
+    const FrameKey& victim = lru_.back();
+    frames_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  frames_[key] = lru_.begin();
+  return false;
+}
+
+int64_t BufferPool::FetchRun(PageFile* file, PageId first_page,
+                             int64_t num_pages) {
+  int64_t miss_count = 0;
+  for (int64_t i = 0; i < num_pages; ++i) {
+    if (!Fetch(file, first_page + i)) ++miss_count;
+  }
+  return miss_count;
+}
+
+void BufferPool::Invalidate() {
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace mlq

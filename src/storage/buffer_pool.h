@@ -1,0 +1,84 @@
+#ifndef MLQ_STORAGE_BUFFER_POOL_H_
+#define MLQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace mlq {
+
+// An LRU buffer pool over simulated page files.
+//
+// This is the mechanism behind the paper's Experiment 3 observation that
+// disk-IO costs "fluctuate at the same data point coordinate": whether a
+// UDF execution pays a physical read for a page depends on what earlier
+// executions left in the cache. The pool therefore makes the substrate's IO
+// cost surface *stateful and noisy* in exactly the way Oracle's buffer
+// cache made the paper's.
+class BufferPool {
+ public:
+  // `capacity_pages` frames; e.g. 4096 frames of 4 KB = the paper's 16 MB
+  // Oracle data buffer cache.
+  explicit BufferPool(int64_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Reads one page. Returns true on a cache hit; on a miss the LRU frame is
+  // evicted, the file's physical-read counter bumps, and false is returned.
+  bool Fetch(PageFile* file, PageId page);
+
+  // Reads a run of consecutive pages; returns the number of misses.
+  int64_t FetchRun(PageFile* file, PageId first_page, int64_t num_pages);
+
+  int64_t capacity_pages() const { return capacity_; }
+  int64_t resident_pages() const { return static_cast<int64_t>(frames_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const {
+    int64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+  // Drops all cached pages (cold cache) without clearing statistics.
+  void Invalidate();
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct FrameKey {
+    const PageFile* file;
+    PageId page;
+    bool operator==(const FrameKey& other) const {
+      return file == other.file && page == other.page;
+    }
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& k) const {
+      // Mix the pointer and page id; splitmix-style finalizer.
+      uint64_t h = reinterpret_cast<uint64_t>(k.file) ^
+                   (static_cast<uint64_t>(k.page) * 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  int64_t capacity_;
+  // Most-recently-used at the front.
+  std::list<FrameKey> lru_;
+  std::unordered_map<FrameKey, std::list<FrameKey>::iterator, FrameKeyHash> frames_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_STORAGE_BUFFER_POOL_H_

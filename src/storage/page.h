@@ -1,0 +1,26 @@
+#ifndef MLQ_STORAGE_PAGE_H_
+#define MLQ_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace mlq {
+
+// Simulated disk page size. The substrate engines (inverted index, grid
+// index) lay their data structures out on pages of this size and perform
+// all reads through the buffer pool, so that the *disk-IO cost* of a UDF is
+// the number of physical page reads — exactly the quantity the paper's cost
+// models predict (ec_IO, "number of disk pages fetched", Section 3).
+inline constexpr int64_t kPageSizeBytes = 4096;
+
+using PageId = int64_t;
+inline constexpr PageId kInvalidPageId = -1;
+
+// Number of pages needed to store `bytes` bytes.
+inline int64_t PagesForBytes(int64_t bytes) {
+  if (bytes <= 0) return 0;
+  return (bytes + kPageSizeBytes - 1) / kPageSizeBytes;
+}
+
+}  // namespace mlq
+
+#endif  // MLQ_STORAGE_PAGE_H_

@@ -1,0 +1,54 @@
+#ifndef MLQ_STORAGE_PAGE_FILE_H_
+#define MLQ_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace mlq {
+
+// A simulated disk file: a growable sequence of pages plus physical-read
+// statistics. Page *contents* are not materialized — the substrate engines
+// keep their data in ordinary C++ structures and use PageFile/BufferPool
+// only to model which pages an operation would touch; the cost experiments
+// depend solely on the access pattern, not the bytes.
+class PageFile {
+ public:
+  explicit PageFile(std::string name) : name_(std::move(name)) {}
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Appends one page; returns its id (dense, starting at 0).
+  PageId Allocate() { return num_pages_++; }
+
+  // Appends `n` consecutive pages; returns the id of the first.
+  PageId AllocateRun(int64_t n) {
+    PageId first = num_pages_;
+    num_pages_ += n;
+    return first;
+  }
+
+  int64_t num_pages() const { return num_pages_; }
+
+  // Records a physical read of `id` (called by the buffer pool on a miss).
+  void RecordPhysicalRead(PageId id) {
+    (void)id;
+    ++physical_reads_;
+  }
+
+  int64_t physical_reads() const { return physical_reads_; }
+  void ResetStats() { physical_reads_ = 0; }
+
+ private:
+  std::string name_;
+  int64_t num_pages_ = 0;
+  int64_t physical_reads_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,55 @@
+#include "synthetic/decay.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mlq {
+
+double DecayValue(DecayKind kind, double distance, double radius) {
+  assert(radius > 0.0);
+  if (distance < 0.0) distance = 0.0;
+  if (distance >= radius) return 0.0;
+  const double t = distance / radius;  // In [0, 1).
+  double v = 0.0;
+  switch (kind) {
+    case DecayKind::kUniform:
+      v = 1.0;
+      break;
+    case DecayKind::kLinear:
+      v = 1.0 - t;
+      break;
+    case DecayKind::kGaussian:
+      v = std::exp(-(t * t) / (2.0 * kGaussianDecaySigma * kGaussianDecaySigma));
+      break;
+    case DecayKind::kLog2:
+      v = 1.0 - std::log2(1.0 + t);
+      break;
+    case DecayKind::kQuadratic:
+      v = 1.0 - t * t;
+      break;
+  }
+  return v > 0.0 ? v : 0.0;
+}
+
+std::string_view DecayKindName(DecayKind kind) {
+  switch (kind) {
+    case DecayKind::kUniform:
+      return "uniform";
+    case DecayKind::kLinear:
+      return "linear";
+    case DecayKind::kGaussian:
+      return "gaussian";
+    case DecayKind::kLog2:
+      return "log2";
+    case DecayKind::kQuadratic:
+      return "quadratic";
+  }
+  return "unknown";
+}
+
+DecayKind DecayKindAt(int i) {
+  assert(i >= 0 && i < kNumDecayKinds);
+  return static_cast<DecayKind>(i);
+}
+
+}  // namespace mlq

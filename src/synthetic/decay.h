@@ -1,0 +1,36 @@
+#ifndef MLQ_SYNTHETIC_DECAY_H_
+#define MLQ_SYNTHETIC_DECAY_H_
+
+#include <string_view>
+
+namespace mlq {
+
+// The decay-function suite of Section 5.1: each synthetic peak is assigned
+// one of these, specifying how the execution cost falls off with Euclidean
+// distance from the peak. All are normalized to 1 at the peak and 0 at (and
+// beyond) distance D, "reflecting the various computational complexities
+// common to UDFs".
+enum class DecayKind {
+  kUniform,    // Constant plateau, cliff at D.
+  kLinear,     // 1 - d/D.
+  kGaussian,   // exp(-(d/D)^2 / (2 sigma^2)), sigma = 0.2 (paper value).
+  kLog2,       // 1 - log2(1 + d/D).
+  kQuadratic,  // 1 - (d/D)^2.
+};
+
+inline constexpr int kNumDecayKinds = 5;
+inline constexpr double kGaussianDecaySigma = 0.2;
+
+// Normalized decay factor in [0, 1] at `distance` from the peak for a decay
+// region of radius `radius`. Returns 0 for distance >= radius.
+double DecayValue(DecayKind kind, double distance, double radius);
+
+// Enum <-> display name (for logs and bench output).
+std::string_view DecayKindName(DecayKind kind);
+
+// The i-th decay kind, i in [0, kNumDecayKinds).
+DecayKind DecayKindAt(int i);
+
+}  // namespace mlq
+
+#endif  // MLQ_SYNTHETIC_DECAY_H_

@@ -1,0 +1,55 @@
+#include "synthetic/peak_surface.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace mlq {
+
+PeakSurface::PeakSurface(const PeakSurfaceConfig& config)
+    : config_(config),
+      space_(Box::Cube(config.dims, config.range_lo, config.range_hi)) {
+  assert(config.num_peaks >= 1);
+  decay_radius_ = config.decay_radius_frac * space_.DiagonalLength();
+
+  Rng rng(config.seed);
+  ZipfDistribution zipf(config.num_peaks, config.zipf_z);
+
+  peaks_.reserve(static_cast<size_t>(config.num_peaks));
+  // Heights: rank i (1-based) gets weight 1/i^z, scaled so rank 1 ==
+  // max_height; ranks are assigned to randomly placed peaks in order, the
+  // placement already being uniform-random.
+  for (int i = 0; i < config.num_peaks; ++i) {
+    Peak peak;
+    peak.center = Point(config.dims);
+    for (int d = 0; d < config.dims; ++d) {
+      peak.center[d] = rng.Uniform(config.range_lo, config.range_hi);
+    }
+    peak.height = config.max_height * zipf.RelativeWeight(i + 1);
+    peak.decay = DecayKindAt(
+        static_cast<int>(rng.UniformInt(0, kNumDecayKinds - 1)));
+    peaks_.push_back(peak);
+  }
+}
+
+double PeakSurface::Cost(const Point& p) const {
+  assert(p.dims() == space_.dims());
+  double best = 0.0;
+  for (const Peak& peak : peaks_) {
+    const double distance = p.DistanceTo(peak.center);
+    if (distance >= decay_radius_) continue;
+    const double v = peak.height * DecayValue(peak.decay, distance, decay_radius_);
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double PeakSurface::MaxCost() const {
+  double max_height = 0.0;
+  for (const Peak& peak : peaks_) max_height = std::max(max_height, peak.height);
+  return max_height;
+}
+
+}  // namespace mlq

@@ -1,0 +1,64 @@
+#ifndef MLQ_SYNTHETIC_PEAK_SURFACE_H_
+#define MLQ_SYNTHETIC_PEAK_SURFACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "synthetic/decay.h"
+
+namespace mlq {
+
+// Parameters of the synthetic UDF/dataset generator (Section 5.1).
+// Defaults are the paper's values.
+struct PeakSurfaceConfig {
+  int dims = 4;
+  int num_peaks = 50;
+  double range_lo = 0.0;
+  double range_hi = 1000.0;
+  // Maximum cost at the highest peak.
+  double max_height = 10000.0;
+  // Zipf exponent for peak heights.
+  double zipf_z = 1.0;
+  // Decay radius D as a fraction of the space diagonal (10% in the paper).
+  double decay_radius_frac = 0.10;
+  uint64_t seed = 7;
+};
+
+// A synthetic UDF cost surface: `num_peaks` peaks with uniformly random
+// coordinates, Zipf-distributed heights scaled so the tallest reaches
+// max_height, and a randomly chosen decay function per peak. The cost at a
+// point is the maximum contribution over all peaks (overlapping decay
+// regions therefore interact, growing more complex as N and D grow, exactly
+// the knob the paper turns in Fig. 8).
+class PeakSurface {
+ public:
+  explicit PeakSurface(const PeakSurfaceConfig& config);
+
+  struct Peak {
+    Point center;
+    double height;
+    DecayKind decay;
+  };
+
+  const Box& space() const { return space_; }
+  const PeakSurfaceConfig& config() const { return config_; }
+  const std::vector<Peak>& peaks() const { return peaks_; }
+  double decay_radius() const { return decay_radius_; }
+
+  // The (noise-free) execution cost at `p`.
+  double Cost(const Point& p) const;
+
+  // Maximum cost anywhere on the surface (the tallest peak's height).
+  double MaxCost() const;
+
+ private:
+  PeakSurfaceConfig config_;
+  Box space_;
+  double decay_radius_;
+  std::vector<Peak> peaks_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_SYNTHETIC_PEAK_SURFACE_H_

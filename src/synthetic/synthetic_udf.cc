@@ -1,0 +1,25 @@
+#include "synthetic/synthetic_udf.h"
+
+namespace mlq {
+
+SyntheticUdf::SyntheticUdf(const PeakSurfaceConfig& surface_config,
+                           double noise_probability, uint64_t noise_seed)
+    : surface_(surface_config),
+      noise_probability_(noise_probability),
+      noise_seed_(noise_seed),
+      noise_rng_(noise_seed) {
+  name_ = "SYNTH-" + std::to_string(surface_config.num_peaks) + "p";
+}
+
+UdfCost SyntheticUdf::Execute(const Point& model_point) {
+  double value = surface_.Cost(model_point);
+  if (noise_probability_ > 0.0 && noise_rng_.NextBool(noise_probability_)) {
+    value = noise_rng_.Uniform(0.0, surface_.MaxCost());
+  }
+  UdfCost cost;
+  cost.cpu_work = value;
+  cost.io_pages = value * kIoCostScale;
+  return cost;
+}
+
+}  // namespace mlq

@@ -1,0 +1,50 @@
+#ifndef MLQ_SYNTHETIC_SYNTHETIC_UDF_H_
+#define MLQ_SYNTHETIC_SYNTHETIC_UDF_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "synthetic/peak_surface.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// Wraps a PeakSurface as an executable UDF.
+//
+// The surface value at the model point is the UDF's deterministic cost;
+// with probability `noise_probability` an execution instead reports a
+// uniformly random cost in [0, MaxCost] — the noise model of Experiment 3
+// ("the probability that a query point returns a random value instead of
+// the true value"). CPU and IO costs share the surface: cpu_work equals the
+// surface value in work units; io_pages equals the value scaled down by
+// kIoCostScale, standing for "pages fetched".
+class SyntheticUdf : public CostedUdf {
+ public:
+  static constexpr double kIoCostScale = 1.0 / 100.0;
+
+  SyntheticUdf(const PeakSurfaceConfig& surface_config, double noise_probability,
+               uint64_t noise_seed = 0x5eedf00dULL);
+
+  std::string_view name() const override { return name_; }
+  Box model_space() const override { return surface_.space(); }
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { noise_rng_.Reseed(noise_seed_); }
+
+  const PeakSurface& surface() const { return surface_; }
+  double noise_probability() const { return noise_probability_; }
+
+  // The noise-free cost at a point (for tests and error analysis).
+  double TrueCost(const Point& p) const { return surface_.Cost(p); }
+
+ private:
+  PeakSurface surface_;
+  double noise_probability_;
+  uint64_t noise_seed_;
+  Rng noise_rng_;
+  std::string name_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_SYNTHETIC_SYNTHETIC_UDF_H_

@@ -1,0 +1,26 @@
+#ifndef MLQ_TEXT_CORPUS_H_
+#define MLQ_TEXT_CORPUS_H_
+
+#include <cstdint>
+
+namespace mlq {
+
+// Parameters of the synthetic news corpus standing in for Reuters Corpus
+// Volume 1 (36,422 XML articles in the paper). Term occurrences follow a
+// Zipf law over a fixed vocabulary — the property of news text that drives
+// text-search UDF costs (posting-list lengths) — and document lengths are
+// log-normal, as is typical for news wire articles.
+struct CorpusConfig {
+  int32_t num_docs = 36422;
+  int32_t vocab_size = 20000;
+  double zipf_z = 1.0;
+  // Mean document length in terms; lengths are log-normal with this mean
+  // and the given sigma of the underlying normal.
+  double mean_doc_length = 120.0;
+  double doc_length_sigma = 0.6;
+  uint64_t seed = 20040314;  // EDBT 2004 vintage.
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_TEXT_CORPUS_H_

@@ -1,0 +1,84 @@
+#include "text/inverted_index.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace mlq {
+
+InvertedIndex::InvertedIndex(const CorpusConfig& config) : config_(config) {
+  assert(config.num_docs > 0);
+  assert(config.vocab_size > 0);
+
+  Rng rng(config.seed);
+  ZipfDistribution term_dist(config.vocab_size, config.zipf_z);
+
+  postings_.assign(static_cast<size_t>(config.vocab_size), {});
+  doc_lengths_.resize(static_cast<size_t>(config.num_docs));
+
+  // Log-normal document lengths with the requested mean: if X ~ N(mu,
+  // sigma^2) then E[e^X] = e^{mu + sigma^2/2}, so mu = ln(mean) - sigma^2/2.
+  const double mu =
+      std::log(config.mean_doc_length) - 0.5 * config.doc_length_sigma * config.doc_length_sigma;
+
+  for (int32_t doc = 0; doc < config.num_docs; ++doc) {
+    const double raw = std::exp(rng.Gaussian(mu, config.doc_length_sigma));
+    const int32_t length = std::max<int32_t>(1, static_cast<int32_t>(raw));
+    doc_lengths_[static_cast<size_t>(doc)] = length;
+    for (int32_t pos = 0; pos < length; ++pos) {
+      const int32_t term = static_cast<int32_t>(term_dist.Sample(rng)) - 1;
+      postings_[static_cast<size_t>(term)].push_back(Posting{doc, pos});
+      ++total_postings_;
+    }
+  }
+
+  // Lay the posting lists out contiguously in the index file. Documents are
+  // generated in ascending doc_id order, so each list is already sorted by
+  // (doc_id, position).
+  first_page_.resize(postings_.size());
+  num_pages_.resize(postings_.size());
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    const int64_t bytes = static_cast<int64_t>(postings_[t].size()) * kPostingBytes;
+    const int64_t pages = PagesForBytes(bytes);
+    num_pages_[t] = pages;
+    first_page_[t] = pages > 0 ? index_file_.AllocateRun(pages) : kInvalidPageId;
+  }
+
+  // Document file: kDocsPerPage documents per page.
+  const int64_t doc_pages =
+      (config.num_docs + kDocsPerPage - 1) / kDocsPerPage;
+  doc_file_.AllocateRun(doc_pages);
+}
+
+std::span<const Posting> InvertedIndex::PostingsOf(int32_t term_id) const {
+  assert(term_id >= 0 && term_id < config_.vocab_size);
+  return postings_[static_cast<size_t>(term_id)];
+}
+
+int64_t InvertedIndex::PostingCount(int32_t term_id) const {
+  return static_cast<int64_t>(PostingsOf(term_id).size());
+}
+
+PageId InvertedIndex::PostingFirstPage(int32_t term_id) const {
+  assert(term_id >= 0 && term_id < config_.vocab_size);
+  return first_page_[static_cast<size_t>(term_id)];
+}
+
+int64_t InvertedIndex::PostingNumPages(int32_t term_id) const {
+  assert(term_id >= 0 && term_id < config_.vocab_size);
+  return num_pages_[static_cast<size_t>(term_id)];
+}
+
+int32_t InvertedIndex::DocLength(int32_t doc_id) const {
+  assert(doc_id >= 0 && doc_id < config_.num_docs);
+  return doc_lengths_[static_cast<size_t>(doc_id)];
+}
+
+PageId InvertedIndex::DocPage(int32_t doc_id) const {
+  assert(doc_id >= 0 && doc_id < config_.num_docs);
+  return doc_id / kDocsPerPage;
+}
+
+}  // namespace mlq

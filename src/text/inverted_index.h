@@ -1,0 +1,79 @@
+#ifndef MLQ_TEXT_INVERTED_INDEX_H_
+#define MLQ_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "text/corpus.h"
+
+namespace mlq {
+
+// One term occurrence: which document and at which token position.
+struct Posting {
+  int32_t doc_id;
+  int32_t position;
+};
+
+// A paged inverted index over a synthetic corpus.
+//
+// The index is generated directly from CorpusConfig (documents are never
+// materialized): every document draws a log-normal length and Zipf terms,
+// and each occurrence is appended to its term's posting list. Posting lists
+// are laid out contiguously in a simulated page file (8 bytes per posting),
+// so a scan of term t touches ceil(8 * |postings(t)| / 4096) consecutive
+// pages — the IO cost a real engine would pay.
+//
+// A companion "document file" assigns each document a home page (documents
+// are packed kDocsPerPage to a page); threshold search fetches matched
+// documents from it.
+class InvertedIndex {
+ public:
+  static constexpr int64_t kPostingBytes = 8;
+  static constexpr int64_t kDocsPerPage = 8;
+
+  explicit InvertedIndex(const CorpusConfig& config);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  const CorpusConfig& config() const { return config_; }
+  int32_t vocab_size() const { return config_.vocab_size; }
+  int32_t num_docs() const { return config_.num_docs; }
+
+  // Postings of a term (rank = term id + 1; rank 1 is the most frequent
+  // term by construction of the Zipf draw). Sorted by (doc_id, position).
+  std::span<const Posting> PostingsOf(int32_t term_id) const;
+  int64_t PostingCount(int32_t term_id) const;
+
+  // Page run backing the term's posting list in the index file.
+  PageId PostingFirstPage(int32_t term_id) const;
+  int64_t PostingNumPages(int32_t term_id) const;
+
+  // Number of tokens in a document.
+  int32_t DocLength(int32_t doc_id) const;
+  // Home page of a document in the document file.
+  PageId DocPage(int32_t doc_id) const;
+
+  PageFile* index_file() { return &index_file_; }
+  PageFile* doc_file() { return &doc_file_; }
+
+  int64_t total_postings() const { return total_postings_; }
+
+ private:
+  CorpusConfig config_;
+  // postings_[t] = flat posting list of term t.
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<PageId> first_page_;
+  std::vector<int64_t> num_pages_;
+  std::vector<int32_t> doc_lengths_;
+  PageFile index_file_{"text_index"};
+  PageFile doc_file_{"text_docs"};
+  int64_t total_postings_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,9 @@
+#include "text/text_search_engine.h"
+
+namespace mlq {
+
+TextSearchEngine::TextSearchEngine(const CorpusConfig& config,
+                                   int64_t buffer_pool_pages)
+    : index_(config), pool_(buffer_pool_pages) {}
+
+}  // namespace mlq

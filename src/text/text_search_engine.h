@@ -1,0 +1,37 @@
+#ifndef MLQ_TEXT_TEXT_SEARCH_ENGINE_H_
+#define MLQ_TEXT_TEXT_SEARCH_ENGINE_H_
+
+#include <cstdint>
+
+#include "storage/buffer_pool.h"
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+
+namespace mlq {
+
+// The execution substrate shared by the three text-search UDFs: a paged
+// inverted index plus the buffer pool its page reads go through. Mirrors
+// the paper's Oracle Data Cartridge text functions over the Reuters corpus.
+class TextSearchEngine {
+ public:
+  explicit TextSearchEngine(const CorpusConfig& config,
+                            int64_t buffer_pool_pages = 1024);
+
+  TextSearchEngine(const TextSearchEngine&) = delete;
+  TextSearchEngine& operator=(const TextSearchEngine&) = delete;
+
+  InvertedIndex& index() { return index_; }
+  const InvertedIndex& index() const { return index_; }
+  BufferPool& pool() { return pool_; }
+
+  // Cold cache; used between experiment repetitions.
+  void ResetCaches() { pool_.Invalidate(); }
+
+ private:
+  InvertedIndex index_;
+  BufferPool pool_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_TEXT_TEXT_SEARCH_ENGINE_H_

@@ -1,0 +1,217 @@
+#include "text/text_udfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace mlq {
+namespace {
+
+// Work units charged per elementary operation. Kept coarse on purpose: the
+// cost model only needs surfaces whose *shape* matches a real engine.
+constexpr double kWorkPerPosting = 1.0;
+constexpr double kWorkPerResult = 4.0;
+constexpr double kBaseWork = 16.0;
+
+// Rounds a model coordinate to an integer rank in [1, vocab].
+int32_t RankOf(double coordinate, int32_t vocab) {
+  const auto rank = static_cast<int64_t>(std::llround(coordinate));
+  return static_cast<int32_t>(std::clamp<int64_t>(rank, 1, vocab));
+}
+
+// Pages covering the first `postings` entries of a term's list.
+int64_t PagesForPostings(int64_t postings) {
+  return PagesForBytes(postings * InvertedIndex::kPostingBytes);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// SIMPLE
+
+SimpleSearchUdf::SimpleSearchUdf(std::shared_ptr<TextSearchEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box SimpleSearchUdf::model_space() const {
+  const auto vocab = static_cast<double>(engine_->index().vocab_size());
+  return Box(Point{1.0, 0.01}, Point{vocab, 1.0});
+}
+
+UdfCost SimpleSearchUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 2);
+  InvertedIndex& index = engine_->index();
+  BufferPool& pool = engine_->pool();
+
+  const int32_t term = RankOf(model_point[0], index.vocab_size()) - 1;
+  const double frac = std::clamp(model_point[1], 0.01, 1.0);
+  const auto doc_limit =
+      static_cast<int32_t>(frac * static_cast<double>(index.num_docs()));
+
+  // Scan the posting list up to the document-id prefix; lists are sorted by
+  // doc id, so the scan covers a length-proportional page prefix.
+  std::span<const Posting> postings = index.PostingsOf(term);
+  int64_t scanned = 0;
+  int64_t results = 0;
+  int32_t previous_doc = -1;
+  for (const Posting& posting : postings) {
+    if (posting.doc_id >= doc_limit) break;
+    ++scanned;
+    if (posting.doc_id != previous_doc) {
+      ++results;
+      previous_doc = posting.doc_id;
+    }
+  }
+  const int64_t pages = PagesForPostings(scanned);
+  const int64_t misses =
+      pages > 0 ? pool.FetchRun(index.index_file(), index.PostingFirstPage(term), pages)
+                : 0;
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work = kBaseWork + kWorkPerPosting * static_cast<double>(scanned) +
+                  kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+// --------------------------------------------------------------------------
+// THRESHOLD
+
+ThresholdSearchUdf::ThresholdSearchUdf(std::shared_ptr<TextSearchEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box ThresholdSearchUdf::model_space() const {
+  const auto vocab = static_cast<double>(engine_->index().vocab_size());
+  return Box(Point{1.0, 0.0}, Point{vocab, 1.0});
+}
+
+UdfCost ThresholdSearchUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 2);
+  InvertedIndex& index = engine_->index();
+  BufferPool& pool = engine_->pool();
+
+  const int32_t term = RankOf(model_point[0], index.vocab_size()) - 1;
+  const double threshold = std::clamp(model_point[1], 0.0, 1.0);
+
+  // Pass 1: scan the whole posting list, aggregating per-document term
+  // frequencies (lists are doc-sorted so this is a grouped scan).
+  std::span<const Posting> postings = index.PostingsOf(term);
+  std::vector<std::pair<int32_t, int32_t>> doc_tf;  // (doc, tf)
+  for (const Posting& posting : postings) {
+    if (doc_tf.empty() || doc_tf.back().first != posting.doc_id) {
+      doc_tf.emplace_back(posting.doc_id, 1);
+    } else {
+      ++doc_tf.back().second;
+    }
+  }
+  int32_t max_tf = 0;
+  for (const auto& [doc, tf] : doc_tf) max_tf = std::max(max_tf, tf);
+
+  const int64_t index_pages = PagesForPostings(static_cast<int64_t>(postings.size()));
+  int64_t misses =
+      index_pages > 0
+          ? pool.FetchRun(index.index_file(), index.PostingFirstPage(term), index_pages)
+          : 0;
+
+  // Pass 2: fetch every document whose normalized tf clears the threshold.
+  int64_t results = 0;
+  for (const auto& [doc, tf] : doc_tf) {
+    const double score =
+        max_tf > 0 ? static_cast<double>(tf) / static_cast<double>(max_tf) : 0.0;
+    if (score >= threshold) {
+      ++results;
+      if (!pool.Fetch(index.doc_file(), index.DocPage(doc))) ++misses;
+    }
+  }
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work = kBaseWork +
+                  kWorkPerPosting * static_cast<double>(postings.size()) +
+                  kWorkPerPosting * static_cast<double>(doc_tf.size()) +
+                  kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+// --------------------------------------------------------------------------
+// PROXIMITY
+
+ProximitySearchUdf::ProximitySearchUdf(std::shared_ptr<TextSearchEngine> engine)
+    : engine_(std::move(engine)) {}
+
+Box ProximitySearchUdf::model_space() const {
+  const auto vocab = static_cast<double>(engine_->index().vocab_size());
+  return Box(Point{1.0, 1.0, 1.0}, Point{vocab, vocab, 50.0});
+}
+
+UdfCost ProximitySearchUdf::Execute(const Point& model_point) {
+  assert(model_point.dims() == 3);
+  InvertedIndex& index = engine_->index();
+  BufferPool& pool = engine_->pool();
+
+  const int32_t term1 = RankOf(model_point[0], index.vocab_size()) - 1;
+  const int32_t term2 = RankOf(model_point[1], index.vocab_size()) - 1;
+  const auto window =
+      static_cast<int32_t>(std::clamp(std::llround(model_point[2]), 1LL, 50LL));
+
+  std::span<const Posting> list1 = index.PostingsOf(term1);
+  std::span<const Posting> list2 = index.PostingsOf(term2);
+
+  int64_t misses = 0;
+  for (int32_t term : {term1, term2}) {
+    const int64_t pages = PagesForPostings(index.PostingCount(term));
+    if (pages > 0) {
+      misses += pool.FetchRun(index.index_file(), index.PostingFirstPage(term), pages);
+    }
+  }
+
+  // Merge by document; within a shared document, a two-pointer sweep counts
+  // position pairs no more than `window` apart.
+  int64_t pair_work = 0;
+  int64_t results = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < list1.size() && j < list2.size()) {
+    const int32_t d1 = list1[i].doc_id;
+    const int32_t d2 = list2[j].doc_id;
+    if (d1 < d2) {
+      ++i;
+    } else if (d2 < d1) {
+      ++j;
+    } else {
+      // Bounds of this document's runs in both lists.
+      size_t i_end = i;
+      while (i_end < list1.size() && list1[i_end].doc_id == d1) ++i_end;
+      size_t j_end = j;
+      while (j_end < list2.size() && list2[j_end].doc_id == d1) ++j_end;
+      bool matched = false;
+      size_t jj = j;
+      for (size_t ii = i; ii < i_end; ++ii) {
+        while (jj < j_end && list2[jj].position < list1[ii].position - window) {
+          ++jj;
+        }
+        ++pair_work;
+        if (jj < j_end && list2[jj].position <= list1[ii].position + window) {
+          matched = true;
+        }
+      }
+      if (matched) ++results;
+      i = i_end;
+      j = j_end;
+    }
+  }
+
+  last_result_count_ = results;
+  UdfCost cost;
+  cost.cpu_work =
+      kBaseWork +
+      kWorkPerPosting * static_cast<double>(list1.size() + list2.size()) +
+      kWorkPerPosting * static_cast<double>(pair_work) +
+      kWorkPerResult * static_cast<double>(results);
+  cost.io_pages = static_cast<double>(misses);
+  return cost;
+}
+
+}  // namespace mlq

@@ -1,0 +1,84 @@
+#ifndef MLQ_TEXT_TEXT_UDFS_H_
+#define MLQ_TEXT_TEXT_UDFS_H_
+
+#include <memory>
+
+#include "text/text_search_engine.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// The three keyword-based text-search UDFs of Section 5.1 ("simple,
+// threshold, proximity"), implemented against TextSearchEngine. Each UDF
+// documents its model-variable transformation T: model variables are term
+// *ranks* (1 = most frequent) and scalar search parameters, all ordinal
+// with known ranges.
+//
+// Engines are shared (several UDFs over one corpus, as in the paper), so
+// UDFs hold a shared_ptr.
+
+// SIMPLE(keyword, doc_prefix): returns documents with the keyword among the
+// first `frac` fraction of the corpus (a date-range-restricted search).
+// Model variables: (term_rank in [1, V], doc_fraction in [0.01, 1]).
+// CPU ~ postings scanned; IO ~ posting-list pages read.
+class SimpleSearchUdf : public CostedUdf {
+ public:
+  explicit SimpleSearchUdf(std::shared_ptr<TextSearchEngine> engine);
+
+  std::string_view name() const override { return "SIMPLE"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  // Result of the most recent Execute (matching documents), for testing.
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<TextSearchEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+// THRESHOLD(keyword, threshold): returns documents whose normalized term
+// frequency (tf / max-tf) is at least `threshold`, fetching each matching
+// document. Model variables: (term_rank in [1, V], threshold in [0, 1]).
+// CPU ~ postings + matches; IO ~ posting pages + one page per match.
+class ThresholdSearchUdf : public CostedUdf {
+ public:
+  explicit ThresholdSearchUdf(std::shared_ptr<TextSearchEngine> engine);
+
+  std::string_view name() const override { return "THRESH"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<TextSearchEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+// PROXIMITY(keyword1, keyword2, window): returns documents containing both
+// keywords within `window` token positions of each other. Model variables:
+// (term_rank1, term_rank2 in [1, V], window in [1, 50]).
+// CPU ~ merge of both posting lists + in-window pair counting; IO ~ pages
+// of both lists.
+class ProximitySearchUdf : public CostedUdf {
+ public:
+  explicit ProximitySearchUdf(std::shared_ptr<TextSearchEngine> engine);
+
+  std::string_view name() const override { return "PROX"; }
+  Box model_space() const override;
+  UdfCost Execute(const Point& model_point) override;
+  void ResetState() override { engine_->ResetCaches(); }
+
+  int64_t last_result_count() const override { return last_result_count_; }
+
+ private:
+  std::shared_ptr<TextSearchEngine> engine_;
+  int64_t last_result_count_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_TEXT_TEXT_UDFS_H_

@@ -1,0 +1,85 @@
+#ifndef MLQ_UDF_COSTED_UDF_H_
+#define MLQ_UDF_COSTED_UDF_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/geometry.h"
+#include "common/timer.h"
+
+namespace mlq {
+
+// Which execution cost a model predicts. The paper keeps one cost model per
+// UDF per kind (Section 1: "the query optimizer needs to keep two cost
+// estimators for each UDF in order to model both CPU and disk IO costs").
+enum class CostKind {
+  kCpu,
+  kIo,
+};
+
+// The two actual execution costs of one UDF call.
+struct UdfCost {
+  // Deterministic CPU work units consumed (see common/timer.h for the
+  // work-unit-to-microsecond scale).
+  double cpu_work = 0.0;
+  // Physical page reads (buffer-pool misses) incurred.
+  double io_pages = 0.0;
+
+  double Get(CostKind kind) const {
+    return kind == CostKind::kCpu ? cpu_work : io_pages;
+  }
+
+  // Nominal wall-clock equivalent, used to normalize modeling overheads
+  // against UDF execution cost (Fig. 10).
+  double NominalMicros() const {
+    return cpu_work * kMicrosPerWorkUnit + io_pages * kMicrosPerPageMiss;
+  }
+};
+
+// A user-defined function instrumented for cost modeling.
+//
+// The transformation T of Section 3 is baked into each implementation: the
+// Point passed to Execute already holds the *model variables* (e.g. term
+// ranks, window extents), and Execute maps them back onto concrete
+// arguments internally. Model variables are ordinal with known ranges,
+// given by model_space().
+class CostedUdf {
+ public:
+  virtual ~CostedUdf() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // The k-dimensional model-variable space (ranges of every variable).
+  virtual Box model_space() const = 0;
+
+  // The space Execute's points live in. For most UDFs the transformation T
+  // is the identity and this equals model_space(); UDFs wrapped in a
+  // TransformedUdf expose their raw argument space here and map points
+  // through ToModelPoint. Workload generators draw from execution_space();
+  // cost models index ToModelPoint(point).
+  virtual Box execution_space() const { return model_space(); }
+
+  // Applies the transformation T of Section 3 to one execution point.
+  // Identity by default.
+  virtual Point ToModelPoint(const Point& execution_point) const {
+    return execution_point;
+  }
+
+  // Runs the UDF for the arguments encoded by `model_point` and reports the
+  // actual costs. Stateful substrates (buffer pools) make successive calls
+  // at the same point legitimately return different IO costs.
+  virtual UdfCost Execute(const Point& model_point) = 0;
+
+  // Restores pristine execution state (e.g. cold caches) so experiments
+  // can be repeated independently. Default: stateless.
+  virtual void ResetState() {}
+
+  // Number of result items produced by the most recent Execute call, for
+  // UDFs whose results the engine turns into predicates (e.g. "at least k
+  // matches"). Default: no result notion.
+  virtual int64_t last_result_count() const { return 0; }
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_UDF_COSTED_UDF_H_

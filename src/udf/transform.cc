@@ -1,0 +1,148 @@
+#include "udf/transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mlq {
+namespace {
+
+class IdentityTransform : public VariableTransform {
+ public:
+  explicit IdentityTransform(int arg_index) : arg_(arg_index) {}
+  double Apply(const Point& args) const override { return args[arg_]; }
+  void Range(const Box& arg_space, double* lo, double* hi) const override {
+    *lo = arg_space.lo()[arg_];
+    *hi = arg_space.hi()[arg_];
+  }
+  std::string Describe() const override {
+    return "a" + std::to_string(arg_);
+  }
+
+ private:
+  int arg_;
+};
+
+class DifferenceTransform : public VariableTransform {
+ public:
+  DifferenceTransform(int minuend, int subtrahend)
+      : minuend_(minuend), subtrahend_(subtrahend) {}
+  double Apply(const Point& args) const override {
+    return args[minuend_] - args[subtrahend_];
+  }
+  void Range(const Box& arg_space, double* lo, double* hi) const override {
+    *lo = arg_space.lo()[minuend_] - arg_space.hi()[subtrahend_];
+    *hi = arg_space.hi()[minuend_] - arg_space.lo()[subtrahend_];
+  }
+  std::string Describe() const override {
+    return "a" + std::to_string(minuend_) + "-a" + std::to_string(subtrahend_);
+  }
+
+ private:
+  int minuend_;
+  int subtrahend_;
+};
+
+class Log2Transform : public VariableTransform {
+ public:
+  explicit Log2Transform(int arg_index) : arg_(arg_index) {}
+  double Apply(const Point& args) const override {
+    return std::log2(1.0 + std::max(0.0, args[arg_]));
+  }
+  void Range(const Box& arg_space, double* lo, double* hi) const override {
+    *lo = std::log2(1.0 + std::max(0.0, arg_space.lo()[arg_]));
+    *hi = std::log2(1.0 + std::max(0.0, arg_space.hi()[arg_]));
+  }
+  std::string Describe() const override {
+    return "log2(1+a" + std::to_string(arg_) + ")";
+  }
+
+ private:
+  int arg_;
+};
+
+class ProductTransform : public VariableTransform {
+ public:
+  ProductTransform(int a, int b) : a_(a), b_(b) {}
+  double Apply(const Point& args) const override {
+    return args[a_] * args[b_];
+  }
+  void Range(const Box& arg_space, double* lo, double* hi) const override {
+    const double candidates[4] = {
+        arg_space.lo()[a_] * arg_space.lo()[b_],
+        arg_space.lo()[a_] * arg_space.hi()[b_],
+        arg_space.hi()[a_] * arg_space.lo()[b_],
+        arg_space.hi()[a_] * arg_space.hi()[b_],
+    };
+    *lo = *std::min_element(candidates, candidates + 4);
+    *hi = *std::max_element(candidates, candidates + 4);
+  }
+  std::string Describe() const override {
+    return "a" + std::to_string(a_) + "*a" + std::to_string(b_);
+  }
+
+ private:
+  int a_;
+  int b_;
+};
+
+}  // namespace
+
+std::unique_ptr<VariableTransform> Identity(int arg_index) {
+  return std::make_unique<IdentityTransform>(arg_index);
+}
+
+std::unique_ptr<VariableTransform> Difference(int minuend_index,
+                                              int subtrahend_index) {
+  return std::make_unique<DifferenceTransform>(minuend_index, subtrahend_index);
+}
+
+std::unique_ptr<VariableTransform> Log2Scale(int arg_index) {
+  return std::make_unique<Log2Transform>(arg_index);
+}
+
+std::unique_ptr<VariableTransform> Product(int arg_index_a, int arg_index_b) {
+  return std::make_unique<ProductTransform>(arg_index_a, arg_index_b);
+}
+
+ArgumentTransform::ArgumentTransform(
+    const Box& arg_space,
+    std::vector<std::unique_ptr<VariableTransform>> variables)
+    : arg_space_(arg_space), variables_(std::move(variables)) {
+  assert(!variables_.empty());
+  assert(static_cast<int>(variables_.size()) <= kMaxDims);
+  Point lo(static_cast<int>(variables_.size()));
+  Point hi(static_cast<int>(variables_.size()));
+  for (size_t k = 0; k < variables_.size(); ++k) {
+    double var_lo = 0.0;
+    double var_hi = 0.0;
+    variables_[k]->Range(arg_space_, &var_lo, &var_hi);
+    assert(var_lo <= var_hi);
+    // Guard zero-width ranges so the model space stays a valid box.
+    if (var_lo == var_hi) var_hi = var_lo + 1.0;
+    lo[static_cast<int>(k)] = var_lo;
+    hi[static_cast<int>(k)] = var_hi;
+  }
+  model_space_ = Box(lo, hi);
+}
+
+Point ArgumentTransform::Apply(const Point& args) const {
+  assert(args.dims() == arg_space_.dims());
+  Point out(num_model_vars());
+  for (size_t k = 0; k < variables_.size(); ++k) {
+    out[static_cast<int>(k)] = variables_[k]->Apply(args);
+  }
+  return out;
+}
+
+std::string ArgumentTransform::Describe() const {
+  std::string out = "T(a0..a" + std::to_string(num_args() - 1) + ") -> (";
+  for (size_t k = 0; k < variables_.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += variables_[k]->Describe();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mlq

@@ -1,0 +1,75 @@
+#ifndef MLQ_UDF_TRANSFORM_H_
+#define MLQ_UDF_TRANSFORM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace mlq {
+
+// The transformation function T of Section 3: maps a UDF's raw input
+// arguments a_1..a_n onto the (usually fewer) cost variables c_1..c_k that
+// the model actually indexes. "T allows the users to use their knowledge of
+// the relationship between input arguments and the execution costs"; the
+// paper's example maps (start_time, end_time) to elapsed_time.
+//
+// A VariableTransform describes one output cost variable as a function of
+// the input arguments; ArgumentTransform bundles k of them plus the derived
+// model space.
+class VariableTransform {
+ public:
+  virtual ~VariableTransform() = default;
+
+  // The output value from the raw argument vector.
+  virtual double Apply(const Point& args) const = 0;
+
+  // Output range given the input argument ranges (a conservative interval
+  // is fine; the model clamps).
+  virtual void Range(const Box& arg_space, double* lo, double* hi) const = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+// c = a_i (pass-through).
+std::unique_ptr<VariableTransform> Identity(int arg_index);
+
+// c = a_i - a_j (the paper's elapsed_time example).
+std::unique_ptr<VariableTransform> Difference(int minuend_index,
+                                              int subtrahend_index);
+
+// c = log2(1 + max(0, a_i)): compresses heavy-tailed arguments (posting
+// lengths, row counts) so uniform quadtree blocks spread usefully.
+std::unique_ptr<VariableTransform> Log2Scale(int arg_index);
+
+// c = a_i * a_j (e.g. window area = width * height).
+std::unique_ptr<VariableTransform> Product(int arg_index_a, int arg_index_b);
+
+// Applies k variable transforms to map argument points into model points.
+class ArgumentTransform {
+ public:
+  ArgumentTransform(const Box& arg_space,
+                    std::vector<std::unique_ptr<VariableTransform>> variables);
+
+  int num_args() const { return arg_space_.dims(); }
+  int num_model_vars() const { return static_cast<int>(variables_.size()); }
+
+  // The k-dimensional model space implied by the argument ranges.
+  const Box& model_space() const { return model_space_; }
+
+  // Maps raw arguments to the model point.
+  Point Apply(const Point& args) const;
+
+  std::string Describe() const;
+
+ private:
+  Box arg_space_;
+  std::vector<std::unique_ptr<VariableTransform>> variables_;
+  Box model_space_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_UDF_TRANSFORM_H_

@@ -1,0 +1,16 @@
+#include "udf/transformed_udf.h"
+
+#include <cassert>
+
+namespace mlq {
+
+TransformedUdf::TransformedUdf(
+    CostedUdf* inner, std::shared_ptr<const ArgumentTransform> transform)
+    : inner_(inner), transform_(std::move(transform)) {
+  assert(inner_ != nullptr);
+  assert(transform_ != nullptr);
+  assert(transform_->num_args() == inner_->model_space().dims());
+  name_ = std::string(inner_->name()) + "+T";
+}
+
+}  // namespace mlq

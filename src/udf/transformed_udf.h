@@ -1,0 +1,50 @@
+#ifndef MLQ_UDF_TRANSFORMED_UDF_H_
+#define MLQ_UDF_TRANSFORMED_UDF_H_
+
+#include <memory>
+#include <string>
+
+#include "udf/costed_udf.h"
+#include "udf/transform.h"
+
+namespace mlq {
+
+// Attaches a transformation function T (Section 3) to an existing UDF:
+// executions still happen on the raw argument points (the inner UDF's
+// space), but the *cost model* indexes the transformed cost variables.
+//
+// This is how a user encodes domain knowledge like "only the window *area*
+// matters, not width and height separately": the model space shrinks a
+// dimension, so a fixed memory budget buys more resolution.
+class TransformedUdf : public CostedUdf {
+ public:
+  // `inner` must outlive this object. The transform's argument space must
+  // equal the inner UDF's model space.
+  TransformedUdf(CostedUdf* inner,
+                 std::shared_ptr<const ArgumentTransform> transform);
+
+  std::string_view name() const override { return name_; }
+  Box model_space() const override { return transform_->model_space(); }
+  Box execution_space() const override { return inner_->model_space(); }
+  Point ToModelPoint(const Point& execution_point) const override {
+    return transform_->Apply(execution_point);
+  }
+  UdfCost Execute(const Point& execution_point) override {
+    return inner_->Execute(execution_point);
+  }
+  void ResetState() override { inner_->ResetState(); }
+  int64_t last_result_count() const override {
+    return inner_->last_result_count();
+  }
+
+  const ArgumentTransform& transform() const { return *transform_; }
+
+ private:
+  CostedUdf* inner_;
+  std::shared_ptr<const ArgumentTransform> transform_;
+  std::string name_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_UDF_TRANSFORMED_UDF_H_

@@ -1,0 +1,28 @@
+#include "udf/udf_registry.h"
+
+#include <cassert>
+
+namespace mlq {
+
+CostedUdf* UdfRegistry::Register(std::unique_ptr<CostedUdf> udf) {
+  assert(udf != nullptr);
+  assert(Find(udf->name()) == nullptr);
+  udfs_.push_back(std::move(udf));
+  return udfs_.back().get();
+}
+
+CostedUdf* UdfRegistry::Find(std::string_view name) const {
+  for (const auto& udf : udfs_) {
+    if (udf->name() == name) return udf.get();
+  }
+  return nullptr;
+}
+
+std::vector<CostedUdf*> UdfRegistry::All() const {
+  std::vector<CostedUdf*> out;
+  out.reserve(udfs_.size());
+  for (const auto& udf : udfs_) out.push_back(udf.get());
+  return out;
+}
+
+}  // namespace mlq

@@ -1,0 +1,39 @@
+#ifndef MLQ_UDF_UDF_REGISTRY_H_
+#define MLQ_UDF_UDF_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "udf/costed_udf.h"
+
+namespace mlq {
+
+// Owns a set of UDFs and resolves them by name — the role the ORDBMS
+// catalog plays for the optimizer's cost estimators. Used by the example
+// applications and the experiment harness.
+class UdfRegistry {
+ public:
+  UdfRegistry() = default;
+  UdfRegistry(const UdfRegistry&) = delete;
+  UdfRegistry& operator=(const UdfRegistry&) = delete;
+
+  // Registers a UDF; the registry takes ownership. Names must be unique.
+  CostedUdf* Register(std::unique_ptr<CostedUdf> udf);
+
+  // Returns the UDF with the given name, or nullptr.
+  CostedUdf* Find(std::string_view name) const;
+
+  // All registered UDFs, in registration order.
+  std::vector<CostedUdf*> All() const;
+
+  int size() const { return static_cast<int>(udfs_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<CostedUdf>> udfs_;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_UDF_UDF_REGISTRY_H_

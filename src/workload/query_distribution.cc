@@ -1,0 +1,141 @@
+#include "workload/query_distribution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mlq {
+namespace {
+
+Point UniformPoint(const Box& space, Rng& rng) {
+  Point p(space.dims());
+  for (int d = 0; d < space.dims(); ++d) {
+    p[d] = rng.Uniform(space.lo()[d], space.hi()[d]);
+  }
+  return p;
+}
+
+Point GaussianPoint(const Box& space, const Point& centroid, double stddev_frac,
+                    Rng& rng) {
+  Point p(space.dims());
+  for (int d = 0; d < space.dims(); ++d) {
+    const double sigma = stddev_frac * space.Extent(d);
+    p[d] = std::clamp(rng.Gaussian(centroid[d], sigma), space.lo()[d],
+                      space.hi()[d]);
+  }
+  return p;
+}
+
+std::vector<Point> MakeCentroids(const Box& space, int count, Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(static_cast<size_t>(count));
+  for (int c = 0; c < count; ++c) centroids.push_back(UniformPoint(space, rng));
+  return centroids;
+}
+
+}  // namespace
+
+std::string_view QueryDistributionKindName(QueryDistributionKind kind) {
+  switch (kind) {
+    case QueryDistributionKind::kUniform:
+      return "uniform";
+    case QueryDistributionKind::kGaussianRandom:
+      return "gauss-random";
+    case QueryDistributionKind::kGaussianSequential:
+      return "gauss-sequential";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Core sampler: `centroids` are already fixed; `rng` drives the sample
+// draws only.
+std::vector<Point> SamplePoints(const Box& space, const WorkloadConfig& config,
+                                int num_points,
+                                const std::vector<Point>& centroids, Rng& rng) {
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(num_points));
+  switch (config.kind) {
+    case QueryDistributionKind::kUniform: {
+      for (int i = 0; i < num_points; ++i) {
+        points.push_back(UniformPoint(space, rng));
+      }
+      break;
+    }
+    case QueryDistributionKind::kGaussianRandom: {
+      for (int i = 0; i < num_points; ++i) {
+        const auto c = static_cast<size_t>(
+            rng.UniformInt(0, config.num_centroids - 1));
+        points.push_back(
+            GaussianPoint(space, centroids[c], config.stddev_frac, rng));
+      }
+      break;
+    }
+    case QueryDistributionKind::kGaussianSequential: {
+      // c centroids visited in turn, n/c consecutive queries each (the
+      // remainder goes to the last centroid).
+      const int per_centroid = num_points / config.num_centroids;
+      for (int c = 0; c < config.num_centroids; ++c) {
+        const int count = (c == config.num_centroids - 1)
+                              ? num_points - per_centroid * c
+                              : per_centroid;
+        for (int i = 0; i < count; ++i) {
+          points.push_back(GaussianPoint(space, centroids[static_cast<size_t>(c)],
+                                         config.stddev_frac, rng));
+        }
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<Point> GenerateQueryPoints(const Box& space,
+                                       const WorkloadConfig& config) {
+  assert(config.num_points >= 0);
+  Rng rng(config.seed);
+  const std::vector<Point> centroids =
+      MakeCentroids(space, config.num_centroids, rng);
+  return SamplePoints(space, config, config.num_points, centroids, rng);
+}
+
+TrainTestWorkload GenerateTrainTestWorkloads(const Box& space,
+                                             const WorkloadConfig& config,
+                                             int num_training_points,
+                                             int num_test_points) {
+  Rng centroid_rng(config.seed);
+  const std::vector<Point> centroids =
+      MakeCentroids(space, config.num_centroids, centroid_rng);
+  TrainTestWorkload out;
+  Rng training_rng(config.seed ^ 0x7261696eULL);  // "rain"
+  out.training = SamplePoints(space, config, num_training_points, centroids,
+                              training_rng);
+  Rng test_rng(config.seed ^ 0x74657374ULL);  // "test"
+  out.test = SamplePoints(space, config, num_test_points, centroids, test_rng);
+  return out;
+}
+
+std::vector<Point> GenerateDriftingWorkload(const Box& space, int num_points,
+                                            int num_phases, int num_centroids,
+                                            double stddev_frac, uint64_t seed) {
+  assert(num_phases >= 1);
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(num_points));
+  const int per_phase = num_points / num_phases;
+  for (int phase = 0; phase < num_phases; ++phase) {
+    const std::vector<Point> centroids =
+        MakeCentroids(space, num_centroids, rng);
+    const int count = (phase == num_phases - 1) ? num_points - per_phase * phase
+                                                : per_phase;
+    for (int i = 0; i < count; ++i) {
+      const auto c = static_cast<size_t>(rng.UniformInt(0, num_centroids - 1));
+      points.push_back(GaussianPoint(space, centroids[c], stddev_frac, rng));
+    }
+  }
+  return points;
+}
+
+}  // namespace mlq

@@ -1,0 +1,70 @@
+#ifndef MLQ_WORKLOAD_QUERY_DISTRIBUTION_H_
+#define MLQ_WORKLOAD_QUERY_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace mlq {
+
+// The three query-point distributions of Section 5.1.
+enum class QueryDistributionKind {
+  // Points uniform over the whole model space.
+  kUniform,
+  // c Gaussian centroids placed uniformly; every query picks a random
+  // centroid and scatters around it.
+  kGaussianRandom,
+  // Same centroids, but visited one after another: n/c consecutive queries
+  // per centroid. This is the workload whose *locality shifts over time*,
+  // stressing self-tuning.
+  kGaussianSequential,
+};
+
+std::string_view QueryDistributionKindName(QueryDistributionKind kind);
+
+// Workload-generation parameters; defaults are the paper's (c = 3 clusters,
+// sigma = 5% of each dimension's extent).
+struct WorkloadConfig {
+  QueryDistributionKind kind = QueryDistributionKind::kUniform;
+  int num_points = 5000;
+  int num_centroids = 3;
+  // Gaussian scatter per dimension, as a fraction of that dimension extent.
+  double stddev_frac = 0.05;
+  uint64_t seed = 42;
+};
+
+// Generates `config.num_points` query points inside `space` (coordinates
+// clamped into the space).
+std::vector<Point> GenerateQueryPoints(const Box& space,
+                                       const WorkloadConfig& config);
+
+// A training workload and a test workload drawn from the *same*
+// distribution — same centroid set, independent samples — which is the
+// paper's protocol for the static SH methods ("trained a-priori with a set
+// of queries that has the same distribution as the set used for testing").
+// The Gaussian centroids are fixed by config.seed; the two sample streams
+// are independent.
+struct TrainTestWorkload {
+  std::vector<Point> training;
+  std::vector<Point> test;
+};
+
+TrainTestWorkload GenerateTrainTestWorkloads(const Box& space,
+                                             const WorkloadConfig& config,
+                                             int num_training_points,
+                                             int num_test_points);
+
+// A drifting workload for the adaptation experiments: the stream is split
+// into `num_phases` equal phases, each using a fresh, independently placed
+// set of Gaussian centroids. Static models trained on phase 0 go stale;
+// self-tuning models follow the drift.
+std::vector<Point> GenerateDriftingWorkload(const Box& space, int num_points,
+                                            int num_phases, int num_centroids,
+                                            double stddev_frac, uint64_t seed);
+
+}  // namespace mlq
+
+#endif  // MLQ_WORKLOAD_QUERY_DISTRIBUTION_H_

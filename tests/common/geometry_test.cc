@@ -1,0 +1,154 @@
+#include "common/geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlq {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point p(3, 2.5);
+  EXPECT_EQ(p.dims(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(p[i], 2.5);
+  p[1] = -1.0;
+  EXPECT_DOUBLE_EQ(p[1], -1.0);
+}
+
+TEST(PointTest, InitializerList) {
+  Point p{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(p.dims(), 4);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[3], 4.0);
+}
+
+TEST(PointTest, DefaultIsZeroDimensional) {
+  Point p;
+  EXPECT_EQ(p.dims(), 0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1.0, 2.0}), (Point{1.0, 2.0}));
+  EXPECT_FALSE((Point{1.0, 2.0}) == (Point{1.0, 2.1}));
+  EXPECT_FALSE((Point{1.0, 2.0}) == (Point{1.0, 2.0, 0.0}));
+}
+
+TEST(PointTest, Distance) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo(a), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(PointTest, ToStringContainsCoordinates) {
+  Point p{1.5, -2.0};
+  EXPECT_EQ(p.ToString(), "(1.5, -2)");
+}
+
+TEST(BoxTest, CubeAndAccessors) {
+  Box b = Box::Cube(4, 0.0, 1000.0);
+  EXPECT_EQ(b.dims(), 4);
+  EXPECT_DOUBLE_EQ(b.lo()[2], 0.0);
+  EXPECT_DOUBLE_EQ(b.hi()[2], 1000.0);
+  EXPECT_DOUBLE_EQ(b.Extent(0), 1000.0);
+  EXPECT_DOUBLE_EQ(b.Volume(), 1e12);
+  EXPECT_DOUBLE_EQ(b.DiagonalLength(), 1000.0 * 2.0);  // sqrt(4) * 1000
+}
+
+TEST(BoxTest, ContainsHalfOpen) {
+  Box b = Box::Cube(2, 0.0, 10.0);
+  EXPECT_TRUE(b.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(b.Contains(Point{9.999, 5.0}));
+  EXPECT_FALSE(b.Contains(Point{10.0, 5.0}));
+  EXPECT_FALSE(b.Contains(Point{-0.001, 5.0}));
+}
+
+TEST(BoxTest, ContainsClosedIncludesUpperEdge) {
+  Box b = Box::Cube(2, 0.0, 10.0);
+  EXPECT_TRUE(b.ContainsClosed(Point{10.0, 10.0}));
+  EXPECT_FALSE(b.ContainsClosed(Point{10.0001, 10.0}));
+}
+
+TEST(BoxTest, Center) {
+  Box b(Point{0.0, 10.0}, Point{4.0, 20.0});
+  EXPECT_EQ(b.Center(), (Point{2.0, 15.0}));
+}
+
+TEST(BoxTest, ChildBoxesTwoDims) {
+  Box b = Box::Cube(2, 0.0, 8.0);
+  // Bit 0 -> dim 0 upper half, bit 1 -> dim 1 upper half.
+  EXPECT_EQ(b.Child(0), Box(Point{0.0, 0.0}, Point{4.0, 4.0}));
+  EXPECT_EQ(b.Child(1), Box(Point{4.0, 0.0}, Point{8.0, 4.0}));
+  EXPECT_EQ(b.Child(2), Box(Point{0.0, 4.0}, Point{4.0, 8.0}));
+  EXPECT_EQ(b.Child(3), Box(Point{4.0, 4.0}, Point{8.0, 8.0}));
+}
+
+TEST(BoxTest, ChildIndexMidpointGoesUp) {
+  Box b = Box::Cube(1, 0.0, 8.0);
+  EXPECT_EQ(b.ChildIndexOf(Point{3.999}), 0);
+  EXPECT_EQ(b.ChildIndexOf(Point{4.0}), 1);
+}
+
+TEST(BoxTest, Intersects) {
+  Box a(Point{0.0, 0.0}, Point{5.0, 5.0});
+  Box b(Point{4.0, 4.0}, Point{9.0, 9.0});
+  Box c(Point{6.0, 6.0}, Point{9.0, 9.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges count as intersecting (closed comparison).
+  Box d(Point{5.0, 0.0}, Point{7.0, 5.0});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+// Property sweep over dimensions: children partition the parent and
+// ChildIndexOf agrees with Child().
+class BoxDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxDimsTest, ChildrenTileParentVolume) {
+  const int dims = GetParam();
+  Box parent = Box::Cube(dims, -3.0, 5.0);
+  double child_volume = 0.0;
+  for (int c = 0; c < (1 << dims); ++c) {
+    child_volume += parent.Child(c).Volume();
+  }
+  EXPECT_NEAR(child_volume, parent.Volume(), 1e-9 * parent.Volume());
+}
+
+TEST_P(BoxDimsTest, ChildIndexOfMatchesChildContainment) {
+  const int dims = GetParam();
+  Box parent = Box::Cube(dims, 0.0, 1024.0);
+  Rng rng(99 + static_cast<uint64_t>(dims));
+  for (int trial = 0; trial < 500; ++trial) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.Uniform(0.0, 1024.0);
+    const int index = parent.ChildIndexOf(p);
+    const Box child = parent.Child(index);
+    EXPECT_TRUE(child.ContainsClosed(p))
+        << p.ToString() << " not in child " << index << " " << child.ToString();
+    // No other child may contain it under half-open semantics.
+    for (int c = 0; c < (1 << dims); ++c) {
+      if (c == index) continue;
+      EXPECT_FALSE(parent.Child(c).Contains(p));
+    }
+  }
+}
+
+TEST_P(BoxDimsTest, RecursiveChildDescentShrinksExtent) {
+  const int dims = GetParam();
+  Box box = Box::Cube(dims, 0.0, 1.0);
+  for (int depth = 1; depth <= 6; ++depth) {
+    box = box.Child(0);
+    for (int d = 0; d < dims; ++d) {
+      EXPECT_NEAR(box.Extent(d), std::pow(0.5, depth), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BoxDimsTest, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace mlq

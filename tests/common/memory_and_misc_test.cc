@@ -1,0 +1,149 @@
+// Tests for MemoryBudget, timers, the table printer, and argument parsing.
+
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/args.h"
+#include "common/memory_budget.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace mlq {
+namespace {
+
+TEST(MemoryBudgetTest, ChargeAndRelease) {
+  MemoryBudget budget(100);
+  EXPECT_EQ(budget.limit(), 100);
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(budget.available(), 100);
+
+  budget.Charge(40);
+  EXPECT_EQ(budget.used(), 40);
+  EXPECT_EQ(budget.available(), 60);
+
+  budget.Release(15);
+  EXPECT_EQ(budget.used(), 25);
+}
+
+TEST(MemoryBudgetTest, CanCharge) {
+  MemoryBudget budget(100);
+  budget.Charge(90);
+  EXPECT_TRUE(budget.CanCharge(10));
+  EXPECT_FALSE(budget.CanCharge(11));
+  EXPECT_TRUE(budget.CanCharge(0));
+}
+
+TEST(MemoryBudgetTest, PeakTracksHighWaterMark) {
+  MemoryBudget budget(1000);
+  budget.Charge(300);
+  budget.Charge(200);
+  budget.Release(400);
+  budget.Charge(50);
+  EXPECT_EQ(budget.used(), 150);
+  EXPECT_EQ(budget.peak(), 500);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.009);
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_NEAR(timer.ElapsedMicros(), timer.ElapsedSeconds() * 1e6,
+              timer.ElapsedSeconds() * 1e5);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.004);
+}
+
+TEST(AccumulatingTimerTest, AccumulatesIntervals) {
+  AccumulatingTimer timer;
+  timer.Add(0.5);
+  timer.Add(0.25);
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.75);
+  EXPECT_EQ(timer.intervals(), 2);
+  timer.Reset();
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.0);
+  EXPECT_EQ(timer.intervals(), 0);
+}
+
+TEST(AccumulatingTimerTest, StartStop) {
+  AccumulatingTimer timer;
+  timer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  EXPECT_GE(timer.total_seconds(), 0.004);
+  EXPECT_EQ(timer.intervals(), 1);
+}
+
+TEST(WorkCounterTest, CountsAndConverts) {
+  WorkCounter counter;
+  counter.Add(100);
+  counter.Add(50);
+  EXPECT_EQ(counter.units(), 150);
+  EXPECT_DOUBLE_EQ(counter.NominalMicros(), 150 * kMicrosPerWorkUnit);
+  counter.Reset();
+  EXPECT_EQ(counter.units(), 0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "10000"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      10000"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);  // Must not crash; missing cells become empty.
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(1.0, 4), "1.0000");
+  EXPECT_EQ(TablePrinter::Num(-0.5, 1), "-0.5");
+}
+
+TEST(ArgsTest, FindsNamedValues) {
+  const char* argv[] = {"tool", "--csv=out.csv", "--n=50", "--flag"};
+  char** args = const_cast<char**>(argv);
+  EXPECT_EQ(ArgValue(4, args, "csv"), "out.csv");
+  EXPECT_EQ(ArgValue(4, args, "n"), "50");
+  EXPECT_EQ(ArgValue(4, args, "missing"), "");
+  EXPECT_EQ(ArgValue(4, args, "missing", "default"), "default");
+  // A bare flag is not a value argument.
+  EXPECT_EQ(ArgValue(4, args, "flag"), "");
+}
+
+TEST(ArgsTest, EmptyValueAndPrefixCollisions) {
+  const char* argv[] = {"tool", "--csv=", "--csvx=nope"};
+  char** args = const_cast<char**>(argv);
+  EXPECT_EQ(ArgValue(3, args, "csv"), "");
+  EXPECT_EQ(ArgValue(3, args, "csvx"), "nope");
+}
+
+TEST(ArgsTest, HasFlag) {
+  const char* argv[] = {"tool", "--verbose", "--out=x"};
+  char** args = const_cast<char**>(argv);
+  EXPECT_TRUE(HasFlag(3, args, "verbose"));
+  EXPECT_FALSE(HasFlag(3, args, "out"));  // Has a value, not a bare flag.
+  EXPECT_FALSE(HasFlag(3, args, "quiet"));
+}
+
+}  // namespace
+}  // namespace mlq

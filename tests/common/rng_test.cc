@@ -1,0 +1,159 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next64(), b.Next64()) << "diverged at draw " << i;
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(123);
+  Rng b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() != b.Next64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.Next64());
+  rng.Reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Next64(), first[static_cast<size_t>(i)]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform(-5.0, 17.0);
+    ASSERT_GE(v, -5.0);
+    ASSERT_LT(v, 17.0);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRangeReturnsLo) {
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(rng.Uniform(3.0, 3.0), 3.0);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all 10 values should appear in 10k draws";
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-10, -1);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -1);
+  }
+}
+
+TEST(RngTest, UniformIntApproximatelyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(0, 9))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100) << "bin count far from uniform";
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(100.0, 15.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.3);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.Split();
+  // The child stream should not equal the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next64() == child.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,140 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlq {
+namespace {
+
+// Direct (two-pass) SSE for cross-checking Eq. 4.
+double DirectSse(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double sse = 0.0;
+  for (double v : values) sse += (v - mean) * (v - mean);
+  return sse;
+}
+
+TEST(SummaryTripleTest, EmptySummary) {
+  SummaryTriple s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_DOUBLE_EQ(s.Avg(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sse(), 0.0);
+}
+
+TEST(SummaryTripleTest, SingleValue) {
+  SummaryTriple s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.sum, 5.0);
+  EXPECT_DOUBLE_EQ(s.sum_squares, 25.0);
+  EXPECT_DOUBLE_EQ(s.Avg(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Sse(), 0.0);
+}
+
+TEST(SummaryTripleTest, PaperExampleFigure5) {
+  // Fig. 5 of the paper: block B14 holds values 3 and 14 after P2 arrives;
+  // its summary is (17, 2, 205) and SSE 60.5. (The figure's SSE of 67
+  // includes a third point in a sub-block; this checks the two-point math.)
+  SummaryTriple s;
+  s.Add(3.0);
+  s.Add(14.0);
+  EXPECT_DOUBLE_EQ(s.sum, 17.0);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.sum_squares, 205.0);
+  EXPECT_DOUBLE_EQ(s.Avg(), 8.5);
+  EXPECT_DOUBLE_EQ(s.Sse(), 205.0 - 2.0 * 8.5 * 8.5);
+}
+
+TEST(SummaryTripleTest, SseMatchesDirectComputation) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> values;
+    SummaryTriple s;
+    const int n = static_cast<int>(rng.UniformInt(1, 200));
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.Uniform(0.0, 10000.0);
+      values.push_back(v);
+      s.Add(v);
+    }
+    const double expected = DirectSse(values);
+    EXPECT_NEAR(s.Sse(), expected, 1e-6 * std::max(1.0, expected));
+  }
+}
+
+TEST(SummaryTripleTest, SseNeverNegative) {
+  // Many identical large values: catastrophic cancellation would go
+  // negative without the clamp.
+  SummaryTriple s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + 0.1);
+  EXPECT_GE(s.Sse(), 0.0);
+}
+
+TEST(SummaryTripleTest, MergeEqualsSequentialAdds) {
+  SummaryTriple a;
+  SummaryTriple b;
+  SummaryTriple all;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Uniform(-50.0, 50.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_NEAR(a.sum, all.sum, 1e-9);
+  EXPECT_NEAR(a.sum_squares, all.sum_squares, 1e-6);
+}
+
+TEST(SummaryTripleTest, NegativeValues) {
+  SummaryTriple s;
+  s.Add(-4.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.Avg(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Sse(), 32.0);
+}
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);  // Population variance.
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MatchesDirectMoments) {
+  Rng rng(7);
+  RunningStat s;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.Gaussian(10.0, 3.0);
+    s.Add(v);
+    values.push_back(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.Variance(), DirectSse(values) / static_cast<double>(values.size()),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,118 @@
+#include "common/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlq {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfOutOfRangeIsZero) {
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(11), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(-3), 0.0);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfDistribution zipf(50, 1.0);
+  for (int64_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.Pmf(k), zipf.Pmf(k + 1));
+  }
+}
+
+TEST(ZipfTest, ZipfZeroIsUniform) {
+  ZipfDistribution zipf(20, 0.0);
+  for (int64_t k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 1.0 / 20.0, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfDistribution zipf(30, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t s = zipf.Sample(rng);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 30);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  }
+  for (int64_t k = 1; k <= 10; ++k) {
+    const double observed = static_cast<double>(counts[static_cast<size_t>(k)]) / n;
+    EXPECT_NEAR(observed, zipf.Pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, RankOneDominatesWithZ1) {
+  ZipfDistribution zipf(1000, 1.0);
+  // With z = 1 and n = 1000, rank 1 holds about 1/H_1000 ~ 13.4% of mass.
+  EXPECT_GT(zipf.Pmf(1), 0.10);
+  EXPECT_GT(zipf.Pmf(1), 50 * zipf.Pmf(100));
+}
+
+TEST(ZipfTest, RelativeWeightNormalizedToRankOne) {
+  ZipfDistribution zipf(100, 2.0);
+  EXPECT_DOUBLE_EQ(zipf.RelativeWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.RelativeWeight(2), 0.25);
+  EXPECT_DOUBLE_EQ(zipf.RelativeWeight(0), 0.0);
+}
+
+TEST(ZipfTest, SingleRankAlwaysSamplesOne) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(1), 1.0);
+}
+
+// Property sweep: the CDF must be monotone and end at 1 for many (n, z).
+class ZipfParamTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ZipfParamTest, PmfIsValidDistribution) {
+  const auto [n, z] = GetParam();
+  ZipfDistribution zipf(n, z);
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    const double p = zipf.Pmf(k);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ZipfParamTest, SamplingStaysInRange) {
+  const auto [n, z] = GetParam();
+  ZipfDistribution zipf(n, z);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t s = zipf.Sample(rng);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 100, 5000),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace mlq

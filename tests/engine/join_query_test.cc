@@ -1,0 +1,227 @@
+// Tests for UDF predicate placement around a join.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/join_query.h"
+#include "eval/experiment_setup.h"
+
+namespace mlq {
+namespace {
+
+class JoinQueryTest : public ::testing::Test {
+ protected:
+  JoinQueryTest()
+      : suite_(MakeRealUdfSuite(SubstrateScale::kSmall)),
+        docs_("docs", {"doc_key", "kw1", "kw2"}),
+        places_("places", {"place_key", "x", "y"}) {
+    Rng rng(11);
+    const auto vocab =
+        static_cast<double>(suite_.text_engine->index().vocab_size());
+    // Keys 0..19; each docs key appears ~10x, each places key ~5x.
+    for (int i = 0; i < 200; ++i) {
+      docs_.AddRow(std::vector<double>{static_cast<double>(i % 20),
+                                       std::floor(rng.Uniform(1.0, vocab)),
+                                       std::floor(rng.Uniform(1.0, vocab))});
+    }
+    for (int i = 0; i < 100; ++i) {
+      places_.AddRow(std::vector<double>{static_cast<double>(i % 20),
+                                         rng.Uniform(0.0, 1000.0),
+                                         rng.Uniform(0.0, 1000.0)});
+    }
+  }
+
+  std::unique_ptr<UdfPredicate> MakeProxPredicate() {
+    return std::make_unique<UdfPredicate>(
+        "Contains", suite_.Find("PROX"), std::vector<int>{1, 2, -1},
+        Point{0.0, 0.0, 30.0}, 1);
+  }
+
+  std::unique_ptr<UdfPredicate> MakeWinPredicate() {
+    return std::make_unique<UdfPredicate>(
+        "InUrbanArea", suite_.Find("WIN"), std::vector<int>{1, 2, -1, -1},
+        Point{0.0, 0.0, 120.0, 120.0}, 5);
+  }
+
+  JoinQuery MakeQuery(const UdfPredicate* left, const UdfPredicate* right) {
+    JoinQuery query;
+    query.left = &docs_;
+    query.right = &places_;
+    query.left_join_column = 0;
+    query.right_join_column = 0;
+    if (left != nullptr) query.left_predicates = {left};
+    if (right != nullptr) query.right_predicates = {right};
+    return query;
+  }
+
+  RealUdfSuite suite_;
+  Table docs_;
+  Table places_;
+};
+
+TEST_F(JoinQueryTest, ExpectedJoinRowsIsExact) {
+  const JoinQuery query = MakeQuery(nullptr, nullptr);
+  // Every key k in 0..19: 10 docs x 5 places = 50 pairs; 20 keys -> 1000.
+  EXPECT_DOUBLE_EQ(ExpectedJoinRows(query), 1000.0);
+}
+
+TEST_F(JoinQueryTest, JoinWithoutPredicatesProducesCartesianPerKey) {
+  const JoinQuery query = MakeQuery(nullptr, nullptr);
+  CostCatalog catalog(1800);
+  const JoinPlan plan = PlanJoinQuery(query, catalog);
+  const ExecutionStats stats = ExecuteJoinQuery(query, plan, &catalog);
+  EXPECT_EQ(stats.rows_out, 1000);
+  EXPECT_DOUBLE_EQ(stats.actual_cost_micros, 0.0);
+}
+
+TEST_F(JoinQueryTest, ResultSetIndependentOfPlacement) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  const JoinQuery query = MakeQuery(prox.get(), win.get());
+  CostCatalog catalog(1800);
+
+  // Force all four placement combinations; row counts must agree.
+  int64_t expected = -1;
+  for (bool left_before : {false, true}) {
+    for (bool right_before : {false, true}) {
+      JoinPlan plan;
+      plan.left_before = {left_before};
+      plan.right_before = {right_before};
+      const ExecutionStats stats = ExecuteJoinQuery(query, plan, nullptr);
+      if (expected < 0) expected = stats.rows_out;
+      EXPECT_EQ(stats.rows_out, expected)
+          << "placement (" << left_before << ", " << right_before << ")";
+    }
+  }
+  EXPECT_GE(expected, 0);
+}
+
+TEST_F(JoinQueryTest, BelowJoinEvaluatesOncePerBaseRow) {
+  auto prox = MakeProxPredicate();
+  const JoinQuery query = MakeQuery(prox.get(), nullptr);
+  JoinPlan plan;
+  plan.left_before = {true};
+  const ExecutionStats stats = ExecuteJoinQuery(query, plan, nullptr);
+  EXPECT_EQ(stats.evaluations_per_predicate[0], docs_.num_rows());
+}
+
+TEST_F(JoinQueryTest, AboveJoinEvaluatesPerJoinedPair) {
+  auto prox = MakeProxPredicate();
+  const JoinQuery query = MakeQuery(prox.get(), nullptr);
+  JoinPlan plan;
+  plan.left_before = {false};
+  const ExecutionStats stats = ExecuteJoinQuery(query, plan, nullptr);
+  // 1000 joined pairs, short-circuiting only within a pair: every pair
+  // evaluates the single predicate once.
+  EXPECT_EQ(stats.evaluations_per_predicate[0], 1000);
+}
+
+TEST_F(JoinQueryTest, PlannerPullsExpensivePredicateAboveSelectiveJoin) {
+  // Make the join highly selective: give the right table keys that almost
+  // never match (only key 0 joins). An expensive left predicate should
+  // then be evaluated above the join (few joined rows) once the catalog
+  // knows its cost.
+  Table rare("rare", {"place_key", "x", "y"});
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    rare.AddRow(std::vector<double>{i == 0 ? 0.0 : 1e6 + i,
+                                    rng.Uniform(0.0, 1000.0),
+                                    rng.Uniform(0.0, 1000.0)});
+  }
+  auto prox = MakeProxPredicate();
+  JoinQuery query;
+  query.left = &docs_;
+  query.right = &rare;
+  query.left_join_column = 0;
+  query.right_join_column = 0;
+  query.left_predicates = {prox.get()};
+
+  // Join rows: docs with key 0 (10 rows) x 1 = 10 << 200 left rows.
+  EXPECT_DOUBLE_EQ(ExpectedJoinRows(query), 10.0);
+
+  CostCatalog catalog(1800);
+  // Warm the catalog so PROX's real cost is known.
+  {
+    const JoinPlan warmup = PlanJoinQuery(query, catalog);
+    ExecuteJoinQuery(query, warmup, &catalog);
+  }
+  const JoinPlan plan = PlanJoinQuery(query, catalog);
+  ASSERT_EQ(plan.left_before.size(), 1u);
+  EXPECT_FALSE(plan.left_before[0])
+      << "10 post-join evaluations beat 200 pre-join ones\n"
+      << plan.Explain(query);
+}
+
+TEST_F(JoinQueryTest, PlannerPushesPredicateBelowExplodingJoin) {
+  // Fan-out join: every pair matches (all keys equal), so 200 x 100 =
+  // 20000 joined rows >> 200 base rows. Predicates must be pushed below.
+  Table all_same("all_same", {"place_key", "x", "y"});
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    all_same.AddRow(std::vector<double>{0.0, rng.Uniform(0.0, 1000.0),
+                                        rng.Uniform(0.0, 1000.0)});
+  }
+  Table docs_same("docs_same", {"doc_key", "kw1", "kw2"});
+  const auto vocab =
+      static_cast<double>(suite_.text_engine->index().vocab_size());
+  for (int i = 0; i < 200; ++i) {
+    docs_same.AddRow(std::vector<double>{0.0,
+                                         std::floor(rng.Uniform(1.0, vocab)),
+                                         std::floor(rng.Uniform(1.0, vocab))});
+  }
+  auto prox = MakeProxPredicate();
+  JoinQuery query;
+  query.left = &docs_same;
+  query.right = &all_same;
+  query.left_join_column = 0;
+  query.right_join_column = 0;
+  query.left_predicates = {prox.get()};
+
+  CostCatalog catalog(1800);
+  {
+    const JoinPlan warmup = PlanJoinQuery(query, catalog);
+    ExecuteJoinQuery(query, warmup, &catalog);
+  }
+  const JoinPlan plan = PlanJoinQuery(query, catalog);
+  EXPECT_TRUE(plan.left_before[0]) << plan.Explain(query);
+}
+
+TEST_F(JoinQueryTest, ChosenPlacementCostsNoMoreThanTheOpposite) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  const JoinQuery query = MakeQuery(prox.get(), win.get());
+  CostCatalog catalog(1800);
+  // Warm the models.
+  ExecuteJoinQuery(query, PlanJoinQuery(query, catalog), &catalog);
+
+  const JoinPlan chosen = PlanJoinQuery(query, catalog);
+  JoinPlan opposite = chosen;
+  opposite.left_before[0] = !opposite.left_before[0];
+  opposite.right_before[0] = !opposite.right_before[0];
+
+  const ExecutionStats chosen_stats = ExecuteJoinQuery(query, chosen, nullptr);
+  const ExecutionStats opposite_stats =
+      ExecuteJoinQuery(query, opposite, nullptr);
+  EXPECT_LE(chosen_stats.actual_cost_micros,
+            opposite_stats.actual_cost_micros * 1.15)
+      << chosen.Explain(query);
+}
+
+TEST_F(JoinQueryTest, ExplainNamesEveryPredicateAndSide) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  const JoinQuery query = MakeQuery(prox.get(), win.get());
+  CostCatalog catalog(1800);
+  const JoinPlan plan = PlanJoinQuery(query, catalog);
+  const std::string text = plan.Explain(query);
+  EXPECT_NE(text.find("Contains"), std::string::npos);
+  EXPECT_NE(text.find("InUrbanArea"), std::string::npos);
+  EXPECT_NE(text.find("[left]"), std::string::npos);
+  EXPECT_NE(text.find("[right]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,67 @@
+#include "eval/csv_export.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+EvalResult MakeResult() {
+  EvalResult r;
+  r.model_name = "MLQ-E";
+  r.udf_name = "WIN";
+  r.num_queries = 100;
+  r.nae = 0.25;
+  r.apc_micros = 0.5;
+  r.ic_micros = 1.0;
+  r.cc_micros = 2.0;
+  r.auc_micros = 3.0;
+  r.compressions = 7;
+  r.total_udf_micros = 1e6;
+  r.total_prediction_seconds = 5e-5;
+  r.learning_curve = {0.5, 0.3, 0.25};
+  return r;
+}
+
+TEST(CsvExportTest, ResultsHeaderAndRow) {
+  std::vector<EvalResult> results = {MakeResult()};
+  std::ostringstream os;
+  WriteEvalResultsCsv(os, results);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("model,udf,num_queries,nae"), std::string::npos);
+  EXPECT_NE(out.find("MLQ-E,WIN,100,0.25,0.5,1,2,3,7,"), std::string::npos);
+  // Header + one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(CsvExportTest, EmptyResults) {
+  std::ostringstream os;
+  WriteEvalResultsCsv(os, {});
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(CsvExportTest, LearningCurves) {
+  std::vector<EvalResult> results = {MakeResult()};
+  std::ostringstream os;
+  WriteLearningCurvesCsv(os, results, /*window_size=*/250);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("MLQ-E,WIN,1,250,0.5"), std::string::npos);
+  EXPECT_NE(out.find("MLQ-E,WIN,2,500,0.3"), std::string::npos);
+  EXPECT_NE(out.find("MLQ-E,WIN,3,750,0.25"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(CsvExportTest, QuotesAwkwardNames) {
+  EvalResult r = MakeResult();
+  r.udf_name = "f(a,b) \"special\"";
+  std::vector<EvalResult> results = {r};
+  std::ostringstream os;
+  WriteEvalResultsCsv(os, results);
+  EXPECT_NE(os.str().find("\"f(a,b) \"\"special\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,159 @@
+#include "eval/evaluator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment_setup.h"
+#include "model/global_average_model.h"
+#include "model/mlq_model.h"
+#include "model/static_histogram.h"
+
+namespace mlq {
+namespace {
+
+std::unique_ptr<SyntheticUdf> EasyUdf() {
+  // Low peak count and no noise: self-tuning models should learn quickly.
+  return MakePaperSyntheticUdf(/*num_peaks=*/10, /*noise_probability=*/0.0,
+                               /*seed=*/31);
+}
+
+TEST(EvaluatorTest, SelfTuningPopulatesAllFields) {
+  auto udf = EasyUdf();
+  MlqModel model(udf->model_space(),
+                 MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+  const auto queries =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        1000, /*seed=*/1);
+  EvalOptions options;
+  options.learning_curve_window = 100;
+  const EvalResult result =
+      RunSelfTuningEvaluation(model, *udf, queries, options);
+
+  EXPECT_EQ(result.model_name, "MLQ-E");
+  EXPECT_EQ(result.udf_name, "SYNTH-10p");
+  EXPECT_EQ(result.num_queries, 1000);
+  EXPECT_GT(result.nae, 0.0);
+  EXPECT_GT(result.apc_micros, 0.0);
+  EXPECT_GT(result.auc_micros, 0.0);
+  EXPECT_DOUBLE_EQ(result.auc_micros, result.ic_micros + result.cc_micros);
+  EXPECT_GT(result.total_udf_micros, 0.0);
+  EXPECT_EQ(result.learning_curve.size(), 10u);
+  EXPECT_GT(result.compressions, 0);
+}
+
+TEST(EvaluatorTest, LearningCurveImprovesOnEasySurface) {
+  auto udf = EasyUdf();
+  MlqModel model(udf->model_space(),
+                 MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu,
+                                    /*memory=*/16384));
+  // Clustered queries: repeated visits to the same region must get easier.
+  const auto queries = MakePaperWorkload(udf->model_space(),
+                                         QueryDistributionKind::kGaussianRandom,
+                                         3000, /*seed=*/2);
+  EvalOptions options;
+  options.learning_curve_window = 500;
+  const EvalResult result =
+      RunSelfTuningEvaluation(model, *udf, queries, options);
+  ASSERT_EQ(result.learning_curve.size(), 6u);
+  EXPECT_LT(result.learning_curve.back(), result.learning_curve.front());
+}
+
+TEST(EvaluatorTest, StaticEvaluationTrainsThenPredicts) {
+  auto udf = EasyUdf();
+  EquiHeightHistogram model(udf->model_space(), kPaperMemoryBytes);
+  const auto training =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        2000, /*seed=*/3);
+  const auto test =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        1000, /*seed=*/4);
+  const EvalResult result =
+      RunStaticEvaluation(model, *udf, training, test, EvalOptions{});
+  EXPECT_TRUE(model.trained());
+  EXPECT_EQ(result.num_queries, 1000);
+  EXPECT_GT(result.apc_micros, 0.0);
+  // Static models do no updates.
+  EXPECT_DOUBLE_EQ(result.auc_micros, 0.0);
+  EXPECT_DOUBLE_EQ(result.ic_micros, 0.0);
+  EXPECT_EQ(result.compressions, 0);
+}
+
+TEST(EvaluatorTest, ExecuteAllReturnsRequestedKind) {
+  auto udf = EasyUdf();
+  const auto points =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        50, /*seed=*/5);
+  const auto cpu = ExecuteAll(*udf, points, CostKind::kCpu);
+  const auto io = ExecuteAll(*udf, points, CostKind::kIo);
+  ASSERT_EQ(cpu.size(), 50u);
+  ASSERT_EQ(io.size(), 50u);
+  for (size_t i = 0; i < cpu.size(); ++i) {
+    EXPECT_DOUBLE_EQ(io[i], cpu[i] * SyntheticUdf::kIoCostScale);
+  }
+}
+
+TEST(EvaluatorTest, OverheadRatiosAreSmall) {
+  // The paper's headline operational claim: modeling overhead is a tiny
+  // fraction of UDF execution cost (Fig. 10 reports fractions of a percent
+  // for prediction and at most ~1% for updates).
+  auto udf = EasyUdf();
+  MlqModel model(udf->model_space(),
+                 MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu));
+  const auto queries =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        2000, /*seed=*/6);
+  const EvalResult result =
+      RunSelfTuningEvaluation(model, *udf, queries, EvalOptions{});
+  EXPECT_GT(result.PcOverUdf(), 0.0);
+  EXPECT_LT(result.PcOverUdf(), 0.5);
+  EXPECT_DOUBLE_EQ(result.MucOverUdf(),
+                   result.IcOverUdf() + result.CcOverUdf());
+}
+
+TEST(ExperimentSetupTest, CompareAllMethodsReturnsFourInOrder) {
+  auto udf = EasyUdf();
+  const auto training =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        500, /*seed=*/7);
+  const auto test =
+      MakePaperWorkload(udf->model_space(), QueryDistributionKind::kUniform,
+                        500, /*seed=*/8);
+  const auto results = CompareAllMethods(*udf, training, test, CostKind::kCpu,
+                                         kPaperMemoryBytes);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].model_name, "MLQ-E");
+  EXPECT_EQ(results[1].model_name, "MLQ-L");
+  EXPECT_EQ(results[2].model_name, "SH-H");
+  EXPECT_EQ(results[3].model_name, "SH-W");
+  for (const auto& r : results) {
+    EXPECT_EQ(r.num_queries, 500);
+    EXPECT_GE(r.nae, 0.0);
+  }
+}
+
+TEST(ExperimentSetupTest, RealUdfSuiteHasSixUdfs) {
+  const RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  ASSERT_EQ(suite.udfs.size(), 6u);
+  EXPECT_NE(suite.Find("SIMPLE"), nullptr);
+  EXPECT_NE(suite.Find("THRESH"), nullptr);
+  EXPECT_NE(suite.Find("PROX"), nullptr);
+  EXPECT_NE(suite.Find("KNN"), nullptr);
+  EXPECT_NE(suite.Find("WIN"), nullptr);
+  EXPECT_NE(suite.Find("RANGE"), nullptr);
+  EXPECT_EQ(suite.Find("NOPE"), nullptr);
+}
+
+TEST(ExperimentSetupTest, PaperConstantsMatchSection51) {
+  EXPECT_EQ(kPaperMemoryBytes, 1800);
+  EXPECT_EQ(kPaperSyntheticQueries, 5000);
+  EXPECT_EQ(kPaperRealQueries, 2500);
+  const MlqConfig config =
+      MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kCpu);
+  EXPECT_EQ(config.max_depth, 6);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.05);
+  EXPECT_DOUBLE_EQ(config.gamma, 0.001);
+}
+
+}  // namespace
+}  // namespace mlq

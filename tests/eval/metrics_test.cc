@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+TEST(NaeTest, EmptyIsZero) {
+  NaeAccumulator nae;
+  EXPECT_DOUBLE_EQ(nae.Nae(), 0.0);
+  EXPECT_EQ(nae.count(), 0);
+}
+
+TEST(NaeTest, PerfectPredictionsGiveZero) {
+  NaeAccumulator nae;
+  nae.Add(10.0, 10.0);
+  nae.Add(55.0, 55.0);
+  EXPECT_DOUBLE_EQ(nae.Nae(), 0.0);
+}
+
+TEST(NaeTest, MatchesEquationTen) {
+  NaeAccumulator nae;
+  nae.Add(8.0, 10.0);   // |diff| = 2
+  nae.Add(25.0, 20.0);  // |diff| = 5
+  nae.Add(0.0, 10.0);   // |diff| = 10
+  EXPECT_DOUBLE_EQ(nae.Nae(), 17.0 / 40.0);
+  EXPECT_DOUBLE_EQ(nae.abs_error_sum(), 17.0);
+  EXPECT_DOUBLE_EQ(nae.actual_sum(), 40.0);
+  EXPECT_EQ(nae.count(), 3);
+}
+
+TEST(NaeTest, SymmetricInErrorSign) {
+  NaeAccumulator over;
+  NaeAccumulator under;
+  over.Add(15.0, 10.0);
+  under.Add(5.0, 10.0);
+  EXPECT_DOUBLE_EQ(over.Nae(), under.Nae());
+}
+
+TEST(NaeTest, ZeroActualSumFallsBackToMeanAbsoluteError) {
+  NaeAccumulator nae;
+  nae.Add(3.0, 0.0);
+  nae.Add(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(nae.Nae(), 2.0);
+}
+
+TEST(NaeTest, ResetClearsState) {
+  NaeAccumulator nae;
+  nae.Add(5.0, 10.0);
+  nae.Reset();
+  EXPECT_EQ(nae.count(), 0);
+  EXPECT_DOUBLE_EQ(nae.Nae(), 0.0);
+}
+
+TEST(LearningCurveTest, FlushesFullWindows) {
+  LearningCurve curve(2);
+  curve.Add(8.0, 10.0);   // Window 1: err 2 / act 10
+  curve.Add(10.0, 10.0);  // Window 1: err 0 -> NAE 2/20 = 0.1
+  curve.Add(0.0, 10.0);   // Window 2.
+  curve.Add(10.0, 10.0);  // Window 2 -> NAE 10/20 = 0.5
+  ASSERT_EQ(curve.series().size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.series()[0], 0.1);
+  EXPECT_DOUBLE_EQ(curve.series()[1], 0.5);
+}
+
+TEST(LearningCurveTest, FinishFlushesPartialWindow) {
+  LearningCurve curve(10);
+  curve.Add(5.0, 10.0);
+  EXPECT_TRUE(curve.series().empty());
+  curve.Finish();
+  ASSERT_EQ(curve.series().size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.series()[0], 0.5);
+  curve.Finish();  // Idempotent on empty window.
+  EXPECT_EQ(curve.series().size(), 1u);
+}
+
+TEST(LearningCurveTest, WindowSizeAccessor) {
+  LearningCurve curve(250);
+  EXPECT_EQ(curve.window_size(), 250);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,70 @@
+#include "model/concurrent_model.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+
+namespace mlq {
+namespace {
+
+TEST(ConcurrentModelTest, DelegatesEverything) {
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  ConcurrentCostModel model(std::make_unique<MlqModel>(
+      space, MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu)));
+  EXPECT_EQ(model.name(), "MLQ-E");
+  EXPECT_TRUE(model.IsSelfTuning());
+  model.Observe(Point{10.0, 10.0}, 42.0);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{10.0, 10.0}), 42.0);
+  EXPECT_GT(model.MemoryBytes(), 0);
+  EXPECT_EQ(model.update_breakdown().insertions, 1);
+}
+
+TEST(ConcurrentModelTest, ParallelFeedbackKeepsInvariants) {
+  // Hammer one model from several threads; afterwards the tree must be
+  // structurally sound and must have absorbed every observation.
+  const Box space = Box::Cube(3, 0.0, 1000.0);
+  auto inner = std::make_unique<MlqModel>(
+      space, MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+  MlqModel* raw = inner.get();
+  ConcurrentCostModel model(std::move(inner));
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int64_t> predictions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&model, &predictions, t]() {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0),
+                rng.Uniform(0.0, 1000.0)};
+        if (i % 3 == 0) {
+          const double v = model.Predict(p);
+          if (v >= 0.0) predictions.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          model.Observe(p, rng.Uniform(0.0, 10000.0));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // i % 3 == 0 hits ceil(kOpsPerThread / 3) = 667 of 2000 iterations.
+  const int kPredictionsPerThread = (kOpsPerThread + 2) / 3;
+  EXPECT_EQ(raw->update_breakdown().insertions,
+            kThreads * (kOpsPerThread - kPredictionsPerThread));
+  EXPECT_EQ(predictions.load(), kThreads * kPredictionsPerThread);
+  std::string error;
+  EXPECT_TRUE(raw->tree().CheckInvariants(&error)) << error;
+  EXPECT_LE(model.MemoryBytes(), kPaperMemoryBytes);
+}
+
+}  // namespace
+}  // namespace mlq

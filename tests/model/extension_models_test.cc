@@ -1,0 +1,174 @@
+// Tests for the extension models: PartitionedCostModel (nominal variables)
+// and NeuralCostModel (the online curve-fitting baseline).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "model/neural_model.h"
+#include "model/partitioned_model.h"
+
+namespace mlq {
+namespace {
+
+PartitionedCostModel::ModelFactory MlqFactory(const Box& space) {
+  return [space](int64_t budget) {
+    MlqConfig config = MakePaperMlqConfig(InsertionStrategy::kEager,
+                                          CostKind::kCpu, budget);
+    return std::make_unique<MlqModel>(space, config);
+  };
+}
+
+TEST(PartitionedModelTest, SplitsBudgetEvenly) {
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  PartitionedCostModel model(MlqFactory(space), /*max_partitions=*/3,
+                             /*total_budget=*/4000);
+  EXPECT_EQ(model.partition_budget_bytes(), 1000);
+}
+
+TEST(PartitionedModelTest, DistinctKeysLearnIndependently) {
+  const Box space = Box::Cube(1, 0.0, 100.0);
+  PartitionedCostModel model(MlqFactory(space), 4, 8000);
+  // Key 1: cheap everywhere. Key 2: expensive everywhere.
+  for (int i = 0; i < 50; ++i) {
+    model.Observe(1, Point{static_cast<double>(i)}, 10.0);
+    model.Observe(2, Point{static_cast<double>(i)}, 1000.0);
+  }
+  EXPECT_NEAR(model.Predict(1, Point{25.0}), 10.0, 1e-9);
+  EXPECT_NEAR(model.Predict(2, Point{25.0}), 1000.0, 1e-9);
+  EXPECT_EQ(model.num_partitions(), 2);
+}
+
+TEST(PartitionedModelTest, UnseenKeyPredictsZeroBeforeAnyOverflow) {
+  const Box space = Box::Cube(1, 0.0, 100.0);
+  PartitionedCostModel model(MlqFactory(space), 2, 4000);
+  EXPECT_DOUBLE_EQ(model.Predict(42, Point{1.0}), 0.0);
+  EXPECT_EQ(model.ModelForKey(42), nullptr);
+}
+
+TEST(PartitionedModelTest, OverflowKeysShareOneModel) {
+  const Box space = Box::Cube(1, 0.0, 100.0);
+  PartitionedCostModel model(MlqFactory(space), 2, 6000);
+  model.Observe(1, Point{10.0}, 100.0);
+  model.Observe(2, Point{10.0}, 200.0);
+  // Keys 3 and 4 exceed max_partitions: they share the overflow model.
+  model.Observe(3, Point{10.0}, 1000.0);
+  model.Observe(4, Point{10.0}, 3000.0);
+  EXPECT_EQ(model.num_partitions(), 2);
+  EXPECT_EQ(model.ModelForKey(3), model.ModelForKey(4));
+  // Overflow predictions mix both keys' observations.
+  EXPECT_NEAR(model.Predict(3, Point{10.0}), 2000.0, 1e-9);
+  // Unseen key 99 also routes to the overflow model once it exists.
+  EXPECT_NEAR(model.Predict(99, Point{10.0}), 2000.0, 1e-9);
+}
+
+TEST(PartitionedModelTest, MemoryIsSumOfSubModels) {
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  PartitionedCostModel model(MlqFactory(space), 3, 8000);
+  EXPECT_EQ(model.MemoryBytes(), 0);
+  model.Observe(7, Point{1.0, 1.0}, 5.0);
+  EXPECT_GT(model.MemoryBytes(), 0);
+  EXPECT_LE(model.MemoryBytes(), 8000);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    model.Observe(rng.UniformInt(0, 9),
+                  Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)},
+                  rng.Uniform(0.0, 100.0));
+  }
+  EXPECT_LE(model.MemoryBytes(), 8000) << "total budget must hold";
+}
+
+TEST(NeuralModelTest, SizesHiddenLayerToBudget) {
+  const Box space = Box::Cube(4, 0.0, 1000.0);
+  NeuralCostModel model(space, kPaperMemoryBytes);
+  // params = h*(4 + 2) + 1 <= 225 at 1800 bytes -> h = 37.
+  EXPECT_EQ(model.hidden_units(), 37);
+  EXPECT_LE(model.MemoryBytes(), kPaperMemoryBytes);
+}
+
+TEST(NeuralModelTest, UntrainedPredictsZero) {
+  NeuralCostModel model(Box::Cube(2, 0.0, 1.0), 1800);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{0.5, 0.5}), 0.0);
+  EXPECT_TRUE(model.IsSelfTuning());
+  EXPECT_EQ(model.name(), "NN");
+}
+
+TEST(NeuralModelTest, LearnsAConstantFunction) {
+  NeuralCostModel model(Box::Cube(2, 0.0, 100.0), 1800);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    model.Observe(Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)},
+                  500.0);
+  }
+  EXPECT_NEAR(model.Predict(Point{50.0, 50.0}), 500.0, 25.0);
+}
+
+TEST(NeuralModelTest, LearnsALinearRamp) {
+  NeuralCostModel::Options options;
+  options.steps_per_observation = 2;
+  NeuralCostModel model(Box::Cube(1, 0.0, 100.0), 1800, options);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform(0.0, 100.0);
+    model.Observe(Point{x}, 10.0 * x);
+  }
+  // Interior fit should be decent; tolerate 15% of the range.
+  for (double x : {20.0, 50.0, 80.0}) {
+    EXPECT_NEAR(model.Predict(Point{x}), 10.0 * x, 150.0) << "x = " << x;
+  }
+}
+
+TEST(NeuralModelTest, PredictionsNeverNegative) {
+  NeuralCostModel model(Box::Cube(2, 0.0, 100.0), 1800);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    model.Observe(Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)},
+                  rng.Uniform(0.0, 10.0));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double predicted =
+        model.Predict(Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)});
+    ASSERT_GE(predicted, 0.0);
+  }
+}
+
+TEST(NeuralModelTest, BreakdownCountsObservations) {
+  NeuralCostModel model(Box::Cube(1, 0.0, 1.0), 1800);
+  for (int i = 0; i < 10; ++i) model.Observe(Point{0.5}, 1.0);
+  EXPECT_EQ(model.update_breakdown().insertions, 10);
+  EXPECT_EQ(model.observations(), 10);
+  EXPECT_GE(model.update_breakdown().insert_seconds, 0.0);
+}
+
+TEST(NeuralModelTest, MlqBeatsNeuralOnSpikySurfaceAtEqualMemory) {
+  // The reason the paper's authors chose structure over curve fitting:
+  // spiky, discontinuous cost surfaces are hard for a tiny MLP but easy
+  // for a space-partitioning summary.
+  auto udf = MakePaperSyntheticUdf(/*num_peaks=*/50, 0.0, /*seed=*/5);
+  const Box space = udf->model_space();
+  const auto queries = MakePaperWorkload(
+      space, QueryDistributionKind::kGaussianRandom, 3000, /*seed=*/6);
+
+  MlqModel mlq(space, MakePaperMlqConfig(InsertionStrategy::kEager,
+                                         CostKind::kCpu));
+  NeuralCostModel nn(space, kPaperMemoryBytes);
+  double mlq_err = 0.0;
+  double nn_err = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Point& q = queries[i];
+    const double actual = udf->Execute(q).cpu_work;
+    if (i > 500) {
+      mlq_err += std::abs(mlq.Predict(q) - actual);
+      nn_err += std::abs(nn.Predict(q) - actual);
+    }
+    mlq.Observe(q, actual);
+    nn.Observe(q, actual);
+  }
+  EXPECT_LT(mlq_err, nn_err);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,163 @@
+// Tests for the influence-weighted histogram (SH-V): the interval
+// allocation the SH paper proposed but never specified.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/static_histogram.h"
+
+namespace mlq {
+namespace {
+
+// Training data where only dimension `active_dim` matters.
+void MakeSingleDimensionData(int dims, int active_dim, int n, uint64_t seed,
+                             std::vector<Point>* points,
+                             std::vector<double>* costs) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.Uniform(0.0, 100.0);
+    points->push_back(p);
+    costs->push_back(10.0 * p[active_dim]);
+  }
+}
+
+TEST(InfluenceHistogramTest, UntrainedPredictsZero) {
+  InfluenceWeightedHistogram h(Box::Cube(3, 0.0, 100.0), 1800);
+  EXPECT_FALSE(h.trained());
+  EXPECT_DOUBLE_EQ(h.Predict(Point{1.0, 2.0, 3.0}), 0.0);
+  EXPECT_FALSE(h.IsSelfTuning());
+  EXPECT_EQ(h.name(), "SH-V");
+}
+
+TEST(InfluenceHistogramTest, AllIntervalsGoToTheInfluentialDimension) {
+  const Box space = Box::Cube(4, 0.0, 100.0);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  MakeSingleDimensionData(4, /*active_dim=*/2, 3000, 1, &points, &costs);
+  InfluenceWeightedHistogram h(space, 1800);
+  h.Train(points, costs);
+
+  ASSERT_EQ(h.intervals().size(), 4u);
+  // Dimension 2 dominates the influence scores...
+  for (int d = 0; d < 4; ++d) {
+    if (d == 2) continue;
+    EXPECT_GT(h.influence()[2], 10.0 * h.influence()[static_cast<size_t>(d)]);
+  }
+  // ...so it receives (nearly) all the intervals: with 1800 bytes a single
+  // active dimension can afford >= 64 intervals, the rest stay at 1.
+  EXPECT_GE(h.intervals()[2], 64);
+  for (int d = 0; d < 4; ++d) {
+    if (d == 2) continue;
+    EXPECT_EQ(h.intervals()[static_cast<size_t>(d)], 1) << "dim " << d;
+  }
+  EXPECT_LE(h.MemoryBytes(), 1800);
+}
+
+TEST(InfluenceHistogramTest, BeatsPlainGridWhenOneDimensionMatters) {
+  // The whole point of the feature: on a cost surface driven by one of four
+  // variables, SH-V's focused grid out-predicts SH-W's uniform 3^4 grid at
+  // equal memory.
+  const Box space = Box::Cube(4, 0.0, 100.0);
+  std::vector<Point> train_points;
+  std::vector<double> train_costs;
+  MakeSingleDimensionData(4, 1, 4000, 2, &train_points, &train_costs);
+
+  InfluenceWeightedHistogram focused(space, 1800);
+  focused.Train(train_points, train_costs);
+  EquiWidthHistogram plain(space, 1800);
+  plain.Train(std::span<const Point>(train_points),
+              std::span<const double>(train_costs));
+
+  Rng rng(3);
+  double focused_err = 0.0;
+  double plain_err = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    Point q(4);
+    for (int d = 0; d < 4; ++d) q[d] = rng.Uniform(0.0, 100.0);
+    const double actual = 10.0 * q[1];
+    focused_err += std::abs(focused.Predict(q) - actual);
+    plain_err += std::abs(plain.Predict(q) - actual);
+  }
+  EXPECT_LT(focused_err, 0.25 * plain_err);
+}
+
+TEST(InfluenceHistogramTest, SymmetricInfluenceGetsBalancedIntervals) {
+  // Cost depends equally on both dimensions: intervals should split about
+  // evenly (within the doubling granularity).
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    points.push_back(p);
+    costs.push_back(p[0] + p[1]);
+  }
+  InfluenceWeightedHistogram h(space, 1800);
+  h.Train(points, costs);
+  const int a = h.intervals()[0];
+  const int b = h.intervals()[1];
+  EXPECT_LE(std::max(a, b), 2 * std::min(a, b));
+  EXPECT_GE(a * b, 64) << "the budget affords a reasonably fine 2-d grid";
+}
+
+TEST(InfluenceHistogramTest, ConstantCostSurfaceDegeneratesGracefully) {
+  const Box space = Box::Cube(3, 0.0, 10.0);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(
+        Point{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)});
+    costs.push_back(42.0);
+  }
+  InfluenceWeightedHistogram h(space, 1800);
+  h.Train(points, costs);
+  // No influence anywhere: a single bucket answering the global average.
+  EXPECT_EQ(h.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(h.Predict(Point{5.0, 5.0, 5.0}), 42.0);
+}
+
+TEST(InfluenceHistogramTest, EmptyTraining) {
+  InfluenceWeightedHistogram h(Box::Cube(2, 0.0, 1.0), 1800);
+  h.Train({}, {});
+  EXPECT_TRUE(h.trained());
+  EXPECT_DOUBLE_EQ(h.Predict(Point{0.5, 0.5}), 0.0);
+}
+
+TEST(InfluenceHistogramTest, CompetitiveOnPaperSurfaces) {
+  // On the paper's synthetic surfaces (all four dimensions matter through
+  // Euclidean distance) SH-V should roughly match SH-W, not collapse.
+  auto udf = MakePaperSyntheticUdf(/*num_peaks=*/50, 0.0, /*seed=*/6);
+  const Box space = udf->model_space();
+  const TrainTestWorkload workloads = MakePaperTrainTestWorkloads(
+      space, QueryDistributionKind::kUniform, 3000, 2000, 7);
+  std::vector<double> train_costs;
+  for (const Point& p : workloads.training) {
+    train_costs.push_back(udf->Execute(p).cpu_work);
+  }
+
+  InfluenceWeightedHistogram v(space, kPaperMemoryBytes);
+  v.Train(workloads.training, train_costs);
+  EquiWidthHistogram w(space, kPaperMemoryBytes);
+  w.Train(std::span<const Point>(workloads.training),
+          std::span<const double>(train_costs));
+
+  double v_err = 0.0;
+  double w_err = 0.0;
+  double act = 0.0;
+  for (const Point& q : workloads.test) {
+    const double actual = udf->Execute(q).cpu_work;
+    v_err += std::abs(v.Predict(q) - actual);
+    w_err += std::abs(w.Predict(q) - actual);
+    act += actual;
+  }
+  EXPECT_LT(v_err / act, 1.3 * (w_err / act) + 0.02);
+}
+
+}  // namespace
+}  // namespace mlq

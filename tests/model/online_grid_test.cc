@@ -1,0 +1,84 @@
+#include "model/online_grid_model.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+
+namespace mlq {
+namespace {
+
+TEST(OnlineGridTest, SizesGridToBudget) {
+  // 12 bytes per self-tuning bucket: 1800 / 12 = 150; for d = 4, 3^4 = 81
+  // buckets fit, 4^4 = 256 do not.
+  OnlineGridModel model(Box::Cube(4, 0.0, 1000.0), 1800);
+  EXPECT_EQ(model.intervals_per_dim(), 3);
+  EXPECT_EQ(model.num_buckets(), 81);
+  EXPECT_LE(model.MemoryBytes(), 1800);
+  EXPECT_TRUE(model.IsSelfTuning());
+  EXPECT_EQ(model.name(), "ST-GRID");
+}
+
+TEST(OnlineGridTest, LearnsBucketAverages) {
+  OnlineGridModel model(Box::Cube(1, 0.0, 100.0), 120);  // 10 buckets.
+  EXPECT_EQ(model.intervals_per_dim(), 10);
+  model.Observe(Point{5.0}, 10.0);
+  model.Observe(Point{6.0}, 20.0);
+  model.Observe(Point{95.0}, 500.0);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{3.0}), 15.0);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{99.0}), 500.0);
+}
+
+TEST(OnlineGridTest, EmptyBucketFallsBackToGlobalAverage) {
+  OnlineGridModel model(Box::Cube(1, 0.0, 100.0), 120);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{50.0}), 0.0);  // Nothing at all yet.
+  model.Observe(Point{5.0}, 100.0);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{55.0}), 100.0);  // Global fallback.
+}
+
+TEST(OnlineGridTest, OutOfRangeClamped) {
+  OnlineGridModel model(Box::Cube(1, 0.0, 100.0), 120);
+  model.Observe(Point{150.0}, 42.0);  // Clamps into the last bucket.
+  EXPECT_DOUBLE_EQ(model.Predict(Point{99.0}), 42.0);
+}
+
+TEST(OnlineGridTest, IgnoresNonFiniteFeedback) {
+  OnlineGridModel model(Box::Cube(1, 0.0, 100.0), 120);
+  model.Observe(Point{5.0}, std::numeric_limits<double>::quiet_NaN());
+  model.Observe(Point{5.0}, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(model.update_breakdown().insertions, 0);
+  model.Observe(Point{5.0}, 7.0);
+  EXPECT_DOUBLE_EQ(model.Predict(Point{5.0}), 7.0);
+}
+
+TEST(OnlineGridTest, MlqBeatsFlatGridOnSkewedWorkload) {
+  // The hierarchy ablation: with clustered queries MLQ concentrates its
+  // budget where the workload lives; the flat grid cannot.
+  auto udf = MakePaperSyntheticUdf(/*num_peaks=*/100, 0.0, /*seed=*/11);
+  const Box space = udf->model_space();
+  const auto queries = MakePaperWorkload(
+      space, QueryDistributionKind::kGaussianRandom, 4000, /*seed=*/12);
+
+  MlqModel mlq(space, MakePaperMlqConfig(InsertionStrategy::kLazy,
+                                         CostKind::kCpu));
+  OnlineGridModel grid(space, kPaperMemoryBytes);
+  double mlq_err = 0.0;
+  double grid_err = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Point& q = queries[i];
+    const double actual = udf->Execute(q).cpu_work;
+    if (i > 500) {
+      mlq_err += std::abs(mlq.Predict(q) - actual);
+      grid_err += std::abs(grid.Predict(q) - actual);
+    }
+    mlq.Observe(q, actual);
+    grid.Observe(q, actual);
+  }
+  EXPECT_LT(mlq_err, grid_err);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,304 @@
+#include "model/serialization.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+
+namespace mlq {
+namespace {
+
+std::unique_ptr<MemoryLimitedQuadtree> MakeTrainedTree(
+    InsertionStrategy strategy, int dims, int64_t budget, int n,
+    uint64_t seed) {
+  MlqConfig config = MakePaperMlqConfig(strategy, CostKind::kCpu, budget);
+  auto tree = std::make_unique<MemoryLimitedQuadtree>(
+      Box::Cube(dims, 0.0, 1000.0), config);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    tree->Insert(p, rng.Uniform(0.0, 10000.0));
+  }
+  return tree;
+}
+
+void ExpectTreesPredictIdentically(const MemoryLimitedQuadtree& a,
+                                   const MemoryLimitedQuadtree& b,
+                                   uint64_t seed) {
+  ASSERT_EQ(a.space(), b.space());
+  Rng rng(seed);
+  for (int i = 0; i < 500; ++i) {
+    Point q(a.space().dims());
+    for (int d = 0; d < q.dims(); ++d) q[d] = rng.Uniform(0.0, 1000.0);
+    const Prediction pa = a.Predict(q);
+    const Prediction pb = b.Predict(q);
+    ASSERT_DOUBLE_EQ(pa.value, pb.value) << q.ToString();
+    ASSERT_EQ(pa.depth, pb.depth);
+    ASSERT_EQ(pa.count, pb.count);
+  }
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 4, 1800, 1000, 1);
+  const auto bytes = SerializeQuadtree(*tree);
+  std::string error;
+  auto loaded = DeserializeQuadtree(bytes, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->num_nodes(), tree->num_nodes());
+  EXPECT_EQ(loaded->memory_used(), tree->memory_used());
+  EXPECT_EQ(loaded->config().max_depth, tree->config().max_depth);
+  EXPECT_EQ(loaded->config().beta, tree->config().beta);
+  EXPECT_EQ(loaded->compressed_once(), tree->compressed_once());
+  ExpectTreesPredictIdentically(*tree, *loaded, 2);
+}
+
+TEST(SerializationTest, RoundTripEmptyTree) {
+  MemoryLimitedQuadtree tree(
+      Box::Cube(2, -5.0, 5.0),
+      MakePaperMlqConfig(InsertionStrategy::kLazy, CostKind::kIo));
+  std::string error;
+  auto loaded = DeserializeQuadtree(SerializeQuadtree(tree), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->num_nodes(), 1);
+  EXPECT_EQ(loaded->config().strategy, InsertionStrategy::kLazy);
+  EXPECT_EQ(loaded->config().beta, kPaperBetaIo);
+}
+
+TEST(SerializationTest, LoadedTreeKeepsLearning) {
+  // The whole point of catalog persistence: resume self-tuning after a
+  // restart. Insert into the loaded tree and check it stays consistent.
+  auto tree = MakeTrainedTree(InsertionStrategy::kLazy, 3, 1800, 500, 3);
+  std::string error;
+  auto loaded = DeserializeQuadtree(SerializeQuadtree(*tree), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0),
+            rng.Uniform(0.0, 1000.0)};
+    loaded->Insert(p, rng.Uniform(0.0, 10000.0));
+    ASSERT_LE(loaded->memory_used(), loaded->memory_limit());
+  }
+  EXPECT_TRUE(loaded->CheckInvariants(&error)) << error;
+}
+
+TEST(SerializationTest, BytesAreCompact) {
+  // The serialized size should be in the same ballpark as the logical
+  // memory charge (it stores the same information).
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 4, 1800, 2000, 5);
+  const auto bytes = SerializeQuadtree(*tree);
+  EXPECT_LT(static_cast<int64_t>(bytes.size()), 3 * tree->memory_used());
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 2, 1800, 10, 6);
+  auto bytes = SerializeQuadtree(*tree);
+  bytes[0] ^= 0xff;
+  std::string error;
+  EXPECT_EQ(DeserializeQuadtree(bytes, &error), nullptr);
+  EXPECT_EQ(error, "bad magic");
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 2, 1800, 100, 7);
+  auto bytes = SerializeQuadtree(*tree);
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    std::string error;
+    EXPECT_EQ(DeserializeQuadtree(truncated, &error), nullptr)
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 2, 1800, 10, 8);
+  auto bytes = SerializeQuadtree(*tree);
+  bytes.push_back(0x42);
+  std::string error;
+  EXPECT_EQ(DeserializeQuadtree(bytes, &error), nullptr);
+  EXPECT_EQ(error, "trailing bytes");
+}
+
+TEST(SerializationTest, RejectsEmptyInput) {
+  std::string error;
+  EXPECT_EQ(DeserializeQuadtree({}, &error), nullptr);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 3, 1800, 300, 9);
+  const std::string path = ::testing::TempDir() + "/mlq_model.bin";
+  ASSERT_TRUE(SaveQuadtreeToFile(*tree, path));
+  std::string error;
+  auto loaded = LoadQuadtreeFromFile(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ExpectTreesPredictIdentically(*tree, *loaded, 10);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_EQ(LoadQuadtreeFromFile("/nonexistent/path/model.bin", &error),
+            nullptr);
+  EXPECT_EQ(error, "cannot open file");
+}
+
+TEST(SerializationTest, FuzzedCorruptionNeverCrashes) {
+  // Randomized robustness check: arbitrary single-byte corruptions and
+  // truncations must either round-trip to a valid tree (benign mutations,
+  // e.g. in a summary value) or fail cleanly with an error — never crash
+  // or produce a tree violating its invariants.
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 3, 1800, 400, 21);
+  const auto pristine = SerializeQuadtree(*tree);
+  Rng rng(12345);
+  int clean_failures = 0;
+  int survivors = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<uint8_t> mutated = pristine;
+    // 1-3 random byte mutations, sometimes a truncation.
+    const int edits = static_cast<int>(rng.UniformInt(1, 3));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    if (rng.NextBool(0.3)) {
+      mutated.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()))));
+    }
+    std::string error;
+    auto loaded = DeserializeQuadtree(mutated, &error);
+    if (loaded == nullptr) {
+      ++clean_failures;
+      EXPECT_FALSE(error.empty());
+    } else {
+      ++survivors;
+      std::string invariant_error;
+      EXPECT_TRUE(loaded->CheckInvariants(&invariant_error)) << invariant_error;
+    }
+  }
+  // Most corruptions must be caught; some (value-only) legitimately load.
+  EXPECT_GT(clean_failures, 200);
+  EXPECT_EQ(clean_failures + survivors, 1000);
+}
+
+// --- Histogram persistence ---------------------------------------------
+
+template <typename H>
+std::unique_ptr<H> MakeTrainedHistogram(const Box& space, int64_t budget,
+                                        int n, uint64_t seed) {
+  auto histogram = std::make_unique<H>(space, budget);
+  Rng rng(seed);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  for (int i = 0; i < n; ++i) {
+    Point p(space.dims());
+    for (int d = 0; d < space.dims(); ++d) {
+      p[d] = rng.Uniform(space.lo()[d], space.hi()[d]);
+    }
+    points.push_back(p);
+    costs.push_back(rng.Uniform(0.0, 5000.0));
+  }
+  histogram->Train(points, costs);
+  return histogram;
+}
+
+TEST(HistogramSerializationTest, EquiWidthRoundTrip) {
+  const Box space = Box::Cube(3, 0.0, 100.0);
+  auto original =
+      MakeTrainedHistogram<EquiWidthHistogram>(space, 1800, 500, 31);
+  std::string error;
+  auto loaded = DeserializeHistogram(SerializeHistogram(*original), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), "SH-W");
+  EXPECT_EQ(loaded->intervals_per_dim(), original->intervals_per_dim());
+  EXPECT_EQ(loaded->MemoryBytes(), original->MemoryBytes());
+  Rng rng(32);
+  for (int i = 0; i < 300; ++i) {
+    Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0),
+            rng.Uniform(0.0, 100.0)};
+    ASSERT_DOUBLE_EQ(loaded->Predict(q), original->Predict(q));
+  }
+}
+
+TEST(HistogramSerializationTest, EquiHeightRoundTrip) {
+  const Box space = Box::Cube(2, -10.0, 10.0);
+  auto original =
+      MakeTrainedHistogram<EquiHeightHistogram>(space, 1800, 800, 33);
+  std::string error;
+  auto loaded = DeserializeHistogram(SerializeHistogram(*original), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), "SH-H");
+  Rng rng(34);
+  for (int i = 0; i < 300; ++i) {
+    Point q{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    ASSERT_DOUBLE_EQ(loaded->Predict(q), original->Predict(q));
+  }
+}
+
+TEST(HistogramSerializationTest, UntrainedRoundTrip) {
+  EquiWidthHistogram original(Box::Cube(2, 0.0, 1.0), 800);
+  std::string error;
+  auto loaded = DeserializeHistogram(SerializeHistogram(original), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_FALSE(loaded->trained());
+  EXPECT_DOUBLE_EQ(loaded->Predict(Point{0.5, 0.5}), 0.0);
+}
+
+TEST(HistogramSerializationTest, RejectsCorruption) {
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  auto original =
+      MakeTrainedHistogram<EquiHeightHistogram>(space, 1800, 100, 35);
+  auto bytes = SerializeHistogram(*original);
+  // Bad magic.
+  {
+    auto corrupted = bytes;
+    corrupted[0] ^= 0xff;
+    std::string error;
+    EXPECT_EQ(DeserializeHistogram(corrupted, &error), nullptr);
+  }
+  // Truncations at assorted cut points.
+  for (size_t cut : {size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    std::string error;
+    EXPECT_EQ(DeserializeHistogram(truncated, &error), nullptr)
+        << "cut " << cut;
+  }
+  // A quadtree blob is not a histogram blob.
+  {
+    auto tree = MakeTrainedTree(InsertionStrategy::kEager, 2, 1800, 10, 36);
+    std::string error;
+    EXPECT_EQ(DeserializeHistogram(SerializeQuadtree(*tree), &error), nullptr);
+    EXPECT_EQ(DeserializeQuadtree(SerializeHistogram(*original), &error),
+              nullptr);
+  }
+}
+
+// Round-trip must hold across dimensions and strategies.
+class SerializationSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, InsertionStrategy>> {};
+
+TEST_P(SerializationSweepTest, RoundTrip) {
+  const auto [dims, strategy] = GetParam();
+  auto tree = MakeTrainedTree(strategy, dims, 4096, 800,
+                              100 + static_cast<uint64_t>(dims));
+  std::string error;
+  auto loaded = DeserializeQuadtree(SerializeQuadtree(*tree), &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_TRUE(loaded->CheckInvariants(&error)) << error;
+  ExpectTreesPredictIdentically(*tree, *loaded, 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializationSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(InsertionStrategy::kEager,
+                                         InsertionStrategy::kLazy)));
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,184 @@
+#include "model/static_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlq {
+namespace {
+
+// Helper: trains a histogram on parallel arrays.
+template <typename H>
+void TrainOn(H& histogram, const std::vector<Point>& points,
+             const std::vector<double>& costs) {
+  histogram.Train(std::span<const Point>(points),
+                  std::span<const double>(costs));
+}
+
+TEST(StaticHistogramTest, UntrainedPredictsZero) {
+  EquiWidthHistogram h(Box::Cube(2, 0.0, 10.0), 1800);
+  EXPECT_FALSE(h.trained());
+  EXPECT_DOUBLE_EQ(h.Predict(Point{5.0, 5.0}), 0.0);
+}
+
+TEST(StaticHistogramTest, IntervalCountRespectsBudget) {
+  // d = 4 at 1800 bytes: 3^4 * 8 = 648 fits, 4^4 * 8 = 2048 does not.
+  EquiWidthHistogram w4(Box::Cube(4, 0.0, 1.0), 1800);
+  TrainOn(w4, {Point{0.5, 0.5, 0.5, 0.5}}, {1.0});
+  EXPECT_EQ(w4.intervals_per_dim(), 3);
+  EXPECT_EQ(w4.num_buckets(), 81);
+  EXPECT_LE(w4.MemoryBytes(), 1800);
+
+  // d = 2 at 1800 bytes: 15^2 * 8 = 1800 fits exactly, 16^2 * 8 doesn't.
+  EquiWidthHistogram w2(Box::Cube(2, 0.0, 1.0), 1800);
+  TrainOn(w2, {Point{0.5, 0.5}}, {1.0});
+  EXPECT_EQ(w2.intervals_per_dim(), 15);
+}
+
+TEST(StaticHistogramTest, EquiHeightChargesBoundaries) {
+  // SH-H additionally pays 8 bytes per inner boundary per dimension, so at
+  // a tight budget it can afford fewer intervals than SH-W.
+  EquiHeightHistogram h(Box::Cube(2, 0.0, 1.0), 1800);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+    costs.push_back(1.0);
+  }
+  TrainOn(h, points, costs);
+  const int n = h.intervals_per_dim();
+  EXPECT_LE(n * n * 8 + 2 * (n - 1) * 8, 1800);
+  EXPECT_GT(((n + 1) * (n + 1)) * 8 + 2 * n * 8, 1800);
+  EXPECT_LE(h.MemoryBytes(), 1800);
+}
+
+TEST(StaticHistogramTest, EquiWidthPredictsBucketAverage) {
+  EquiWidthHistogram h(Box::Cube(1, 0.0, 10.0), 80);  // 10 buckets of width 1.
+  TrainOn(h,
+          {Point{0.5}, Point{0.7}, Point{5.5}},
+          {10.0, 20.0, 99.0});
+  EXPECT_EQ(h.intervals_per_dim(), 10);
+  EXPECT_DOUBLE_EQ(h.Predict(Point{0.2}), 15.0);  // Bucket [0,1): avg(10,20).
+  EXPECT_DOUBLE_EQ(h.Predict(Point{5.9}), 99.0);
+}
+
+TEST(StaticHistogramTest, EmptyBucketFallsBackToGlobalAverage) {
+  EquiWidthHistogram h(Box::Cube(1, 0.0, 10.0), 80);
+  TrainOn(h, {Point{0.5}, Point{1.5}}, {10.0, 30.0});
+  // Bucket [9,10) saw no training point.
+  EXPECT_DOUBLE_EQ(h.Predict(Point{9.5}), 20.0);
+}
+
+TEST(StaticHistogramTest, OutOfRangeQueryIsClamped) {
+  EquiWidthHistogram h(Box::Cube(1, 0.0, 10.0), 80);
+  TrainOn(h, {Point{9.5}}, {77.0});
+  EXPECT_DOUBLE_EQ(h.Predict(Point{50.0}), 77.0);
+  EXPECT_DOUBLE_EQ(h.Predict(Point{10.0}), 77.0);  // Upper edge -> last bucket.
+}
+
+TEST(StaticHistogramTest, ObserveIsIgnored) {
+  EquiWidthHistogram h(Box::Cube(1, 0.0, 10.0), 80);
+  TrainOn(h, {Point{0.5}}, {10.0});
+  const double before = h.Predict(Point{0.5});
+  h.Observe(Point{0.5}, 1e9);
+  EXPECT_DOUBLE_EQ(h.Predict(Point{0.5}), before);
+  EXPECT_FALSE(h.IsSelfTuning());
+}
+
+TEST(StaticHistogramTest, RetrainReplacesModel) {
+  EquiWidthHistogram h(Box::Cube(1, 0.0, 10.0), 80);
+  TrainOn(h, {Point{0.5}}, {10.0});
+  TrainOn(h, {Point{0.5}}, {50.0});
+  EXPECT_DOUBLE_EQ(h.Predict(Point{0.5}), 50.0);
+}
+
+TEST(StaticHistogramTest, EquiHeightBoundariesAreQuantiles) {
+  // Skewed 1-d training data: most mass near 0. Equi-height boundaries must
+  // land where the data is, not at equal widths.
+  EquiHeightHistogram h(Box::Cube(1, 0.0, 100.0), 80 + 9 * 8);  // 10 intervals.
+  std::vector<Point> points;
+  std::vector<double> costs;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    // 90% of points in [0, 10), 10% spread over [10, 100).
+    const double x = rng.NextDouble() < 0.9 ? rng.Uniform(0.0, 10.0)
+                                            : rng.Uniform(10.0, 100.0);
+    points.push_back(Point{x});
+    costs.push_back(x);
+  }
+  TrainOn(h, points, costs);
+  ASSERT_EQ(h.intervals_per_dim(), 10);
+  // With ~90% of data below 10, at least 8 of the 9 boundaries sit below 15.
+  // Verify indirectly: two nearby small coordinates in dense territory land
+  // in different buckets (fine resolution), while the sparse tail is coarse.
+  EXPECT_NE(h.Predict(Point{1.0}), h.Predict(Point{9.0}));
+}
+
+TEST(StaticHistogramTest, EquiHeightHandlesConstantMarginal) {
+  // All training points share one coordinate: quantile boundaries collapse;
+  // the histogram must stay usable.
+  EquiHeightHistogram h(Box::Cube(2, 0.0, 10.0), 1800);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(Point{5.0, static_cast<double>(i % 10)});
+    costs.push_back(static_cast<double>(i));
+  }
+  TrainOn(h, points, costs);
+  const double p = h.Predict(Point{5.0, 3.0});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 49.0);
+}
+
+TEST(StaticHistogramTest, TrainingOnEmptyWorkload) {
+  EquiHeightHistogram h(Box::Cube(2, 0.0, 10.0), 1800);
+  TrainOn(h, {}, {});
+  EXPECT_TRUE(h.trained());
+  EXPECT_DOUBLE_EQ(h.Predict(Point{1.0, 1.0}), 0.0);
+}
+
+TEST(StaticHistogramTest, Names) {
+  EquiWidthHistogram w(Box::Cube(1, 0.0, 1.0), 100);
+  EquiHeightHistogram h(Box::Cube(1, 0.0, 1.0), 100);
+  EXPECT_EQ(w.name(), "SH-W");
+  EXPECT_EQ(h.name(), "SH-H");
+}
+
+// Property: on uniformly distributed data, predictions of both variants are
+// convex combinations of training costs (within the observed range).
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, PredictionsWithinTrainingRange) {
+  const int dims = GetParam();
+  const Box space = Box::Cube(dims, 0.0, 1000.0);
+  std::vector<Point> points;
+  std::vector<double> costs;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    points.push_back(p);
+    costs.push_back(rng.Uniform(500.0, 600.0));
+  }
+  EquiWidthHistogram w(space, 1800);
+  EquiHeightHistogram h(space, 1800);
+  TrainOn(w, points, costs);
+  TrainOn(h, points, costs);
+  for (int i = 0; i < 200; ++i) {
+    Point q(dims);
+    for (int d = 0; d < dims; ++d) q[d] = rng.Uniform(0.0, 1000.0);
+    for (double predicted : {w.Predict(q), h.Predict(q)}) {
+      EXPECT_GE(predicted, 500.0);
+      EXPECT_LE(predicted, 600.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mlq

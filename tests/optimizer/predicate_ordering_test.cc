@@ -1,0 +1,106 @@
+#include "optimizer/predicate_ordering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+std::vector<PredicateEstimate> ThreePredicates() {
+  return {
+      {"cheap_selective", 1.0, 0.1},
+      {"expensive_selective", 100.0, 0.1},
+      {"cheap_permissive", 1.0, 0.9},
+  };
+}
+
+TEST(PredicateOrderingTest, RankFormula) {
+  PredicateEstimate p{"p", 10.0, 0.2};
+  EXPECT_DOUBLE_EQ(p.Rank(), (0.2 - 1.0) / 10.0);
+}
+
+TEST(PredicateOrderingTest, ZeroCostPredicateRanksFirst) {
+  PredicateEstimate free_p{"free", 0.0, 0.99};
+  PredicateEstimate cheap{"cheap", 0.001, 0.01};
+  EXPECT_LT(free_p.Rank(), cheap.Rank());
+}
+
+TEST(PredicateOrderingTest, SequenceCostShortCircuits) {
+  const auto predicates = ThreePredicates();
+  const std::vector<int> order = {0, 1, 2};
+  // cost = 1 + 0.1*100 + 0.1*0.1*1 = 11.01
+  EXPECT_DOUBLE_EQ(SequenceCostPerTuple(predicates, order), 11.01);
+}
+
+TEST(PredicateOrderingTest, EmptyChainCostsNothing) {
+  EXPECT_DOUBLE_EQ(SequenceCostPerTuple({}, {}), 0.0);
+}
+
+TEST(PredicateOrderingTest, OrderingIsOptimalOverAllPermutations) {
+  const auto predicates = ThreePredicates();
+  const OrderingResult best = OrderPredicates(predicates);
+  std::vector<int> order(predicates.size());
+  std::iota(order.begin(), order.end(), 0);
+  double brute_best = 1e300;
+  do {
+    brute_best = std::min(brute_best, SequenceCostPerTuple(predicates, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_DOUBLE_EQ(best.expected_cost_per_tuple, brute_best);
+}
+
+TEST(PredicateOrderingTest, OptimalOnRandomizedInstances) {
+  // Rank ordering must match exhaustive search on many random 4-predicate
+  // instances (optimality of the rank metric for independent predicates).
+  uint64_t state = 12345;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PredicateEstimate> predicates;
+    for (int i = 0; i < 4; ++i) {
+      predicates.push_back(PredicateEstimate{
+          "p" + std::to_string(i), 0.5 + 100.0 * next_unit(), next_unit()});
+    }
+    const OrderingResult best = OrderPredicates(predicates);
+    std::vector<int> order(predicates.size());
+    std::iota(order.begin(), order.end(), 0);
+    double brute_best = 1e300;
+    do {
+      brute_best = std::min(brute_best, SequenceCostPerTuple(predicates, order));
+    } while (std::next_permutation(order.begin(), order.end()));
+    EXPECT_NEAR(best.expected_cost_per_tuple, brute_best,
+                1e-9 * brute_best)
+        << "trial " << trial;
+  }
+}
+
+TEST(PredicateOrderingTest, WorstIsAtLeastBest) {
+  const auto predicates = ThreePredicates();
+  const OrderingResult best = OrderPredicates(predicates);
+  EXPECT_GE(WorstSequenceCostPerTuple(predicates),
+            best.expected_cost_per_tuple);
+}
+
+TEST(PredicateOrderingTest, SelectivePredicateGoesBeforePermissiveAtEqualCost) {
+  std::vector<PredicateEstimate> predicates = {
+      {"permissive", 10.0, 0.9},
+      {"selective", 10.0, 0.1},
+  };
+  const OrderingResult result = OrderPredicates(predicates);
+  EXPECT_EQ(result.order.front(), 1);
+}
+
+TEST(PredicateOrderingTest, SingletonOrder) {
+  std::vector<PredicateEstimate> predicates = {{"only", 5.0, 0.5}};
+  const OrderingResult result = OrderPredicates(predicates);
+  ASSERT_EQ(result.order.size(), 1u);
+  EXPECT_EQ(result.order[0], 0);
+  EXPECT_DOUBLE_EQ(result.expected_cost_per_tuple, 5.0);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,156 @@
+// Tests for model-space expansion (the unknown-argument-ranges extension)
+// and recency-aware compression.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quadtree/memory_limited_quadtree.h"
+
+namespace mlq {
+namespace {
+
+MlqConfig ExpandingConfig(int64_t budget = 1 << 20) {
+  MlqConfig config;
+  config.strategy = InsertionStrategy::kEager;
+  config.max_depth = 4;
+  config.memory_limit_bytes = budget;
+  config.auto_expand = true;
+  return config;
+}
+
+TEST(ExpansionTest, CoveredPointIsNoOp) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), ExpandingConfig());
+  tree.ExpandToInclude(Point{50.0, 50.0});
+  EXPECT_EQ(tree.space(), Box::Cube(2, 0.0, 100.0));
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+TEST(ExpansionTest, DoublesTowardThePoint) {
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 100.0), ExpandingConfig());
+  tree.ExpandToInclude(Point{150.0});  // Above: extend upward once.
+  EXPECT_EQ(tree.space(), Box::Cube(1, 0.0, 200.0));
+  tree.ExpandToInclude(Point{-50.0});  // Below: extend downward once.
+  EXPECT_EQ(tree.space(), Box::Cube(1, -200.0, 200.0));
+}
+
+TEST(ExpansionTest, OldRootBecomesCorrectChild) {
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 100.0), ExpandingConfig());
+  tree.Insert(Point{10.0}, 5.0);
+  const int64_t nodes_before = tree.num_nodes();
+  tree.ExpandToInclude(Point{-1.0});
+  // Space is now [-100, 100]; the old [0, 100] block is the upper child.
+  EXPECT_EQ(tree.space(), Box::Cube(1, -100.0, 100.0));
+  EXPECT_EQ(tree.num_nodes(), nodes_before + 1);
+  const QuadtreeNode& root = tree.root();
+  ASSERT_NE(root.Child(1), nullptr);
+  EXPECT_EQ(root.Child(0), nullptr);
+  EXPECT_EQ(root.Child(1)->summary().count, 1);
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+}
+
+TEST(ExpansionTest, RootSummaryIsPreserved) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), ExpandingConfig());
+  tree.Insert(Point{10.0, 10.0}, 100.0);
+  tree.Insert(Point{90.0, 90.0}, 300.0);
+  tree.ExpandToInclude(Point{500.0, 500.0});
+  EXPECT_EQ(tree.root().summary().count, 2);
+  EXPECT_DOUBLE_EQ(tree.root().summary().sum, 400.0);
+}
+
+TEST(ExpansionTest, PredictionsSurviveExpansion) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), ExpandingConfig());
+  tree.Insert(Point{10.0, 10.0}, 42.0);
+  tree.ExpandToInclude(Point{900.0, 900.0});
+  EXPECT_DOUBLE_EQ(tree.Predict(Point{10.0, 10.0}).value, 42.0);
+  // The prediction still comes from a deep node, not the new coarse root.
+  EXPECT_GT(tree.Predict(Point{10.0, 10.0}).depth, 0);
+}
+
+TEST(ExpansionTest, MaxDepthGrowsToPreserveResolution) {
+  MlqConfig config = ExpandingConfig();
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 128.0), config);
+  EXPECT_EQ(tree.config().max_depth, 4);  // Finest block: 8 units.
+  tree.ExpandToInclude(Point{1000.0});    // Three doublings: 128 -> 1024.
+  EXPECT_EQ(tree.space(), Box::Cube(1, 0.0, 1024.0));
+  EXPECT_EQ(tree.config().max_depth, 7);  // Finest block still 8 units.
+}
+
+TEST(ExpansionTest, AutoExpandInsertLearnsOutOfRangePoints) {
+  MlqConfig config = ExpandingConfig();
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 100.0), config);
+  tree.Insert(Point{50.0}, 10.0);
+  tree.Insert(Point{350.0}, 900.0);  // Out of range: space must grow.
+  EXPECT_TRUE(tree.space().ContainsClosed(Point{350.0}));
+  // Without expansion this point would be clamped onto 100 and pollute the
+  // right edge; with expansion both regions predict their own values.
+  EXPECT_DOUBLE_EQ(tree.Predict(Point{50.0}).value, 10.0);
+  EXPECT_DOUBLE_EQ(tree.Predict(Point{350.0}).value, 900.0);
+}
+
+TEST(ExpansionTest, ClampingModeStillDefault) {
+  MlqConfig config;
+  config.memory_limit_bytes = 1 << 20;
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 100.0), config);
+  tree.Insert(Point{350.0}, 900.0);
+  EXPECT_EQ(tree.space(), Box::Cube(1, 0.0, 100.0));  // Unchanged.
+}
+
+TEST(ExpansionTest, RandomWorkloadWithGrowingRangeStaysConsistent) {
+  MlqConfig config = ExpandingConfig(/*budget=*/8192);
+  MemoryLimitedQuadtree tree(Box::Cube(3, 0.0, 10.0), config);
+  Rng rng(55);
+  double max_coordinate = 10.0;
+  for (int i = 0; i < 1500; ++i) {
+    max_coordinate *= 1.01;  // The observed range keeps creeping up.
+    Point p(3);
+    for (int d = 0; d < 3; ++d) p[d] = rng.Uniform(0.0, max_coordinate);
+    tree.Insert(p, rng.Uniform(0.0, 100.0));
+    ASSERT_LE(tree.memory_used(), config.memory_limit_bytes);
+  }
+  EXPECT_TRUE(tree.space().ContainsClosed(Point{0.0, 0.0, 0.0}));
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+  EXPECT_EQ(tree.root().summary().count, 1500);
+}
+
+TEST(RecencyCompressionTest, DecayEvictsStaleStructure) {
+  // Two trees at a tight budget see a workload that abandons region A for
+  // region B. With recency decay, region B ends up with more resolution.
+  auto run = [](double half_life) {
+    MlqConfig config;
+    config.strategy = InsertionStrategy::kEager;
+    config.max_depth = 6;
+    config.memory_limit_bytes = 1800;
+    config.recency_half_life = half_life;
+    MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 1000.0), config);
+    Rng rng(77);
+    // Phase A: high-variance cluster near (100, 100) -> big SSEG nodes.
+    for (int i = 0; i < 1500; ++i) {
+      Point p{rng.Gaussian(100.0, 30.0), rng.Gaussian(100.0, 30.0)};
+      tree.Insert(p, rng.Uniform(0.0, 10000.0));
+    }
+    // Phase B: cluster near (800, 800) with moderate values.
+    for (int i = 0; i < 1500; ++i) {
+      Point p{rng.Gaussian(800.0, 30.0), rng.Gaussian(800.0, 30.0)};
+      tree.Insert(p, rng.Uniform(400.0, 600.0));
+    }
+    // Resolution available in region B.
+    return tree.Predict(Point{800.0, 800.0}).depth;
+  };
+  const int paper_depth = run(0.0);
+  const int recency_depth = run(500.0);
+  EXPECT_GE(recency_depth, paper_depth)
+      << "recency decay must not reduce resolution in the active region";
+}
+
+TEST(RecencyCompressionTest, DisabledByDefaultMatchesPaperBehaviour) {
+  MlqConfig config;
+  EXPECT_DOUBLE_EQ(config.recency_half_life, 0.0);
+  EXPECT_FALSE(config.auto_expand);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,93 @@
+#include "quadtree/quadtree_node.h"
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+TEST(QuadtreeNodeTest, FreshNodeIsEmptyLeaf) {
+  QuadtreeNode node(nullptr, 0, 0);
+  EXPECT_TRUE(node.IsLeaf());
+  EXPECT_EQ(node.num_children(), 0);
+  EXPECT_EQ(node.parent(), nullptr);
+  EXPECT_EQ(node.depth(), 0);
+  EXPECT_TRUE(node.summary().Empty());
+}
+
+TEST(QuadtreeNodeTest, CreateChildSetsBackPointers) {
+  QuadtreeNode root(nullptr, 0, 0);
+  QuadtreeNode* child = root.CreateChild(5);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent(), &root);
+  EXPECT_EQ(child->index_in_parent(), 5);
+  EXPECT_EQ(child->depth(), 1);
+  EXPECT_FALSE(root.IsLeaf());
+  EXPECT_EQ(root.Child(5), child);
+  EXPECT_EQ(root.Child(4), nullptr);
+}
+
+TEST(QuadtreeNodeTest, ChildrenKeptSortedByIndex) {
+  QuadtreeNode root(nullptr, 0, 0);
+  root.CreateChild(9);
+  root.CreateChild(2);
+  root.CreateChild(15);
+  root.CreateChild(0);
+  int previous = -1;
+  for (const auto& entry : root.children()) {
+    EXPECT_GT(static_cast<int>(entry.index), previous);
+    previous = entry.index;
+  }
+  EXPECT_EQ(root.num_children(), 4);
+}
+
+TEST(QuadtreeNodeTest, RemoveChild) {
+  QuadtreeNode root(nullptr, 0, 0);
+  root.CreateChild(1);
+  root.CreateChild(3);
+  root.RemoveChild(1);
+  EXPECT_EQ(root.Child(1), nullptr);
+  EXPECT_NE(root.Child(3), nullptr);
+  EXPECT_EQ(root.num_children(), 1);
+  root.RemoveChild(3);
+  EXPECT_TRUE(root.IsLeaf());
+}
+
+TEST(QuadtreeNodeTest, SsegMatchesEquationNine) {
+  // SSEG(b) = C(b) * (AVG(parent) - AVG(b))^2.
+  QuadtreeNode root(nullptr, 0, 0);
+  QuadtreeNode* child = root.CreateChild(0);
+  // Parent holds {2, 4, 12}; child holds {2, 4}.
+  for (double v : {2.0, 4.0, 12.0}) root.mutable_summary().Add(v);
+  for (double v : {2.0, 4.0}) child->mutable_summary().Add(v);
+  const double parent_avg = 18.0 / 3.0;  // 6
+  const double child_avg = 3.0;
+  EXPECT_DOUBLE_EQ(child->Sseg(),
+                   2.0 * (parent_avg - child_avg) * (parent_avg - child_avg));
+}
+
+TEST(QuadtreeNodeTest, SsegZeroWhenAveragesMatch) {
+  QuadtreeNode root(nullptr, 0, 0);
+  QuadtreeNode* child = root.CreateChild(2);
+  for (double v : {5.0, 5.0}) root.mutable_summary().Add(v);
+  child->mutable_summary().Add(5.0);
+  EXPECT_DOUBLE_EQ(child->Sseg(), 0.0);
+}
+
+TEST(QuadtreeNodeTest, PaperCompressionExampleSsegValues) {
+  // Fig. 7(a): node B14 has avg 10 (s=30, c=3); children B141 (s=9, c=1)
+  // and B144 (s=11, c=1) have SSEG = 1 each.
+  QuadtreeNode b14(nullptr, 0, 0);
+  b14.mutable_summary().sum = 30;
+  b14.mutable_summary().count = 3;
+  QuadtreeNode* b141 = b14.CreateChild(0);
+  b141->mutable_summary().sum = 9;
+  b141->mutable_summary().count = 1;
+  QuadtreeNode* b144 = b14.CreateChild(3);
+  b144->mutable_summary().sum = 11;
+  b144->mutable_summary().count = 1;
+  EXPECT_DOUBLE_EQ(b141->Sseg(), 1.0);
+  EXPECT_DOUBLE_EQ(b144->Sseg(), 1.0);
+}
+
+}  // namespace
+}  // namespace mlq

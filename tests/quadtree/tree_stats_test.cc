@@ -1,0 +1,171 @@
+// Tests for tree introspection and the eviction-policy ablation knob.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quadtree/memory_limited_quadtree.h"
+#include "quadtree/tree_stats.h"
+
+namespace mlq {
+namespace {
+
+MlqConfig BigConfig(int max_depth = 4) {
+  MlqConfig config;
+  config.strategy = InsertionStrategy::kEager;
+  config.max_depth = max_depth;
+  config.memory_limit_bytes = 1 << 20;
+  return config;
+}
+
+TEST(TreeStatsTest, EmptyTree) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), BigConfig());
+  const TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.num_nodes, 1);
+  EXPECT_EQ(stats.num_leaves, 1);
+  EXPECT_EQ(stats.max_depth_present, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_leaf_depth, 0.0);
+  ASSERT_EQ(stats.nodes_per_depth.size(), 1u);
+  EXPECT_EQ(stats.nodes_per_depth[0], 1);
+}
+
+TEST(TreeStatsTest, SingleInsertChain) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), BigConfig(3));
+  tree.Insert(Point{10.0, 10.0}, 5.0);
+  const TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.num_nodes, 4);  // Root + chain of 3.
+  EXPECT_EQ(stats.num_leaves, 1);
+  EXPECT_EQ(stats.max_depth_present, 3);
+  EXPECT_DOUBLE_EQ(stats.mean_leaf_depth, 3.0);
+  // Every node in a single-value chain has the same average: all redundant.
+  EXPECT_DOUBLE_EQ(stats.redundant_node_fraction, 1.0);
+  for (int depth = 0; depth <= 3; ++depth) {
+    EXPECT_EQ(stats.nodes_per_depth[static_cast<size_t>(depth)], 1);
+    EXPECT_EQ(stats.points_per_depth[static_cast<size_t>(depth)], 1);
+  }
+}
+
+TEST(TreeStatsTest, CountsMatchTreeAccounting) {
+  MemoryLimitedQuadtree tree(Box::Cube(3, 0.0, 100.0), BigConfig());
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    tree.Insert(Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0),
+                      rng.Uniform(0.0, 100.0)},
+                rng.Uniform(0.0, 100.0));
+  }
+  const TreeStats stats = ComputeTreeStats(tree);
+  EXPECT_EQ(stats.num_nodes, tree.num_nodes());
+  EXPECT_EQ(stats.points_per_depth[0], 300);  // Root summarizes everything.
+  int64_t leaves = 0;
+  tree.ForEachNode([&](const QuadtreeNode& n, const Box&) {
+    if (n.IsLeaf()) ++leaves;
+  });
+  EXPECT_EQ(stats.num_leaves, leaves);
+}
+
+TEST(TreeStatsTest, ToStringMentionsEveryDepth) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), BigConfig(2));
+  tree.Insert(Point{1.0, 1.0}, 5.0);
+  const std::string text = TreeStatsToString(ComputeTreeStats(tree));
+  EXPECT_NE(text.find("depth 0"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+  EXPECT_NE(text.find("nodes=3"), std::string::npos);  // Root + chain of 2.
+}
+
+TEST(TreeStatsTest, DumpTreeShowsBlocksAndTruncates) {
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 8.0), BigConfig(2));
+  tree.Insert(Point{1.0}, 5.0);
+  const std::string dump = DumpTree(tree);
+  EXPECT_NE(dump.find("[leaf]"), std::string::npos);
+  EXPECT_NE(dump.find("n=1"), std::string::npos);
+  // Truncation path.
+  Rng rng(2);
+  MemoryLimitedQuadtree big(Box::Cube(2, 0.0, 100.0), BigConfig(5));
+  for (int i = 0; i < 500; ++i) {
+    big.Insert(Point{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)}, 1.0);
+  }
+  EXPECT_NE(DumpTree(big, 10).find("truncated"), std::string::npos);
+}
+
+// --- Eviction policies ------------------------------------------------------
+
+TEST(EvictionPolicyTest, CountOnlyEvictsLowestCountLeaf) {
+  MlqConfig config = BigConfig(1);
+  config.eviction_policy = EvictionPolicy::kCountOnly;
+  config.gamma = 1e-9;  // One eviction per compression.
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 8.0), config);
+  // Left leaf: 3 points whose average equals the root's (SSEG would be 0).
+  tree.Insert(Point{1.0}, 50.0);
+  tree.Insert(Point{1.5}, 50.0);
+  tree.Insert(Point{2.0}, 50.0);
+  // Right leaf: 1 point far from the root average (huge SSEG, tiny count).
+  tree.Insert(Point{6.0}, 50.0);
+  tree.Compress();
+  // SSEG policy would evict the left leaf; count policy evicts the right.
+  EXPECT_NE(tree.root().Child(0), nullptr);
+  EXPECT_EQ(tree.root().Child(1), nullptr);
+}
+
+TEST(EvictionPolicyTest, SsegIsTheDefaultAndPrefersRedundantLeaves) {
+  MlqConfig config = BigConfig(1);
+  config.gamma = 1e-9;
+  EXPECT_EQ(config.eviction_policy, EvictionPolicy::kSseg);
+  MemoryLimitedQuadtree tree(Box::Cube(1, 0.0, 8.0), config);
+  tree.Insert(Point{1.0}, 50.0);
+  tree.Insert(Point{1.5}, 50.0);
+  tree.Insert(Point{2.0}, 50.0);
+  tree.Insert(Point{6.0}, 500.0);
+  tree.Compress();
+  // Left leaf's average (50) is closer to the root's (162.5): its SSEG
+  // (3 * 112.5^2 ~ 38k) is below the right's ((162.5-500)^2 ~ 114k).
+  EXPECT_EQ(tree.root().Child(0), nullptr);
+  EXPECT_NE(tree.root().Child(1), nullptr);
+}
+
+TEST(EvictionPolicyTest, RandomRespectsBudgetAndInvariants) {
+  MlqConfig config;
+  config.strategy = InsertionStrategy::kEager;
+  config.memory_limit_bytes = 1800;
+  config.eviction_policy = EvictionPolicy::kRandom;
+  MemoryLimitedQuadtree tree(Box::Cube(4, 0.0, 1000.0), config);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    Point p(4);
+    for (int d = 0; d < 4; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    tree.Insert(p, rng.Uniform(0.0, 10000.0));
+    ASSERT_LE(tree.memory_used(), 1800);
+  }
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+  EXPECT_GT(tree.counters().compressions, 0);
+}
+
+TEST(EvictionPolicyTest, SsegBeatsRandomOnAccuracy) {
+  // The paper's policy must out-predict the degenerate control on a
+  // structured surface under a clustered workload.
+  auto run = [](EvictionPolicy policy) {
+    MlqConfig config;
+    config.strategy = InsertionStrategy::kEager;
+    config.memory_limit_bytes = 1800;
+    config.eviction_policy = policy;
+    MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 1000.0), config);
+    Rng rng(4);
+    double err = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+      // Two clusters with very different cost levels plus within-cluster
+      // gradients, so finite resolution leaves real prediction error.
+      const bool left = rng.NextBool(0.5);
+      Point p{rng.Gaussian(left ? 200.0 : 800.0, 50.0),
+              rng.Gaussian(left ? 200.0 : 800.0, 50.0)};
+      const double actual = left ? 100.0 + p[0] : 8000.0 + 4.0 * p[1];
+      if (i > 500) err += std::abs(tree.Predict(p).value - actual);
+      tree.Insert(p, actual);
+    }
+    return err;
+  };
+  EXPECT_LT(run(EvictionPolicy::kSseg), run(EvictionPolicy::kRandom));
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,282 @@
+// Tests for the spatial dataset, grid index, and spatial UDFs. The UDF
+// results are validated against brute-force scans of the raw rectangles.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/dataset.h"
+#include "spatial/grid_index.h"
+#include "spatial/spatial_udfs.h"
+
+namespace mlq {
+namespace {
+
+SpatialDatasetConfig SmallDataset() {
+  SpatialDatasetConfig config;
+  config.num_rects = 2000;
+  config.num_clusters = 8;
+  config.seed = 11;
+  return config;
+}
+
+TEST(RectTest, DistanceToPoint) {
+  Rect r{10.0, 10.0, 20.0, 20.0};
+  EXPECT_DOUBLE_EQ(r.DistanceTo(15.0, 15.0), 0.0);  // Inside.
+  EXPECT_DOUBLE_EQ(r.DistanceTo(25.0, 15.0), 5.0);  // Right of.
+  EXPECT_DOUBLE_EQ(r.DistanceTo(15.0, 4.0), 6.0);   // Below.
+  EXPECT_DOUBLE_EQ(r.DistanceTo(25.0, 32.0), 13.0);  // Corner: 5-12-13.
+}
+
+TEST(RectTest, WindowIntersection) {
+  Rect r{10.0, 10.0, 20.0, 20.0};
+  EXPECT_TRUE(r.IntersectsWindow(15.0, 15.0, 25.0, 25.0));
+  EXPECT_TRUE(r.IntersectsWindow(20.0, 20.0, 30.0, 30.0));  // Touching corner.
+  EXPECT_FALSE(r.IntersectsWindow(21.0, 21.0, 30.0, 30.0));
+  EXPECT_TRUE(r.IntersectsWindow(0.0, 0.0, 100.0, 100.0));  // Covers.
+}
+
+TEST(SpatialDatasetTest, GeneratesRequestedCount) {
+  SpatialDataset dataset(SmallDataset());
+  EXPECT_EQ(dataset.size(), 2000);
+}
+
+TEST(SpatialDatasetTest, RectanglesWithinSpace) {
+  SpatialDataset dataset(SmallDataset());
+  for (const Rect& r : dataset.rects()) {
+    ASSERT_GE(r.lo_x, 0.0);
+    ASSERT_LE(r.hi_x, 1000.0);
+    ASSERT_GE(r.lo_y, 0.0);
+    ASSERT_LE(r.hi_y, 1000.0);
+    ASSERT_LE(r.lo_x, r.hi_x);
+    ASSERT_LE(r.lo_y, r.hi_y);
+  }
+}
+
+TEST(SpatialDatasetTest, DataIsClustered) {
+  // Clustered data: the densest 10% of grid cells must hold far more than
+  // 10% of the rectangles.
+  SpatialDataset dataset(SmallDataset());
+  constexpr int kGrid = 20;
+  std::vector<int> counts(kGrid * kGrid, 0);
+  for (const Rect& r : dataset.rects()) {
+    const int gx = std::min(kGrid - 1, static_cast<int>(r.CenterX() / 50.0));
+    const int gy = std::min(kGrid - 1, static_cast<int>(r.CenterY() / 50.0));
+    ++counts[static_cast<size_t>(gy * kGrid + gx)];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  int top_decile = 0;
+  for (size_t i = 0; i < counts.size() / 10; ++i) top_decile += counts[i];
+  EXPECT_GT(top_decile, dataset.size() / 2);
+}
+
+TEST(GridIndexTest, EveryRectangleIndexedInItsCells) {
+  SpatialDataset dataset(SmallDataset());
+  GridIndex grid(&dataset, 16);
+  const auto& rects = dataset.rects();
+  for (int32_t id = 0; id < dataset.size(); id += 97) {
+    const Rect& r = rects[static_cast<size_t>(id)];
+    const int gx = grid.CellOf(r.CenterX());
+    const int gy = grid.CellOf(r.CenterY());
+    const auto entries = grid.CellEntries(gx, gy);
+    EXPECT_NE(std::find(entries.begin(), entries.end(), id), entries.end())
+        << "rect " << id << " missing from its center cell";
+  }
+}
+
+TEST(GridIndexTest, CellOfClampsAndPartitions) {
+  SpatialDataset dataset(SmallDataset());
+  GridIndex grid(&dataset, 10);
+  EXPECT_EQ(grid.CellOf(-5.0), 0);
+  EXPECT_EQ(grid.CellOf(0.0), 0);
+  EXPECT_EQ(grid.CellOf(99.9), 0);
+  EXPECT_EQ(grid.CellOf(100.0), 1);
+  EXPECT_EQ(grid.CellOf(999.9), 9);
+  EXPECT_EQ(grid.CellOf(1000.0), 9);
+  EXPECT_EQ(grid.CellOf(2000.0), 9);
+  EXPECT_DOUBLE_EQ(grid.cell_extent(), 100.0);
+  EXPECT_DOUBLE_EQ(grid.CellLowerEdge(3), 300.0);
+}
+
+TEST(GridIndexTest, PageLayoutCoversEntries) {
+  SpatialDataset dataset(SmallDataset());
+  GridIndex grid(&dataset, 16);
+  int64_t total_pages = 0;
+  for (int gy = 0; gy < 16; ++gy) {
+    for (int gx = 0; gx < 16; ++gx) {
+      const auto entries = grid.CellEntries(gx, gy);
+      const int64_t pages = grid.CellNumPages(gx, gy);
+      ASSERT_EQ(pages, PagesForBytes(static_cast<int64_t>(entries.size()) *
+                                     GridIndex::kEntryBytes));
+      total_pages += pages;
+    }
+  }
+  EXPECT_EQ(grid.index_file()->num_pages(), total_pages);
+  EXPECT_EQ(grid.object_file()->num_pages(),
+            (dataset.size() + GridIndex::kRectsPerPage - 1) /
+                GridIndex::kRectsPerPage);
+}
+
+class SpatialUdfTest : public ::testing::Test {
+ protected:
+  SpatialUdfTest()
+      : engine_(std::make_shared<SpatialEngine>(SmallDataset(),
+                                                /*grid_size=*/16,
+                                                /*buffer_pool_pages=*/64)) {}
+
+  // Brute-force window count over the raw data.
+  int64_t BruteForceWindow(double x, double y, double w, double h) const {
+    int64_t count = 0;
+    for (const Rect& r : engine_->dataset().rects()) {
+      if (r.IntersectsWindow(x - w / 2, y - h / 2, x + w / 2, y + h / 2)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  int64_t BruteForceRange(double x, double y, double radius) const {
+    int64_t count = 0;
+    for (const Rect& r : engine_->dataset().rects()) {
+      if (r.DistanceTo(x, y) <= radius) ++count;
+    }
+    return count;
+  }
+
+  // Distance of the k-th nearest rectangle.
+  double BruteForceKthDistance(double x, double y, int64_t k) const {
+    std::vector<double> distances;
+    distances.reserve(static_cast<size_t>(engine_->dataset().size()));
+    for (const Rect& r : engine_->dataset().rects()) {
+      distances.push_back(r.DistanceTo(x, y));
+    }
+    std::sort(distances.begin(), distances.end());
+    return distances[static_cast<size_t>(k - 1)];
+  }
+
+  std::shared_ptr<SpatialEngine> engine_;
+};
+
+TEST_F(SpatialUdfTest, WindowMatchesBruteForce) {
+  WindowUdf udf(engine_);
+  for (const auto& [x, y, w, h] :
+       std::vector<std::tuple<double, double, double, double>>{
+           {500.0, 500.0, 100.0, 100.0},
+           {100.0, 900.0, 200.0, 50.0},
+           {0.0, 0.0, 150.0, 150.0},
+           {999.0, 999.0, 10.0, 10.0}}) {
+    udf.Execute(Point{x, y, w, h});
+    EXPECT_EQ(udf.last_result_count(), BruteForceWindow(x, y, w, h))
+        << "window at (" << x << ", " << y << ")";
+  }
+}
+
+TEST_F(SpatialUdfTest, RangeMatchesBruteForce) {
+  RangeSearchUdf udf(engine_);
+  for (const auto& [x, y, r] : std::vector<std::tuple<double, double, double>>{
+           {500.0, 500.0, 80.0}, {250.0, 750.0, 150.0}, {10.0, 10.0, 30.0}}) {
+    udf.Execute(Point{x, y, r});
+    EXPECT_EQ(udf.last_result_count(), BruteForceRange(x, y, r))
+        << "range at (" << x << ", " << y << ") r=" << r;
+  }
+}
+
+TEST_F(SpatialUdfTest, KnnReturnsExactlyK) {
+  KnnUdf udf(engine_);
+  for (double k : {1.0, 10.0, 50.0, 100.0}) {
+    udf.Execute(Point{500.0, 500.0, k});
+    EXPECT_EQ(udf.last_result_count(), static_cast<int64_t>(k));
+  }
+}
+
+TEST_F(SpatialUdfTest, KnnAgreesWithBruteForceOnResultRadius) {
+  // All rectangles within the brute-force k-th distance must be found: the
+  // number of results at distance <= kth is >= k and matches brute force.
+  KnnUdf udf(engine_);
+  RangeSearchUdf range(engine_);
+  const double x = 333.0;
+  const double y = 666.0;
+  const int64_t k = 25;
+  const double kth = BruteForceKthDistance(x, y, k);
+  udf.Execute(Point{x, y, static_cast<double>(k)});
+  EXPECT_EQ(udf.last_result_count(), k);
+  // A range query at the kth distance returns at least k results.
+  range.Execute(Point{x, y, kth + 1e-9});
+  EXPECT_GE(range.last_result_count(), k);
+}
+
+TEST_F(SpatialUdfTest, WindowCostGrowsWithArea) {
+  WindowUdf udf(engine_);
+  engine_->ResetCaches();
+  const UdfCost small = udf.Execute(Point{500.0, 500.0, 20.0, 20.0});
+  engine_->ResetCaches();
+  const UdfCost large = udf.Execute(Point{500.0, 500.0, 200.0, 200.0});
+  EXPECT_GT(large.cpu_work, small.cpu_work);
+  EXPECT_GE(large.io_pages, small.io_pages);
+}
+
+TEST_F(SpatialUdfTest, CostDependsOnLocationDensity) {
+  // Find a dense cell and an empty region; the same window must cost more
+  // over the dense region. This location dependence is what makes spatial
+  // UDF cost surfaces interesting to model.
+  WindowUdf udf(engine_);
+  const auto& rects = engine_->dataset().rects();
+  // Densest rectangle neighborhood: use the first cluster's center
+  // approximated by the densest 100x100 block found by sampling rects.
+  double dense_x = rects[0].CenterX();
+  double dense_y = rects[0].CenterY();
+  int64_t best = -1;
+  for (size_t i = 0; i < rects.size(); i += 50) {
+    const int64_t c = BruteForceWindow(rects[i].CenterX(), rects[i].CenterY(),
+                                       100.0, 100.0);
+    if (c > best) {
+      best = c;
+      dense_x = rects[i].CenterX();
+      dense_y = rects[i].CenterY();
+    }
+  }
+  // Sparsest corner probe.
+  double sparse_x = 0.0;
+  double sparse_y = 0.0;
+  int64_t fewest = INT64_MAX;
+  for (double x : {50.0, 500.0, 950.0}) {
+    for (double y : {50.0, 500.0, 950.0}) {
+      const int64_t c = BruteForceWindow(x, y, 100.0, 100.0);
+      if (c < fewest) {
+        fewest = c;
+        sparse_x = x;
+        sparse_y = y;
+      }
+    }
+  }
+  engine_->ResetCaches();
+  const UdfCost dense = udf.Execute(Point{dense_x, dense_y, 100.0, 100.0});
+  engine_->ResetCaches();
+  const UdfCost sparse = udf.Execute(Point{sparse_x, sparse_y, 100.0, 100.0});
+  EXPECT_GT(dense.cpu_work, sparse.cpu_work);
+}
+
+TEST_F(SpatialUdfTest, ModelSpaces) {
+  WindowUdf win(engine_);
+  RangeSearchUdf range(engine_);
+  KnnUdf knn(engine_);
+  EXPECT_EQ(win.model_space().dims(), 4);
+  EXPECT_EQ(range.model_space().dims(), 3);
+  EXPECT_EQ(knn.model_space().dims(), 3);
+  EXPECT_DOUBLE_EQ(knn.model_space().hi()[2], 100.0);
+}
+
+TEST_F(SpatialUdfTest, WarmCacheLowersIoNotCpu) {
+  WindowUdf udf(engine_);
+  engine_->ResetCaches();
+  const UdfCost cold = udf.Execute(Point{500.0, 500.0, 150.0, 150.0});
+  const UdfCost warm = udf.Execute(Point{500.0, 500.0, 150.0, 150.0});
+  EXPECT_LE(warm.io_pages, cold.io_pages);
+  EXPECT_DOUBLE_EQ(warm.cpu_work, cold.cpu_work);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,242 @@
+// Tests for decay functions, peak surfaces, and the synthetic UDF.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synthetic/decay.h"
+#include "synthetic/peak_surface.h"
+#include "synthetic/synthetic_udf.h"
+
+namespace mlq {
+namespace {
+
+class DecayKindTest : public ::testing::TestWithParam<DecayKind> {};
+
+TEST_P(DecayKindTest, OneAtPeakForAllKinds) {
+  // Every decay function is normalized: value 1 at the peak itself.
+  EXPECT_DOUBLE_EQ(DecayValue(GetParam(), 0.0, 100.0), 1.0);
+}
+
+TEST_P(DecayKindTest, ZeroAtAndBeyondRadius) {
+  EXPECT_DOUBLE_EQ(DecayValue(GetParam(), 100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(DecayValue(GetParam(), 150.0, 100.0), 0.0);
+}
+
+TEST_P(DecayKindTest, NonIncreasingWithDistance) {
+  const DecayKind kind = GetParam();
+  double previous = DecayValue(kind, 0.0, 100.0);
+  for (double d = 1.0; d <= 110.0; d += 1.0) {
+    const double v = DecayValue(kind, d, 100.0);
+    ASSERT_LE(v, previous + 1e-12) << "at distance " << d;
+    previous = v;
+  }
+}
+
+TEST_P(DecayKindTest, BoundedToUnitInterval) {
+  const DecayKind kind = GetParam();
+  for (double d = 0.0; d <= 200.0; d += 0.5) {
+    const double v = DecayValue(kind, d, 100.0);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+}
+
+TEST_P(DecayKindTest, NegativeDistanceTreatedAsZero) {
+  EXPECT_DOUBLE_EQ(DecayValue(GetParam(), -5.0, 100.0), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DecayKindTest,
+                         ::testing::Values(DecayKind::kUniform,
+                                           DecayKind::kLinear,
+                                           DecayKind::kGaussian,
+                                           DecayKind::kLog2,
+                                           DecayKind::kQuadratic),
+                         [](const auto& info) {
+                           return std::string(DecayKindName(info.param));
+                         });
+
+TEST(DecayTest, UniformIsFlatInsideRadius) {
+  EXPECT_DOUBLE_EQ(DecayValue(DecayKind::kUniform, 99.9, 100.0), 1.0);
+}
+
+TEST(DecayTest, LinearHalfwayIsHalf) {
+  EXPECT_DOUBLE_EQ(DecayValue(DecayKind::kLinear, 50.0, 100.0), 0.5);
+}
+
+TEST(DecayTest, Log2HalfwayMatchesFormula) {
+  EXPECT_NEAR(DecayValue(DecayKind::kLog2, 50.0, 100.0), 1.0 - std::log2(1.5),
+              1e-12);
+}
+
+TEST(DecayTest, QuadraticHalfwayMatchesFormula) {
+  EXPECT_DOUBLE_EQ(DecayValue(DecayKind::kQuadratic, 50.0, 100.0), 0.75);
+}
+
+TEST(DecayTest, KindNamesAndIndexRoundTrip) {
+  for (int i = 0; i < kNumDecayKinds; ++i) {
+    EXPECT_FALSE(std::string(DecayKindName(DecayKindAt(i))).empty());
+  }
+}
+
+TEST(PeakSurfaceTest, GeneratesRequestedPeaks) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 25;
+  PeakSurface surface(config);
+  EXPECT_EQ(surface.peaks().size(), 25u);
+  EXPECT_EQ(surface.space(), Box::Cube(4, 0.0, 1000.0));
+}
+
+TEST(PeakSurfaceTest, TallestPeakReachesMaxHeight) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 10;
+  config.max_height = 10000.0;
+  PeakSurface surface(config);
+  EXPECT_DOUBLE_EQ(surface.MaxCost(), 10000.0);
+  double tallest = 0.0;
+  for (const auto& peak : surface.peaks()) {
+    tallest = std::max(tallest, peak.height);
+  }
+  EXPECT_DOUBLE_EQ(tallest, 10000.0);
+}
+
+TEST(PeakSurfaceTest, HeightsFollowZipfWeights) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 8;
+  config.zipf_z = 1.0;
+  PeakSurface surface(config);
+  // Peak i (0-based) has height max_height / (i+1).
+  for (size_t i = 0; i < surface.peaks().size(); ++i) {
+    EXPECT_NEAR(surface.peaks()[i].height,
+                config.max_height / static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST(PeakSurfaceTest, CostAtPeakCenterAtLeastItsPlateau) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 20;
+  config.seed = 5;
+  PeakSurface surface(config);
+  for (const auto& peak : surface.peaks()) {
+    // The max-combination rule guarantees >= this peak's own height.
+    EXPECT_GE(surface.Cost(peak.center), peak.height - 1e-9);
+  }
+}
+
+TEST(PeakSurfaceTest, ZeroFarFromAllPeaks) {
+  PeakSurfaceConfig config;
+  config.dims = 2;
+  config.num_peaks = 1;
+  config.decay_radius_frac = 0.01;
+  config.seed = 6;
+  PeakSurface surface(config);
+  const Point& center = surface.peaks()[0].center;
+  // A point mirrored to the far corner is well outside the decay radius.
+  Point far(2);
+  for (int d = 0; d < 2; ++d) far[d] = center[d] < 500.0 ? 990.0 : 10.0;
+  EXPECT_DOUBLE_EQ(surface.Cost(far), 0.0);
+}
+
+TEST(PeakSurfaceTest, DeterministicForSeed) {
+  PeakSurfaceConfig config;
+  config.seed = 123;
+  PeakSurface a(config);
+  PeakSurface b(config);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    Point p(4);
+    for (int d = 0; d < 4; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    EXPECT_DOUBLE_EQ(a.Cost(p), b.Cost(p));
+  }
+}
+
+TEST(PeakSurfaceTest, DifferentSeedsDifferentSurfaces) {
+  PeakSurfaceConfig config;
+  config.seed = 1;
+  PeakSurface a(config);
+  config.seed = 2;
+  PeakSurface b(config);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.peaks().size(); ++i) {
+    if (!(a.peaks()[i].center == b.peaks()[i].center)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PeakSurfaceTest, DecayRadiusIsFractionOfDiagonal) {
+  PeakSurfaceConfig config;
+  config.dims = 4;
+  config.decay_radius_frac = 0.10;
+  PeakSurface surface(config);
+  EXPECT_NEAR(surface.decay_radius(), 0.10 * 1000.0 * 2.0, 1e-9);
+}
+
+TEST(SyntheticUdfTest, NoiseFreeExecutionMatchesSurface) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 5;
+  SyntheticUdf udf(config, /*noise_probability=*/0.0);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    Point p(4);
+    for (int d = 0; d < 4; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+    const UdfCost cost = udf.Execute(p);
+    EXPECT_DOUBLE_EQ(cost.cpu_work, udf.TrueCost(p));
+    EXPECT_DOUBLE_EQ(cost.io_pages, udf.TrueCost(p) * SyntheticUdf::kIoCostScale);
+  }
+}
+
+TEST(SyntheticUdfTest, FullNoiseIsBoundedRandom) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 5;
+  SyntheticUdf udf(config, /*noise_probability=*/1.0);
+  const Point p{500.0, 500.0, 500.0, 500.0};
+  double min_v = 1e18;
+  double max_v = -1e18;
+  for (int i = 0; i < 200; ++i) {
+    const double v = udf.Execute(p).cpu_work;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, udf.surface().MaxCost());
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_GT(max_v - min_v, 1000.0) << "noise should spread widely";
+}
+
+TEST(SyntheticUdfTest, PartialNoiseFrequency) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 1;
+  config.decay_radius_frac = 0.001;  // Surface ~ 0 nearly everywhere.
+  SyntheticUdf udf(config, /*noise_probability=*/0.25);
+  Point far{1.0, 1.0, 1.0, 1.0};
+  int noisy = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (udf.Execute(far).cpu_work != udf.TrueCost(far)) ++noisy;
+  }
+  EXPECT_NEAR(static_cast<double>(noisy) / n, 0.25, 0.03);
+}
+
+TEST(SyntheticUdfTest, ResetStateReproducesNoiseStream) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 3;
+  SyntheticUdf udf(config, /*noise_probability=*/0.5);
+  const Point p{100.0, 200.0, 300.0, 400.0};
+  std::vector<double> first;
+  for (int i = 0; i < 50; ++i) first.push_back(udf.Execute(p).cpu_work);
+  udf.ResetState();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(udf.Execute(p).cpu_work, first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SyntheticUdfTest, NameEncodesPeakCount) {
+  PeakSurfaceConfig config;
+  config.num_peaks = 42;
+  SyntheticUdf udf(config, 0.0);
+  EXPECT_EQ(udf.name(), "SYNTH-42p");
+}
+
+}  // namespace
+}  // namespace mlq

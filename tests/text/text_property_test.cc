@@ -1,0 +1,178 @@
+// Parameterized correctness and monotonicity sweeps for the text-search
+// UDFs, validated against direct scans of the raw posting lists.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/text_udfs.h"
+
+namespace mlq {
+namespace {
+
+std::shared_ptr<TextSearchEngine> SharedEngine() {
+  static std::shared_ptr<TextSearchEngine>* engine = [] {
+    CorpusConfig config;
+    config.num_docs = 1500;
+    config.vocab_size = 800;
+    config.mean_doc_length = 80.0;
+    config.seed = 4242;
+    return new std::shared_ptr<TextSearchEngine>(
+        std::make_shared<TextSearchEngine>(config, /*buffer_pool_pages=*/64));
+  }();
+  return *engine;
+}
+
+class SimpleSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimpleSweepTest, ResultCountMatchesPostingScan) {
+  auto engine = SharedEngine();
+  SimpleSearchUdf udf(engine);
+  const InvertedIndex& index = engine->index();
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rank = rng.UniformInt(1, index.vocab_size());
+    const double frac = rng.Uniform(0.01, 1.0);
+    udf.Execute(Point{static_cast<double>(rank), frac});
+    // Brute force: distinct docs below the prefix limit.
+    const auto limit =
+        static_cast<int32_t>(frac * static_cast<double>(index.num_docs()));
+    int64_t expected = 0;
+    int32_t previous_doc = -1;
+    for (const Posting& p : index.PostingsOf(static_cast<int32_t>(rank - 1))) {
+      if (p.doc_id >= limit) break;
+      if (p.doc_id != previous_doc) {
+        ++expected;
+        previous_doc = p.doc_id;
+      }
+    }
+    ASSERT_EQ(udf.last_result_count(), expected)
+        << "rank " << rank << " frac " << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimpleSweepTest, ::testing::Range(0, 5));
+
+class ThresholdSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweepTest, ResultCountMatchesTfScan) {
+  auto engine = SharedEngine();
+  ThresholdSearchUdf udf(engine);
+  const InvertedIndex& index = engine->index();
+  Rng rng(600 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto rank = rng.UniformInt(1, 100);  // Frequent-ish terms.
+    const double threshold = rng.Uniform(0.0, 1.0);
+    udf.Execute(Point{static_cast<double>(rank), threshold});
+
+    std::map<int32_t, int32_t> tf;
+    for (const Posting& p : index.PostingsOf(static_cast<int32_t>(rank - 1))) {
+      ++tf[p.doc_id];
+    }
+    int32_t max_tf = 0;
+    for (const auto& [doc, count] : tf) max_tf = std::max(max_tf, count);
+    int64_t expected = 0;
+    for (const auto& [doc, count] : tf) {
+      const double score =
+          max_tf > 0 ? static_cast<double>(count) / max_tf : 0.0;
+      if (score >= threshold) ++expected;
+    }
+    ASSERT_EQ(udf.last_result_count(), expected)
+        << "rank " << rank << " threshold " << threshold;
+  }
+}
+
+TEST_P(ThresholdSweepTest, ResultCountMonotoneInThreshold) {
+  auto engine = SharedEngine();
+  ThresholdSearchUdf udf(engine);
+  const auto rank = static_cast<double>(10 + GetParam());
+  int64_t previous = INT64_MAX;
+  for (double threshold : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    udf.Execute(Point{rank, threshold});
+    ASSERT_LE(udf.last_result_count(), previous) << "threshold " << threshold;
+    previous = udf.last_result_count();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdSweepTest, ::testing::Range(0, 5));
+
+class ProximitySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProximitySweepTest, MatchesBruteForcePositionJoin) {
+  auto engine = SharedEngine();
+  ProximitySearchUdf udf(engine);
+  const InvertedIndex& index = engine->index();
+  Rng rng(700 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rank1 = rng.UniformInt(1, 50);
+    const auto rank2 = rng.UniformInt(1, 50);
+    const auto window = rng.UniformInt(1, 50);
+    udf.Execute(Point{static_cast<double>(rank1), static_cast<double>(rank2),
+                      static_cast<double>(window)});
+
+    // Brute force: docs with positions of both terms within the window.
+    std::map<int32_t, std::vector<int32_t>> pos1;
+    std::map<int32_t, std::vector<int32_t>> pos2;
+    for (const Posting& p : index.PostingsOf(static_cast<int32_t>(rank1 - 1))) {
+      pos1[p.doc_id].push_back(p.position);
+    }
+    for (const Posting& p : index.PostingsOf(static_cast<int32_t>(rank2 - 1))) {
+      pos2[p.doc_id].push_back(p.position);
+    }
+    int64_t expected = 0;
+    for (const auto& [doc, positions1] : pos1) {
+      auto it = pos2.find(doc);
+      if (it == pos2.end()) continue;
+      bool matched = false;
+      for (int32_t a : positions1) {
+        for (int32_t b : it->second) {
+          if (std::abs(a - b) <= window) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) break;
+      }
+      if (matched) ++expected;
+    }
+    ASSERT_EQ(udf.last_result_count(), expected)
+        << "ranks " << rank1 << "," << rank2 << " window " << window;
+  }
+}
+
+TEST_P(ProximitySweepTest, ResultCountMonotoneInWindow) {
+  auto engine = SharedEngine();
+  ProximitySearchUdf udf(engine);
+  const auto rank1 = static_cast<double>(1 + GetParam());
+  const auto rank2 = static_cast<double>(2 + GetParam());
+  int64_t previous = -1;
+  for (double window : {1.0, 5.0, 15.0, 50.0}) {
+    udf.Execute(Point{rank1, rank2, window});
+    ASSERT_GE(udf.last_result_count(), previous) << "window " << window;
+    previous = udf.last_result_count();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProximitySweepTest, ::testing::Range(0, 4));
+
+TEST(TextCostShapeTest, CpuCostTracksPostingLength) {
+  // Across many terms, SIMPLE's CPU cost must correlate tightly with the
+  // posting-list length it scans — the property the cost model learns.
+  auto engine = SharedEngine();
+  SimpleSearchUdf udf(engine);
+  const InvertedIndex& index = engine->index();
+  for (int32_t rank : {1, 5, 20, 100, 400}) {
+    udf.Execute(Point{static_cast<double>(rank), 1.0});
+    const double cost = udf.Execute(Point{static_cast<double>(rank), 1.0}).cpu_work;
+    const auto postings = static_cast<double>(index.PostingCount(rank - 1));
+    // cost = base + postings + 4 * result docs: within [postings, 6x].
+    ASSERT_GE(cost, postings);
+    ASSERT_LE(cost, 16.0 + 6.0 * postings + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mlq

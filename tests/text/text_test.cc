@@ -1,0 +1,212 @@
+// Tests for the corpus/inverted-index substrate and the text-search UDFs.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "text/inverted_index.h"
+#include "text/text_search_engine.h"
+#include "text/text_udfs.h"
+
+namespace mlq {
+namespace {
+
+CorpusConfig SmallCorpus() {
+  CorpusConfig config;
+  config.num_docs = 1000;
+  config.vocab_size = 500;
+  config.mean_doc_length = 60.0;
+  config.seed = 7;
+  return config;
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  InvertedIndexTest() : index_(SmallCorpus()) {}
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, TotalPostingsEqualsSumOfDocLengths) {
+  int64_t doc_total = 0;
+  for (int32_t d = 0; d < index_.num_docs(); ++d) {
+    doc_total += index_.DocLength(d);
+  }
+  int64_t posting_total = 0;
+  for (int32_t t = 0; t < index_.vocab_size(); ++t) {
+    posting_total += index_.PostingCount(t);
+  }
+  EXPECT_EQ(doc_total, posting_total);
+  EXPECT_EQ(index_.total_postings(), posting_total);
+}
+
+TEST_F(InvertedIndexTest, PostingsSortedByDocThenPosition) {
+  for (int32_t t = 0; t < index_.vocab_size(); t += 37) {
+    const auto postings = index_.PostingsOf(t);
+    for (size_t i = 1; i < postings.size(); ++i) {
+      const bool ordered =
+          postings[i - 1].doc_id < postings[i].doc_id ||
+          (postings[i - 1].doc_id == postings[i].doc_id &&
+           postings[i - 1].position < postings[i].position);
+      ASSERT_TRUE(ordered) << "term " << t << " entry " << i;
+    }
+  }
+}
+
+TEST_F(InvertedIndexTest, FrequentTermsHaveLongerPostings) {
+  // Zipf: rank 1 must dwarf rank 400.
+  EXPECT_GT(index_.PostingCount(0), 10 * index_.PostingCount(399));
+}
+
+TEST_F(InvertedIndexTest, PageRunsAreDisjointAndSized) {
+  PageId next_expected = 0;
+  for (int32_t t = 0; t < index_.vocab_size(); ++t) {
+    const int64_t pages = index_.PostingNumPages(t);
+    const int64_t expected_pages =
+        PagesForBytes(index_.PostingCount(t) * InvertedIndex::kPostingBytes);
+    ASSERT_EQ(pages, expected_pages) << "term " << t;
+    if (pages == 0) {
+      ASSERT_EQ(index_.PostingFirstPage(t), kInvalidPageId);
+      continue;
+    }
+    ASSERT_EQ(index_.PostingFirstPage(t), next_expected)
+        << "runs must be laid out consecutively";
+    next_expected += pages;
+  }
+  EXPECT_EQ(index_.index_file()->num_pages(), next_expected);
+}
+
+TEST_F(InvertedIndexTest, DocPagesPackDocsPerPage) {
+  EXPECT_EQ(index_.DocPage(0), 0);
+  EXPECT_EQ(index_.DocPage(InvertedIndex::kDocsPerPage - 1), 0);
+  EXPECT_EQ(index_.DocPage(InvertedIndex::kDocsPerPage), 1);
+  const int64_t expected_pages =
+      (index_.num_docs() + InvertedIndex::kDocsPerPage - 1) /
+      InvertedIndex::kDocsPerPage;
+  EXPECT_EQ(index_.doc_file()->num_pages(), expected_pages);
+}
+
+TEST_F(InvertedIndexTest, DeterministicForSeed) {
+  InvertedIndex other(SmallCorpus());
+  for (int32_t t = 0; t < index_.vocab_size(); t += 101) {
+    EXPECT_EQ(index_.PostingCount(t), other.PostingCount(t));
+  }
+}
+
+class TextUdfTest : public ::testing::Test {
+ protected:
+  TextUdfTest()
+      : engine_(std::make_shared<TextSearchEngine>(SmallCorpus(),
+                                                   /*buffer_pool_pages=*/64)) {}
+  std::shared_ptr<TextSearchEngine> engine_;
+};
+
+TEST_F(TextUdfTest, SimpleSearchCostGrowsWithDocFraction) {
+  SimpleSearchUdf udf(engine_);
+  const UdfCost small = udf.Execute(Point{1.0, 0.1});
+  engine_->ResetCaches();
+  const UdfCost large = udf.Execute(Point{1.0, 1.0});
+  EXPECT_GT(large.cpu_work, small.cpu_work);
+}
+
+TEST_F(TextUdfTest, SimpleSearchRareTermIsCheaperThanFrequent) {
+  SimpleSearchUdf udf(engine_);
+  const UdfCost frequent = udf.Execute(Point{1.0, 1.0});
+  engine_->ResetCaches();
+  const UdfCost rare = udf.Execute(Point{450.0, 1.0});
+  EXPECT_GT(frequent.cpu_work, rare.cpu_work);
+  EXPECT_GE(frequent.io_pages, rare.io_pages);
+}
+
+TEST_F(TextUdfTest, SimpleSearchWarmCacheCostsLessIo) {
+  SimpleSearchUdf udf(engine_);
+  const UdfCost cold = udf.Execute(Point{5.0, 1.0});
+  const UdfCost warm = udf.Execute(Point{5.0, 1.0});
+  EXPECT_GT(cold.io_pages, 0.0);
+  EXPECT_LT(warm.io_pages, cold.io_pages);
+  // CPU cost is deterministic: identical across runs.
+  EXPECT_DOUBLE_EQ(cold.cpu_work, warm.cpu_work);
+}
+
+TEST_F(TextUdfTest, SimpleSearchResultsWithinCorpus) {
+  SimpleSearchUdf udf(engine_);
+  udf.Execute(Point{1.0, 1.0});
+  EXPECT_GT(udf.last_result_count(), 0);
+  EXPECT_LE(udf.last_result_count(), 1000);
+}
+
+TEST_F(TextUdfTest, ThresholdZeroReturnsAllMatchingDocs) {
+  ThresholdSearchUdf udf(engine_);
+  udf.Execute(Point{3.0, 0.0});
+  const int64_t all = udf.last_result_count();
+  engine_->ResetCaches();
+  udf.Execute(Point{3.0, 0.95});
+  const int64_t top = udf.last_result_count();
+  EXPECT_GT(all, 0);
+  EXPECT_LT(top, all) << "a high threshold must filter documents";
+  EXPECT_GE(top, 1) << "the max-tf document always passes";
+}
+
+TEST_F(TextUdfTest, ThresholdIoGrowsWithResultCount) {
+  ThresholdSearchUdf udf(engine_);
+  engine_->ResetCaches();
+  const UdfCost strict = udf.Execute(Point{2.0, 0.95});
+  engine_->ResetCaches();
+  const UdfCost loose = udf.Execute(Point{2.0, 0.0});
+  EXPECT_GT(loose.io_pages, strict.io_pages);
+}
+
+TEST_F(TextUdfTest, ProximityFindsCooccurrences) {
+  ProximitySearchUdf udf(engine_);
+  // The two most frequent terms co-occur in many documents of a
+  // Zipf-generated corpus.
+  udf.Execute(Point{1.0, 2.0, 50.0});
+  EXPECT_GT(udf.last_result_count(), 0);
+}
+
+TEST_F(TextUdfTest, ProximityWiderWindowFindsAtLeastAsMuch) {
+  ProximitySearchUdf udf(engine_);
+  udf.Execute(Point{1.0, 2.0, 1.0});
+  const int64_t narrow = udf.last_result_count();
+  engine_->ResetCaches();
+  udf.Execute(Point{1.0, 2.0, 50.0});
+  const int64_t wide = udf.last_result_count();
+  EXPECT_GE(wide, narrow);
+}
+
+TEST_F(TextUdfTest, ProximityCostDominatedByLongerLists) {
+  ProximitySearchUdf udf(engine_);
+  engine_->ResetCaches();
+  const UdfCost heavy = udf.Execute(Point{1.0, 2.0, 10.0});
+  engine_->ResetCaches();
+  const UdfCost light = udf.Execute(Point{400.0, 450.0, 10.0});
+  EXPECT_GT(heavy.cpu_work, light.cpu_work);
+}
+
+TEST_F(TextUdfTest, ModelSpacesMatchDeclaredDimensions) {
+  SimpleSearchUdf simple(engine_);
+  ThresholdSearchUdf threshold(engine_);
+  ProximitySearchUdf proximity(engine_);
+  EXPECT_EQ(simple.model_space().dims(), 2);
+  EXPECT_EQ(threshold.model_space().dims(), 2);
+  EXPECT_EQ(proximity.model_space().dims(), 3);
+  EXPECT_DOUBLE_EQ(simple.model_space().hi()[0], 500.0);  // Vocab size.
+}
+
+TEST_F(TextUdfTest, OutOfRangeRankIsClamped) {
+  SimpleSearchUdf udf(engine_);
+  const UdfCost a = udf.Execute(Point{-100.0, 1.0});
+  engine_->ResetCaches();
+  const UdfCost b = udf.Execute(Point{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.cpu_work, b.cpu_work);
+}
+
+TEST_F(TextUdfTest, ResetStateColdsTheCache) {
+  SimpleSearchUdf udf(engine_);
+  udf.Execute(Point{5.0, 1.0});
+  udf.ResetState();
+  const UdfCost after_reset = udf.Execute(Point{5.0, 1.0});
+  EXPECT_GT(after_reset.io_pages, 0.0);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,180 @@
+#include "udf/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/evaluator.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "udf/transformed_udf.h"
+
+namespace mlq {
+namespace {
+
+TEST(TransformTest, IdentityPassesThrough) {
+  auto t = Identity(1);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{3.0, 7.0}), 7.0);
+  double lo = 0.0;
+  double hi = 0.0;
+  t->Range(Box(Point{0.0, 10.0}, Point{1.0, 20.0}), &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 10.0);
+  EXPECT_DOUBLE_EQ(hi, 20.0);
+  EXPECT_EQ(t->Describe(), "a1");
+}
+
+TEST(TransformTest, DifferenceElapsedTimeExample) {
+  // The paper's example: elapsed_time = end_time - start_time.
+  auto t = Difference(/*minuend=*/1, /*subtrahend=*/0);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{100.0, 130.0}), 30.0);
+  double lo = 0.0;
+  double hi = 0.0;
+  // start in [0, 50], end in [0, 200] -> elapsed in [-50, 200].
+  t->Range(Box(Point{0.0, 0.0}, Point{50.0, 200.0}), &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, -50.0);
+  EXPECT_DOUBLE_EQ(hi, 200.0);
+}
+
+TEST(TransformTest, Log2CompressesHeavyTails) {
+  auto t = Log2Scale(0);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{1023.0}), 10.0);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{-5.0}), 0.0);  // Clamped at zero.
+  double lo = 0.0;
+  double hi = 0.0;
+  t->Range(Box::Cube(1, 0.0, 1023.0), &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 10.0);
+}
+
+TEST(TransformTest, ProductCoversSignCombinations) {
+  auto t = Product(0, 1);
+  EXPECT_DOUBLE_EQ(t->Apply(Point{3.0, 4.0}), 12.0);
+  double lo = 0.0;
+  double hi = 0.0;
+  // [-2, 3] x [-5, 7]: extremes at corner products.
+  t->Range(Box(Point{-2.0, -5.0}, Point{3.0, 7.0}), &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, -15.0);  // 3 * -5.
+  EXPECT_DOUBLE_EQ(hi, 21.0);   // 3 * 7.
+}
+
+TEST(ArgumentTransformTest, MapsArgsToModelPoints) {
+  // WIN-style: (x, y, w, h) -> (x, y, area).
+  const Box arg_space(Point{0.0, 0.0, 1.0, 1.0},
+                      Point{1000.0, 1000.0, 200.0, 200.0});
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Identity(0));
+  vars.push_back(Identity(1));
+  vars.push_back(Product(2, 3));
+  ArgumentTransform transform(arg_space, std::move(vars));
+
+  EXPECT_EQ(transform.num_args(), 4);
+  EXPECT_EQ(transform.num_model_vars(), 3);
+  const Point model = transform.Apply(Point{500.0, 250.0, 10.0, 20.0});
+  EXPECT_EQ(model, (Point{500.0, 250.0, 200.0}));
+  EXPECT_DOUBLE_EQ(transform.model_space().lo()[2], 1.0);
+  EXPECT_DOUBLE_EQ(transform.model_space().hi()[2], 40000.0);
+  EXPECT_EQ(transform.Describe(), "T(a0..a3) -> (a0, a1, a2*a3)");
+}
+
+TEST(ArgumentTransformTest, ModelSpaceContainsAllTransformedPoints) {
+  const Box arg_space(Point{-10.0, 0.0, 5.0}, Point{10.0, 100.0, 50.0});
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Difference(1, 0));
+  vars.push_back(Log2Scale(2));
+  ArgumentTransform transform(arg_space, std::move(vars));
+
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    Point args{rng.Uniform(-10.0, 10.0), rng.Uniform(0.0, 100.0),
+               rng.Uniform(5.0, 50.0)};
+    const Point model = transform.Apply(args);
+    ASSERT_TRUE(transform.model_space().ContainsClosed(model))
+        << args.ToString() << " -> " << model.ToString();
+  }
+}
+
+TEST(TransformedUdfTest, ExposesTransformedModelSpace) {
+  const RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  CostedUdf* win = suite.Find("WIN");
+
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Identity(0));
+  vars.push_back(Identity(1));
+  vars.push_back(Product(2, 3));  // Area replaces (w, h).
+  auto transform = std::make_shared<const ArgumentTransform>(
+      win->model_space(), std::move(vars));
+  TransformedUdf transformed(win, transform);
+
+  EXPECT_EQ(transformed.name(), "WIN+T");
+  EXPECT_EQ(transformed.model_space().dims(), 3);
+  EXPECT_EQ(transformed.execution_space().dims(), 4);
+  const Point exec{500.0, 500.0, 10.0, 20.0};
+  EXPECT_EQ(transformed.ToModelPoint(exec), (Point{500.0, 500.0, 200.0}));
+  // Execution is delegated unchanged.
+  win->ResetState();
+  const UdfCost direct = win->Execute(exec);
+  transformed.ResetState();
+  const UdfCost wrapped = transformed.Execute(exec);
+  EXPECT_DOUBLE_EQ(wrapped.cpu_work, direct.cpu_work);
+  EXPECT_EQ(transformed.last_result_count(), win->last_result_count());
+}
+
+TEST(TransformedUdfTest, DefaultTransformIsIdentity) {
+  auto udf = MakePaperSyntheticUdf(5, 0.0, 1);
+  const Point p{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(udf->ToModelPoint(p), p);
+  EXPECT_EQ(udf->execution_space(), udf->model_space());
+}
+
+TEST(TransformedUdfTest, DimensionReductionHelpsAtTinyBudgets) {
+  // The point of T (Section 3): encoding "only the area matters" shrinks
+  // the model space from 4-d to 3-d, buying resolution at a fixed budget.
+  // WIN's cost genuinely depends mostly on (x, y, area), so the transformed
+  // model should predict at least as well.
+  const RealUdfSuite suite = MakeRealUdfSuite(SubstrateScale::kSmall);
+  CostedUdf* win = suite.Find("WIN");
+
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Identity(0));
+  vars.push_back(Identity(1));
+  vars.push_back(Product(2, 3));
+  auto transform = std::make_shared<const ArgumentTransform>(
+      win->model_space(), std::move(vars));
+  TransformedUdf transformed(win, transform);
+
+  const auto queries =
+      MakePaperWorkload(win->model_space(),
+                        QueryDistributionKind::kGaussianRandom, 2500, 77);
+
+  win->ResetState();
+  MlqModel raw_model(win->model_space(),
+                     MakePaperMlqConfig(InsertionStrategy::kEager,
+                                        CostKind::kCpu));
+  const EvalResult raw =
+      RunSelfTuningEvaluation(raw_model, *win, queries, EvalOptions{});
+
+  transformed.ResetState();
+  MlqModel transformed_model(transformed.model_space(),
+                             MakePaperMlqConfig(InsertionStrategy::kEager,
+                                                CostKind::kCpu));
+  const EvalResult with_t = RunSelfTuningEvaluation(transformed_model,
+                                                    transformed, queries,
+                                                    EvalOptions{});
+
+  EXPECT_LT(with_t.nae, raw.nae * 1.1)
+      << "the transform must not meaningfully hurt, and usually helps";
+}
+
+TEST(ArgumentTransformTest, DegenerateRangeIsWidened) {
+  // A constant argument yields a zero-width cost-variable range; the model
+  // space must still be a valid (non-degenerate) box.
+  const Box arg_space(Point{5.0}, Point{5.0 + 1e-12});
+  std::vector<std::unique_ptr<VariableTransform>> vars;
+  vars.push_back(Difference(0, 0));  // Always 0.
+  ArgumentTransform transform(arg_space, std::move(vars));
+  EXPECT_GT(transform.model_space().Extent(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,57 @@
+#include "udf/udf_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment_setup.h"
+#include "udf/costed_udf.h"
+
+namespace mlq {
+namespace {
+
+TEST(UdfCostTest, GetByKind) {
+  UdfCost cost;
+  cost.cpu_work = 100.0;
+  cost.io_pages = 7.0;
+  EXPECT_DOUBLE_EQ(cost.Get(CostKind::kCpu), 100.0);
+  EXPECT_DOUBLE_EQ(cost.Get(CostKind::kIo), 7.0);
+}
+
+TEST(UdfCostTest, NominalMicrosCombinesBothCosts) {
+  UdfCost cost;
+  cost.cpu_work = 1000.0;
+  cost.io_pages = 2.0;
+  EXPECT_DOUBLE_EQ(cost.NominalMicros(),
+                   1000.0 * kMicrosPerWorkUnit + 2.0 * kMicrosPerPageMiss);
+}
+
+TEST(UdfRegistryTest, RegisterAndFind) {
+  UdfRegistry registry;
+  CostedUdf* udf = registry.Register(
+      MakePaperSyntheticUdf(/*num_peaks=*/5, /*noise=*/0.0, /*seed=*/1));
+  EXPECT_EQ(registry.size(), 1);
+  EXPECT_EQ(registry.Find("SYNTH-5p"), udf);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+}
+
+TEST(UdfRegistryTest, AllPreservesRegistrationOrder) {
+  UdfRegistry registry;
+  CostedUdf* a = registry.Register(MakePaperSyntheticUdf(5, 0.0, 1));
+  CostedUdf* b = registry.Register(MakePaperSyntheticUdf(7, 0.0, 2));
+  const auto all = registry.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], a);
+  EXPECT_EQ(all[1], b);
+}
+
+TEST(UdfRegistryTest, ExecuteThroughRegistry) {
+  UdfRegistry registry;
+  registry.Register(MakePaperSyntheticUdf(5, 0.0, 1));
+  CostedUdf* udf = registry.Find("SYNTH-5p");
+  ASSERT_NE(udf, nullptr);
+  const Point center = udf->model_space().Center();
+  const UdfCost cost = udf->Execute(center);
+  EXPECT_GE(cost.cpu_work, 0.0);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,194 @@
+#include "workload/query_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mlq {
+namespace {
+
+// Per-dimension sample variance of a point set.
+double DimensionVariance(const std::vector<Point>& points, int dim) {
+  double mean = 0.0;
+  for (const Point& p : points) mean += p[dim];
+  mean /= static_cast<double>(points.size());
+  double var = 0.0;
+  for (const Point& p : points) var += (p[dim] - mean) * (p[dim] - mean);
+  return var / static_cast<double>(points.size());
+}
+
+WorkloadConfig Config(QueryDistributionKind kind, int n, uint64_t seed = 1) {
+  WorkloadConfig config;
+  config.kind = kind;
+  config.num_points = n;
+  config.seed = seed;
+  return config;
+}
+
+TEST(QueryDistributionTest, GeneratesRequestedCount) {
+  const Box space = Box::Cube(3, 0.0, 100.0);
+  for (QueryDistributionKind kind : {QueryDistributionKind::kUniform,
+                                     QueryDistributionKind::kGaussianRandom,
+                                     QueryDistributionKind::kGaussianSequential}) {
+    EXPECT_EQ(GenerateQueryPoints(space, Config(kind, 777)).size(), 777u);
+    EXPECT_EQ(GenerateQueryPoints(space, Config(kind, 0)).size(), 0u);
+  }
+}
+
+TEST(QueryDistributionTest, PointsStayInSpace) {
+  const Box space = Box::Cube(4, -50.0, 50.0);
+  for (QueryDistributionKind kind : {QueryDistributionKind::kUniform,
+                                     QueryDistributionKind::kGaussianRandom,
+                                     QueryDistributionKind::kGaussianSequential}) {
+    for (const Point& p : GenerateQueryPoints(space, Config(kind, 2000))) {
+      ASSERT_TRUE(space.ContainsClosed(p)) << p.ToString();
+    }
+  }
+}
+
+TEST(QueryDistributionTest, DeterministicBySeed) {
+  const Box space = Box::Cube(2, 0.0, 10.0);
+  const auto a = GenerateQueryPoints(
+      space, Config(QueryDistributionKind::kGaussianRandom, 100, 5));
+  const auto b = GenerateQueryPoints(
+      space, Config(QueryDistributionKind::kGaussianRandom, 100, 5));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(QueryDistributionTest, UniformCoversTheSpace) {
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  const auto points =
+      GenerateQueryPoints(space, Config(QueryDistributionKind::kUniform, 5000));
+  // Mean near the center and variance near extent^2/12 per dimension.
+  for (int d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (const Point& p : points) mean += p[d];
+    mean /= static_cast<double>(points.size());
+    EXPECT_NEAR(mean, 50.0, 2.0);
+    EXPECT_NEAR(DimensionVariance(points, d), 100.0 * 100.0 / 12.0, 60.0);
+  }
+}
+
+TEST(QueryDistributionTest, GaussianIsMoreConcentratedThanUniform) {
+  const Box space = Box::Cube(2, 0.0, 1000.0);
+  const auto uniform =
+      GenerateQueryPoints(space, Config(QueryDistributionKind::kUniform, 3000));
+  const auto gaussian = GenerateQueryPoints(
+      space, Config(QueryDistributionKind::kGaussianRandom, 3000));
+  // Three sigma-50 clusters occupy far less of the space than uniform does;
+  // compare dispersion via mean nearest-centroid-free proxy: variance.
+  EXPECT_LT(DimensionVariance(gaussian, 0) + DimensionVariance(gaussian, 1),
+            DimensionVariance(uniform, 0) + DimensionVariance(uniform, 1));
+}
+
+TEST(QueryDistributionTest, GaussianSequentialVisitsCentroidsInPhases) {
+  const Box space = Box::Cube(2, 0.0, 1000.0);
+  WorkloadConfig config = Config(QueryDistributionKind::kGaussianSequential, 3000);
+  config.num_centroids = 3;
+  const auto points = GenerateQueryPoints(space, config);
+  ASSERT_EQ(points.size(), 3000u);
+  // Within each phase of 1000 points the spread is one cluster (sigma = 50);
+  // across consecutive phases the cluster centers jump. Compare phase means.
+  std::vector<Point> phase_mean(3, Point(2));
+  for (int phase = 0; phase < 3; ++phase) {
+    double mx = 0.0;
+    double my = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      mx += points[static_cast<size_t>(phase * 1000 + i)][0];
+      my += points[static_cast<size_t>(phase * 1000 + i)][1];
+    }
+    phase_mean[static_cast<size_t>(phase)] = Point{mx / 1000.0, my / 1000.0};
+  }
+  // At least one pair of phase means must be far apart (distinct centroids,
+  // uniform placement makes collisions vanishingly unlikely).
+  double max_gap = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      max_gap = std::max(max_gap,
+                         phase_mean[static_cast<size_t>(a)].DistanceTo(
+                             phase_mean[static_cast<size_t>(b)]));
+    }
+  }
+  EXPECT_GT(max_gap, 100.0);
+}
+
+TEST(QueryDistributionTest, SequentialRemainderGoesToLastCentroid) {
+  const Box space = Box::Cube(1, 0.0, 10.0);
+  WorkloadConfig config = Config(QueryDistributionKind::kGaussianSequential, 100);
+  config.num_centroids = 3;  // 33 + 33 + 34.
+  EXPECT_EQ(GenerateQueryPoints(space, config).size(), 100u);
+}
+
+TEST(QueryDistributionTest, KindNames) {
+  EXPECT_EQ(QueryDistributionKindName(QueryDistributionKind::kUniform),
+            "uniform");
+  EXPECT_EQ(QueryDistributionKindName(QueryDistributionKind::kGaussianRandom),
+            "gauss-random");
+  EXPECT_EQ(
+      QueryDistributionKindName(QueryDistributionKind::kGaussianSequential),
+      "gauss-sequential");
+}
+
+TEST(TrainTestWorkloadTest, SharesCentroidsButNotSamples) {
+  const Box space = Box::Cube(2, 0.0, 1000.0);
+  WorkloadConfig config = Config(QueryDistributionKind::kGaussianRandom, 0, 7);
+  config.num_centroids = 1;  // Single cluster: means must nearly coincide.
+  const TrainTestWorkload w = GenerateTrainTestWorkloads(space, config, 2000, 2000);
+  ASSERT_EQ(w.training.size(), 2000u);
+  ASSERT_EQ(w.test.size(), 2000u);
+  // Same centroid: the two sample means are within a few sigma/sqrt(n).
+  double train_mean = 0.0;
+  double test_mean = 0.0;
+  for (const Point& p : w.training) train_mean += p[0];
+  for (const Point& p : w.test) test_mean += p[0];
+  train_mean /= 2000.0;
+  test_mean /= 2000.0;
+  EXPECT_NEAR(train_mean, test_mean, 10.0);
+  // But the draws themselves are independent.
+  int identical = 0;
+  for (size_t i = 0; i < 2000; ++i) {
+    if (w.training[i] == w.test[i]) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(TrainTestWorkloadTest, SequentialPreservesPhaseStructure) {
+  const Box space = Box::Cube(1, 0.0, 1000.0);
+  WorkloadConfig config =
+      Config(QueryDistributionKind::kGaussianSequential, 0, 8);
+  config.num_centroids = 2;
+  const TrainTestWorkload w = GenerateTrainTestWorkloads(space, config, 1000, 1000);
+  // Phase means of training and test must pair up (same centroid order).
+  auto phase_mean = [](const std::vector<Point>& pts, int phase) {
+    double m = 0.0;
+    for (int i = 0; i < 500; ++i) m += pts[static_cast<size_t>(phase * 500 + i)][0];
+    return m / 500.0;
+  };
+  EXPECT_NEAR(phase_mean(w.training, 0), phase_mean(w.test, 0), 15.0);
+  EXPECT_NEAR(phase_mean(w.training, 1), phase_mean(w.test, 1), 15.0);
+}
+
+TEST(DriftingWorkloadTest, CountAndContainment) {
+  const Box space = Box::Cube(3, 0.0, 100.0);
+  const auto points = GenerateDriftingWorkload(space, 999, 4, 2, 0.05, 3);
+  EXPECT_EQ(points.size(), 999u);
+  for (const Point& p : points) ASSERT_TRUE(space.ContainsClosed(p));
+}
+
+TEST(DriftingWorkloadTest, PhasesOccupyDifferentRegions) {
+  const Box space = Box::Cube(2, 0.0, 1000.0);
+  const auto points = GenerateDriftingWorkload(space, 2000, 2, 1, 0.02, 9);
+  // Single centroid per phase: phase means differ.
+  double m0 = 0.0;
+  double m1 = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    m0 += points[static_cast<size_t>(i)][0] + points[static_cast<size_t>(i)][1];
+    m1 += points[static_cast<size_t>(1000 + i)][0] +
+          points[static_cast<size_t>(1000 + i)][1];
+  }
+  EXPECT_GT(std::abs(m0 - m1) / 1000.0, 50.0);
+}
+
+}  // namespace
+}  // namespace mlq

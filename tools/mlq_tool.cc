@@ -1,0 +1,281 @@
+// mlq_tool — command-line front end for the library's trace/model plumbing.
+//
+//   mlq_tool capture  --udf=NAME --out=trace.txt [--n=2000] [--dist=uniform]
+//                     [--seed=42] [--scale=small] [--peaks=50]
+//   mlq_tool replay   --trace=trace.txt [--strategy=lazy] [--budget=1800]
+//                     [--beta=1] [--cost=cpu] [--model-out=model.bin]
+//   mlq_tool inspect  --model=model.bin
+//   mlq_tool predict  --model=model.bin --point=x0,x1,...
+//   mlq_tool selftest
+//
+// UDF names: synth (synthetic surface; --peaks) or one of
+// SIMPLE THRESH PROX KNN WIN RANGE (the real-UDF suite; --scale=small|full).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/args.h"
+#include "eval/experiment_setup.h"
+#include "eval/trace.h"
+#include "model/mlq_model.h"
+#include "model/serialization.h"
+#include "quadtree/tree_stats.h"
+
+namespace mlq {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mlq_tool <capture|replay|inspect|predict|selftest> "
+               "[--flags]\n"
+               "  capture  --udf=NAME --out=FILE [--n=2000] [--dist=uniform|"
+               "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
+               " [--peaks=50]\n"
+               "  replay   --trace=FILE [--strategy=eager|lazy] "
+               "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]\n"
+               "  inspect  --model=FILE\n"
+               "  predict  --model=FILE --point=x0,x1,...\n"
+               "  selftest\n");
+  return 1;
+}
+
+QueryDistributionKind ParseDistribution(const std::string& name) {
+  if (name == "gauss-random") return QueryDistributionKind::kGaussianRandom;
+  if (name == "gauss-sequential") {
+    return QueryDistributionKind::kGaussianSequential;
+  }
+  return QueryDistributionKind::kUniform;
+}
+
+// Builds the requested UDF; `suite` keeps the real-UDF substrates alive.
+CostedUdf* ResolveUdf(const std::string& name, int peaks, uint64_t seed,
+                      SubstrateScale scale,
+                      std::unique_ptr<SyntheticUdf>* synthetic,
+                      std::unique_ptr<RealUdfSuite>* suite) {
+  if (name == "synth") {
+    *synthetic = MakePaperSyntheticUdf(peaks, /*noise_probability=*/0.0, seed);
+    return synthetic->get();
+  }
+  *suite = std::make_unique<RealUdfSuite>(MakeRealUdfSuite(scale, seed));
+  return (*suite)->Find(name);
+}
+
+int RunCapture(int argc, char** argv) {
+  const std::string udf_name = ArgValue(argc, argv, "udf", "synth");
+  const std::string out_path = ArgValue(argc, argv, "out");
+  const int n = std::atoi(ArgValue(argc, argv, "n", "2000").c_str());
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(ArgValue(argc, argv, "seed", "42").c_str()));
+  const int peaks = std::atoi(ArgValue(argc, argv, "peaks", "50").c_str());
+  const SubstrateScale scale = ArgValue(argc, argv, "scale", "small") == "full"
+                                   ? SubstrateScale::kFull
+                                   : SubstrateScale::kSmall;
+  if (out_path.empty() || n <= 0) return Usage();
+
+  std::unique_ptr<SyntheticUdf> synthetic;
+  std::unique_ptr<RealUdfSuite> suite;
+  CostedUdf* udf = ResolveUdf(udf_name, peaks, seed, scale, &synthetic, &suite);
+  if (udf == nullptr) {
+    std::fprintf(stderr, "unknown UDF '%s'\n", udf_name.c_str());
+    return 1;
+  }
+
+  const auto points = MakePaperWorkload(
+      udf->execution_space(),
+      ParseDistribution(ArgValue(argc, argv, "dist", "uniform")), n, seed);
+  const auto records = CaptureTrace(*udf, points);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  WriteTrace(out, records, udf->execution_space().dims());
+  std::printf("captured %zu executions of %s into %s\n", records.size(),
+              std::string(udf->name()).c_str(), out_path.c_str());
+  return 0;
+}
+
+int RunReplay(int argc, char** argv) {
+  const std::string trace_path = ArgValue(argc, argv, "trace");
+  if (trace_path.empty()) return Usage();
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::vector<TraceRecord> records;
+  std::string error;
+  if (!ReadTrace(in, &records, &error)) {
+    std::fprintf(stderr, "bad trace: %s\n", error.c_str());
+    return 1;
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "trace is empty\n");
+    return 1;
+  }
+
+  // Model space: the bounding box of the trace points, slightly padded.
+  const int dims = records[0].point.dims();
+  Point lo = records[0].point;
+  Point hi = records[0].point;
+  for (const TraceRecord& r : records) {
+    for (int d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], r.point[d]);
+      hi[d] = std::max(hi[d], r.point[d]);
+    }
+  }
+  for (int d = 0; d < dims; ++d) {
+    if (lo[d] == hi[d]) hi[d] = lo[d] + 1.0;
+  }
+
+  MlqConfig config;
+  config.strategy = ArgValue(argc, argv, "strategy", "lazy") == "eager"
+                        ? InsertionStrategy::kEager
+                        : InsertionStrategy::kLazy;
+  config.memory_limit_bytes =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  config.beta = std::atoll(ArgValue(argc, argv, "beta", "1").c_str());
+  const CostKind kind =
+      ArgValue(argc, argv, "cost", "cpu") == "io" ? CostKind::kIo
+                                                  : CostKind::kCpu;
+
+  MlqModel model(Box(lo, hi), config);
+  const double nae = ReplayTrace(model, records, kind);
+  std::printf("replayed %zu records: NAE=%.4f, %lld nodes, %lld bytes, "
+              "%lld compressions\n",
+              records.size(), nae,
+              static_cast<long long>(model.tree().num_nodes()),
+              static_cast<long long>(model.MemoryBytes()),
+              static_cast<long long>(model.tree().counters().compressions));
+
+  const std::string model_out = ArgValue(argc, argv, "model-out");
+  if (!model_out.empty()) {
+    if (!SaveQuadtreeToFile(model.tree(), model_out)) {
+      std::fprintf(stderr, "cannot write %s\n", model_out.c_str());
+      return 1;
+    }
+    std::printf("saved model to %s\n", model_out.c_str());
+  }
+  return 0;
+}
+
+int RunInspect(int argc, char** argv) {
+  const std::string model_path = ArgValue(argc, argv, "model");
+  if (model_path.empty()) return Usage();
+  std::string error;
+  auto tree = LoadQuadtreeFromFile(model_path, &error);
+  if (tree == nullptr) {
+    std::fprintf(stderr, "cannot load %s: %s\n", model_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("model space: %s\n", tree->space().ToString().c_str());
+  std::printf("strategy: %s, lambda=%d, alpha=%g, gamma=%g, beta=%lld, "
+              "budget=%lld bytes\n",
+              tree->config().strategy == InsertionStrategy::kEager ? "eager"
+                                                                   : "lazy",
+              tree->config().max_depth, tree->config().alpha,
+              tree->config().gamma,
+              static_cast<long long>(tree->config().beta),
+              static_cast<long long>(tree->config().memory_limit_bytes));
+  std::printf("%s", TreeStatsToString(ComputeTreeStats(*tree)).c_str());
+  return 0;
+}
+
+int RunPredict(int argc, char** argv) {
+  const std::string model_path = ArgValue(argc, argv, "model");
+  const std::string point_text = ArgValue(argc, argv, "point");
+  if (model_path.empty() || point_text.empty()) return Usage();
+  std::string error;
+  auto tree = LoadQuadtreeFromFile(model_path, &error);
+  if (tree == nullptr) {
+    std::fprintf(stderr, "cannot load %s: %s\n", model_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  Point p(tree->space().dims());
+  std::istringstream fields(point_text);
+  std::string field;
+  for (int d = 0; d < p.dims(); ++d) {
+    if (!std::getline(fields, field, ',')) {
+      std::fprintf(stderr, "--point needs %d coordinates\n", p.dims());
+      return 1;
+    }
+    p[d] = std::atof(field.c_str());
+  }
+  const Prediction prediction = tree->Predict(p);
+  std::printf("predict%s = %.6g  (depth %d, %lld supporting points%s)\n",
+              p.ToString().c_str(), prediction.value, prediction.depth,
+              static_cast<long long>(prediction.count),
+              prediction.reliable ? "" : "; UNRELIABLE — fewer than beta");
+  return 0;
+}
+
+int RunSelfTest() {
+  // capture -> replay -> save -> inspect -> predict, via temp files.
+  const std::string trace_path = "/tmp/mlq_tool_selftest_trace.txt";
+  const std::string model_path = "/tmp/mlq_tool_selftest_model.bin";
+  {
+    auto udf = MakePaperSyntheticUdf(20, 0.0, 99);
+    const auto points = MakePaperWorkload(
+        udf->model_space(), QueryDistributionKind::kUniform, 500, 7);
+    const auto records = CaptureTrace(*udf, points);
+    std::ofstream out(trace_path);
+    WriteTrace(out, records, udf->model_space().dims());
+  }
+  {
+    std::ifstream in(trace_path);
+    std::vector<TraceRecord> records;
+    std::string error;
+    if (!ReadTrace(in, &records, &error) || records.size() != 500) {
+      std::fprintf(stderr, "selftest: trace round-trip failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    MlqConfig config;
+    MlqModel model(Box::Cube(4, 0.0, 1000.0), config);
+    ReplayTrace(model, records, CostKind::kCpu);
+    if (!SaveQuadtreeToFile(model.tree(), model_path)) {
+      std::fprintf(stderr, "selftest: model save failed\n");
+      return 1;
+    }
+  }
+  {
+    std::string error;
+    auto tree = LoadQuadtreeFromFile(model_path, &error);
+    if (tree == nullptr || !tree->CheckInvariants(&error)) {
+      std::fprintf(stderr, "selftest: model load failed: %s\n", error.c_str());
+      return 1;
+    }
+    const Prediction p = tree->Predict(Point{500.0, 500.0, 500.0, 500.0});
+    if (p.value < 0.0) {
+      std::fprintf(stderr, "selftest: nonsense prediction\n");
+      return 1;
+    }
+  }
+  std::remove(trace_path.c_str());
+  std::remove(model_path.c_str());
+  std::printf("selftest OK (capture -> replay -> save -> load -> predict)\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "capture") return RunCapture(argc, argv);
+  if (command == "replay") return RunReplay(argc, argv);
+  if (command == "inspect") return RunInspect(argc, argv);
+  if (command == "predict") return RunPredict(argc, argv);
+  if (command == "selftest") return RunSelfTest();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mlq
+
+int main(int argc, char** argv) { return mlq::Main(argc, argv); }
