@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transforms.dir/ablation_transforms.cc.o"
+  "CMakeFiles/ablation_transforms.dir/ablation_transforms.cc.o.d"
+  "ablation_transforms"
+  "ablation_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

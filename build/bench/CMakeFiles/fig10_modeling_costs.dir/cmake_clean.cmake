@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_modeling_costs.dir/fig10_modeling_costs.cc.o"
+  "CMakeFiles/fig10_modeling_costs.dir/fig10_modeling_costs.cc.o.d"
+  "fig10_modeling_costs"
+  "fig10_modeling_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_modeling_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

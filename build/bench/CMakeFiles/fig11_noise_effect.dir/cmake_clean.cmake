@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_noise_effect.dir/fig11_noise_effect.cc.o"
+  "CMakeFiles/fig11_noise_effect.dir/fig11_noise_effect.cc.o.d"
+  "fig11_noise_effect"
+  "fig11_noise_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_noise_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

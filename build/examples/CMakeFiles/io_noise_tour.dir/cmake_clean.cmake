@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_noise_tour.dir/io_noise_tour.cpp.o"
+  "CMakeFiles/io_noise_tour.dir/io_noise_tour.cpp.o.d"
+  "io_noise_tour"
+  "io_noise_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_noise_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_ordbms.dir/mini_ordbms.cpp.o"
+  "CMakeFiles/mini_ordbms.dir/mini_ordbms.cpp.o.d"
+  "mini_ordbms"
+  "mini_ordbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_ordbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

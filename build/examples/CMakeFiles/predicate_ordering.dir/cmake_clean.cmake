@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_ordering.dir/predicate_ordering.cpp.o"
+  "CMakeFiles/predicate_ordering.dir/predicate_ordering.cpp.o.d"
+  "predicate_ordering"
+  "predicate_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("quadtree")
+subdirs("storage")
+subdirs("synthetic")
+subdirs("udf")
+subdirs("model")
+subdirs("text")
+subdirs("spatial")
+subdirs("workload")
+subdirs("eval")
+subdirs("optimizer")
+subdirs("engine")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_common.dir/geometry.cc.o"
+  "CMakeFiles/mlq_common.dir/geometry.cc.o.d"
+  "CMakeFiles/mlq_common.dir/rng.cc.o"
+  "CMakeFiles/mlq_common.dir/rng.cc.o.d"
+  "CMakeFiles/mlq_common.dir/stats.cc.o"
+  "CMakeFiles/mlq_common.dir/stats.cc.o.d"
+  "CMakeFiles/mlq_common.dir/table_printer.cc.o"
+  "CMakeFiles/mlq_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/mlq_common.dir/zipf.cc.o"
+  "CMakeFiles/mlq_common.dir/zipf.cc.o.d"
+  "libmlq_common.a"
+  "libmlq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

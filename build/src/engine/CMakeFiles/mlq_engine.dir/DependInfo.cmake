@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_catalog.cc" "src/engine/CMakeFiles/mlq_engine.dir/cost_catalog.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/cost_catalog.cc.o.d"
+  "/root/repo/src/engine/estimate_audit.cc" "src/engine/CMakeFiles/mlq_engine.dir/estimate_audit.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/estimate_audit.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/mlq_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/join_query.cc" "src/engine/CMakeFiles/mlq_engine.dir/join_query.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/join_query.cc.o.d"
+  "/root/repo/src/engine/query_optimizer.cc" "src/engine/CMakeFiles/mlq_engine.dir/query_optimizer.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/query_optimizer.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/mlq_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/udf_predicate.cc" "src/engine/CMakeFiles/mlq_engine.dir/udf_predicate.cc.o" "gcc" "src/engine/CMakeFiles/mlq_engine.dir/udf_predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/mlq_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/mlq_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/mlq_quadtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_engine.dir/cost_catalog.cc.o"
+  "CMakeFiles/mlq_engine.dir/cost_catalog.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/estimate_audit.cc.o"
+  "CMakeFiles/mlq_engine.dir/estimate_audit.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/executor.cc.o"
+  "CMakeFiles/mlq_engine.dir/executor.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/join_query.cc.o"
+  "CMakeFiles/mlq_engine.dir/join_query.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/query_optimizer.cc.o"
+  "CMakeFiles/mlq_engine.dir/query_optimizer.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/table.cc.o"
+  "CMakeFiles/mlq_engine.dir/table.cc.o.d"
+  "CMakeFiles/mlq_engine.dir/udf_predicate.cc.o"
+  "CMakeFiles/mlq_engine.dir/udf_predicate.cc.o.d"
+  "libmlq_engine.a"
+  "libmlq_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

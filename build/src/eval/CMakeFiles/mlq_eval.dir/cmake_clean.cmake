@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_eval.dir/csv_export.cc.o"
+  "CMakeFiles/mlq_eval.dir/csv_export.cc.o.d"
+  "CMakeFiles/mlq_eval.dir/evaluator.cc.o"
+  "CMakeFiles/mlq_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/mlq_eval.dir/experiment_setup.cc.o"
+  "CMakeFiles/mlq_eval.dir/experiment_setup.cc.o.d"
+  "CMakeFiles/mlq_eval.dir/trace.cc.o"
+  "CMakeFiles/mlq_eval.dir/trace.cc.o.d"
+  "libmlq_eval.a"
+  "libmlq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

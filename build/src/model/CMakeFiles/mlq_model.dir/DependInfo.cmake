@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/mlq_model.cc" "src/model/CMakeFiles/mlq_model.dir/mlq_model.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/mlq_model.cc.o.d"
+  "/root/repo/src/model/neural_model.cc" "src/model/CMakeFiles/mlq_model.dir/neural_model.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/neural_model.cc.o.d"
+  "/root/repo/src/model/online_grid_model.cc" "src/model/CMakeFiles/mlq_model.dir/online_grid_model.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/online_grid_model.cc.o.d"
+  "/root/repo/src/model/partitioned_model.cc" "src/model/CMakeFiles/mlq_model.dir/partitioned_model.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/partitioned_model.cc.o.d"
+  "/root/repo/src/model/serialization.cc" "src/model/CMakeFiles/mlq_model.dir/serialization.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/serialization.cc.o.d"
+  "/root/repo/src/model/static_histogram.cc" "src/model/CMakeFiles/mlq_model.dir/static_histogram.cc.o" "gcc" "src/model/CMakeFiles/mlq_model.dir/static_histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/mlq_quadtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

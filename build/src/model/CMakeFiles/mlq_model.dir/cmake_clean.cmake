@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_model.dir/mlq_model.cc.o"
+  "CMakeFiles/mlq_model.dir/mlq_model.cc.o.d"
+  "CMakeFiles/mlq_model.dir/neural_model.cc.o"
+  "CMakeFiles/mlq_model.dir/neural_model.cc.o.d"
+  "CMakeFiles/mlq_model.dir/online_grid_model.cc.o"
+  "CMakeFiles/mlq_model.dir/online_grid_model.cc.o.d"
+  "CMakeFiles/mlq_model.dir/partitioned_model.cc.o"
+  "CMakeFiles/mlq_model.dir/partitioned_model.cc.o.d"
+  "CMakeFiles/mlq_model.dir/serialization.cc.o"
+  "CMakeFiles/mlq_model.dir/serialization.cc.o.d"
+  "CMakeFiles/mlq_model.dir/static_histogram.cc.o"
+  "CMakeFiles/mlq_model.dir/static_histogram.cc.o.d"
+  "libmlq_model.a"
+  "libmlq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

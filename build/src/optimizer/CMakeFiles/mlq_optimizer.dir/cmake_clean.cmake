@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_optimizer.dir/predicate_ordering.cc.o"
+  "CMakeFiles/mlq_optimizer.dir/predicate_ordering.cc.o.d"
+  "libmlq_optimizer.a"
+  "libmlq_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

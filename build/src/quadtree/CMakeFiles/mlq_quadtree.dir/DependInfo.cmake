@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quadtree/memory_limited_quadtree.cc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/memory_limited_quadtree.cc.o" "gcc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/memory_limited_quadtree.cc.o.d"
+  "/root/repo/src/quadtree/quadtree_node.cc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/quadtree_node.cc.o" "gcc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/quadtree_node.cc.o.d"
+  "/root/repo/src/quadtree/tree_stats.cc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/tree_stats.cc.o" "gcc" "src/quadtree/CMakeFiles/mlq_quadtree.dir/tree_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

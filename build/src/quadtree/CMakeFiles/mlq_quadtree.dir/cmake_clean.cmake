@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_quadtree.dir/memory_limited_quadtree.cc.o"
+  "CMakeFiles/mlq_quadtree.dir/memory_limited_quadtree.cc.o.d"
+  "CMakeFiles/mlq_quadtree.dir/quadtree_node.cc.o"
+  "CMakeFiles/mlq_quadtree.dir/quadtree_node.cc.o.d"
+  "CMakeFiles/mlq_quadtree.dir/tree_stats.cc.o"
+  "CMakeFiles/mlq_quadtree.dir/tree_stats.cc.o.d"
+  "libmlq_quadtree.a"
+  "libmlq_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_spatial.dir/dataset.cc.o"
+  "CMakeFiles/mlq_spatial.dir/dataset.cc.o.d"
+  "CMakeFiles/mlq_spatial.dir/grid_index.cc.o"
+  "CMakeFiles/mlq_spatial.dir/grid_index.cc.o.d"
+  "CMakeFiles/mlq_spatial.dir/spatial_udfs.cc.o"
+  "CMakeFiles/mlq_spatial.dir/spatial_udfs.cc.o.d"
+  "libmlq_spatial.a"
+  "libmlq_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mlq_storage.dir/buffer_pool.cc.o.d"
+  "libmlq_storage.a"
+  "libmlq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthetic/decay.cc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/decay.cc.o" "gcc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/decay.cc.o.d"
+  "/root/repo/src/synthetic/peak_surface.cc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/peak_surface.cc.o" "gcc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/peak_surface.cc.o.d"
+  "/root/repo/src/synthetic/synthetic_udf.cc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/synthetic_udf.cc.o" "gcc" "src/synthetic/CMakeFiles/mlq_synthetic.dir/synthetic_udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/mlq_udf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

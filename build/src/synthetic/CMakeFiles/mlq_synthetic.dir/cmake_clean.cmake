@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_synthetic.dir/decay.cc.o"
+  "CMakeFiles/mlq_synthetic.dir/decay.cc.o.d"
+  "CMakeFiles/mlq_synthetic.dir/peak_surface.cc.o"
+  "CMakeFiles/mlq_synthetic.dir/peak_surface.cc.o.d"
+  "CMakeFiles/mlq_synthetic.dir/synthetic_udf.cc.o"
+  "CMakeFiles/mlq_synthetic.dir/synthetic_udf.cc.o.d"
+  "libmlq_synthetic.a"
+  "libmlq_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/mlq_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/mlq_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/text_search_engine.cc" "src/text/CMakeFiles/mlq_text.dir/text_search_engine.cc.o" "gcc" "src/text/CMakeFiles/mlq_text.dir/text_search_engine.cc.o.d"
+  "/root/repo/src/text/text_udfs.cc" "src/text/CMakeFiles/mlq_text.dir/text_udfs.cc.o" "gcc" "src/text/CMakeFiles/mlq_text.dir/text_udfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/mlq_udf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

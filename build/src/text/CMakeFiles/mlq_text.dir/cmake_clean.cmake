@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_text.dir/inverted_index.cc.o"
+  "CMakeFiles/mlq_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/mlq_text.dir/text_search_engine.cc.o"
+  "CMakeFiles/mlq_text.dir/text_search_engine.cc.o.d"
+  "CMakeFiles/mlq_text.dir/text_udfs.cc.o"
+  "CMakeFiles/mlq_text.dir/text_udfs.cc.o.d"
+  "libmlq_text.a"
+  "libmlq_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

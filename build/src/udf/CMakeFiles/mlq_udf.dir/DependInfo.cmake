@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udf/transform.cc" "src/udf/CMakeFiles/mlq_udf.dir/transform.cc.o" "gcc" "src/udf/CMakeFiles/mlq_udf.dir/transform.cc.o.d"
+  "/root/repo/src/udf/transformed_udf.cc" "src/udf/CMakeFiles/mlq_udf.dir/transformed_udf.cc.o" "gcc" "src/udf/CMakeFiles/mlq_udf.dir/transformed_udf.cc.o.d"
+  "/root/repo/src/udf/udf_registry.cc" "src/udf/CMakeFiles/mlq_udf.dir/udf_registry.cc.o" "gcc" "src/udf/CMakeFiles/mlq_udf.dir/udf_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

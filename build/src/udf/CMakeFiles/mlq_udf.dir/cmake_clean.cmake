@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_udf.dir/transform.cc.o"
+  "CMakeFiles/mlq_udf.dir/transform.cc.o.d"
+  "CMakeFiles/mlq_udf.dir/transformed_udf.cc.o"
+  "CMakeFiles/mlq_udf.dir/transformed_udf.cc.o.d"
+  "CMakeFiles/mlq_udf.dir/udf_registry.cc.o"
+  "CMakeFiles/mlq_udf.dir/udf_registry.cc.o.d"
+  "libmlq_udf.a"
+  "libmlq_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_workload.dir/query_distribution.cc.o"
+  "CMakeFiles/mlq_workload.dir/query_distribution.cc.o.d"
+  "libmlq_workload.a"
+  "libmlq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

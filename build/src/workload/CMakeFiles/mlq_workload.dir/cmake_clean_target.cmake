@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlq_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_model_test.dir/model/concurrent_model_test.cc.o"
+  "CMakeFiles/concurrent_model_test.dir/model/concurrent_model_test.cc.o.d"
+  "concurrent_model_test"
+  "concurrent_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

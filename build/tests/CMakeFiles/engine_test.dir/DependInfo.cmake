@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mlq_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mlq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/mlq_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/mlq_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/mlq_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthetic/CMakeFiles/mlq_synthetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mlq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/mlq_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mlq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

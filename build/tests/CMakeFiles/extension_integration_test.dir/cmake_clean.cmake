@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_integration_test.dir/integration/extension_integration_test.cc.o"
+  "CMakeFiles/extension_integration_test.dir/integration/extension_integration_test.cc.o.d"
+  "extension_integration_test"
+  "extension_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_models_test.dir/model/extension_models_test.cc.o"
+  "CMakeFiles/extension_models_test.dir/model/extension_models_test.cc.o.d"
+  "extension_models_test"
+  "extension_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

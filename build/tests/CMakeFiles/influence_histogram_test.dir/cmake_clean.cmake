@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_histogram_test.dir/model/influence_histogram_test.cc.o"
+  "CMakeFiles/influence_histogram_test.dir/model/influence_histogram_test.cc.o.d"
+  "influence_histogram_test"
+  "influence_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

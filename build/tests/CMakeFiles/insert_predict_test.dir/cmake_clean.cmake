@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insert_predict_test.dir/quadtree/insert_predict_test.cc.o"
+  "CMakeFiles/insert_predict_test.dir/quadtree/insert_predict_test.cc.o.d"
+  "insert_predict_test"
+  "insert_predict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insert_predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

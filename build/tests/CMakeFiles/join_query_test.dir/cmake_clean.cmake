@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_query_test.dir/engine/join_query_test.cc.o"
+  "CMakeFiles/join_query_test.dir/engine/join_query_test.cc.o.d"
+  "join_query_test"
+  "join_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_and_misc_test.dir/common/memory_and_misc_test.cc.o"
+  "CMakeFiles/memory_and_misc_test.dir/common/memory_and_misc_test.cc.o.d"
+  "memory_and_misc_test"
+  "memory_and_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_and_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

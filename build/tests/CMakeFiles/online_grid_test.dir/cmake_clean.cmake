@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_grid_test.dir/model/online_grid_test.cc.o"
+  "CMakeFiles/online_grid_test.dir/model/online_grid_test.cc.o.d"
+  "online_grid_test"
+  "online_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

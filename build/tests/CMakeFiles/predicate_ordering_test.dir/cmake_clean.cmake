@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_ordering_test.dir/optimizer/predicate_ordering_test.cc.o"
+  "CMakeFiles/predicate_ordering_test.dir/optimizer/predicate_ordering_test.cc.o.d"
+  "predicate_ordering_test"
+  "predicate_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadtree_node_test.dir/quadtree/quadtree_node_test.cc.o"
+  "CMakeFiles/quadtree_node_test.dir/quadtree/quadtree_node_test.cc.o.d"
+  "quadtree_node_test"
+  "quadtree_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadtree_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

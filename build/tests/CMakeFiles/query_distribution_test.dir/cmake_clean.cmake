@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_distribution_test.dir/workload/query_distribution_test.cc.o"
+  "CMakeFiles/query_distribution_test.dir/workload/query_distribution_test.cc.o.d"
+  "query_distribution_test"
+  "query_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

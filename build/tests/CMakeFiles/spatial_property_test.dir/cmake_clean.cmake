@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_property_test.dir/spatial/spatial_property_test.cc.o"
+  "CMakeFiles/spatial_property_test.dir/spatial/spatial_property_test.cc.o.d"
+  "spatial_property_test"
+  "spatial_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

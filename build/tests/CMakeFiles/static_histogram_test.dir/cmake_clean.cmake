@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_histogram_test.dir/model/static_histogram_test.cc.o"
+  "CMakeFiles/static_histogram_test.dir/model/static_histogram_test.cc.o.d"
+  "static_histogram_test"
+  "static_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

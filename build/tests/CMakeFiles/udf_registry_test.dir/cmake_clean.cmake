@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_registry_test.dir/udf/udf_registry_test.cc.o"
+  "CMakeFiles/udf_registry_test.dir/udf/udf_registry_test.cc.o.d"
+  "udf_registry_test"
+  "udf_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlq_tool.dir/mlq_tool.cc.o"
+  "CMakeFiles/mlq_tool.dir/mlq_tool.cc.o.d"
+  "mlq_tool"
+  "mlq_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlq_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
