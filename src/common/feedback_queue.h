@@ -1,0 +1,93 @@
+#ifndef MLQ_COMMON_FEEDBACK_QUEUE_H_
+#define MLQ_COMMON_FEEDBACK_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mlq {
+
+// Bounded multi-producer feedback buffer with drop-oldest overflow.
+//
+// Producers (execution threads delivering cost observations) call Push,
+// which only ever takes this queue's own mutex — never the mutex of the
+// model the observations are destined for — so feedback delivery cannot
+// block behind a model that is busy predicting or compressing. A consumer
+// periodically moves the pending items out with PopBatch (FIFO order) and
+// applies them while holding the model lock.
+//
+// When the ring is full the *oldest* pending observation is overwritten:
+// for cost feedback, fresh observations are strictly more valuable than
+// stale ones, and a bounded queue keeps the memory cost of a slow consumer
+// fixed. Drops are counted, never silent.
+template <typename T>
+class BoundedFeedbackQueue {
+ public:
+  explicit BoundedFeedbackQueue(size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  BoundedFeedbackQueue(const BoundedFeedbackQueue&) = delete;
+  BoundedFeedbackQueue& operator=(const BoundedFeedbackQueue&) = delete;
+
+  // Enqueues `item`. Returns false when the queue was full and the oldest
+  // pending item was dropped to make room.
+  bool Push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pushed_;
+    if (count_ == ring_.size()) {
+      // Overwrite the oldest slot and advance the head past it.
+      ring_[head_] = std::move(item);
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+      return false;
+    }
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+    return true;
+  }
+
+  // Appends up to `max_items` pending items (0 = everything) to `out` in
+  // FIFO order and removes them from the queue. Returns how many moved.
+  size_t PopBatch(std::vector<T>* out, size_t max_items = 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = count_;
+    if (max_items > 0 && max_items < n) n = max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % ring_.size();
+    }
+    count_ -= n;
+    return n;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  // Total Push calls, and how many of them cost an older item its slot.
+  int64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+  }
+  int64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> ring_;
+  size_t head_ = 0;   // Index of the oldest pending item.
+  size_t count_ = 0;  // Pending items.
+  int64_t pushed_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_FEEDBACK_QUEUE_H_

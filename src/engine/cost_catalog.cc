@@ -4,6 +4,9 @@
 #include <cassert>
 
 #include "common/timer.h"
+#include "model/concurrent_model.h"
+#include "model/mlq_model.h"
+#include "model/sharded_model.h"
 
 namespace mlq {
 namespace {
@@ -24,26 +27,47 @@ MlqConfig CatalogModelConfig(int64_t memory_limit_bytes, int64_t beta) {
 
 }  // namespace
 
-CostCatalog::CostCatalog(int64_t memory_limit_bytes)
-    : memory_limit_bytes_(memory_limit_bytes) {}
+CostCatalog::CostCatalog(int64_t memory_limit_bytes,
+                         CatalogConcurrency concurrency, int num_shards)
+    : memory_limit_bytes_(memory_limit_bytes),
+      concurrency_(concurrency),
+      num_shards_(std::max(num_shards, 1)) {}
+
+std::unique_ptr<CostModel> CostCatalog::MakeModel(const Box& space,
+                                                  int64_t beta) const {
+  const MlqConfig config = CatalogModelConfig(memory_limit_bytes_, beta);
+  switch (concurrency_) {
+    case CatalogConcurrency::kSingleThread:
+      return std::make_unique<MlqModel>(space, config);
+    case CatalogConcurrency::kGlobalMutex:
+      return std::make_unique<ConcurrentCostModel>(
+          std::make_unique<MlqModel>(space, config));
+    case CatalogConcurrency::kSharded: {
+      ShardedModelOptions options;
+      options.num_shards = num_shards_;
+      return std::make_unique<ShardedCostModel>(space, config, options);
+    }
+  }
+  return nullptr;  // Unreachable.
+}
 
 CostCatalog::Entry& CostCatalog::For(CostedUdf* udf) {
   assert(udf != nullptr);
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
   for (auto& entry : entries_) {
     if (entry->udf == udf) return *entry;
   }
   const Box space = udf->model_space();
-  // Models are immovable (they own the quadtree); aggregate-initialize the
-  // Entry in place (guaranteed elision), not through make_unique's forward.
-  entries_.push_back(std::unique_ptr<Entry>(new Entry{
-      udf,
-      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/1)),
-      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/10)),
-      MlqModel(space, CatalogModelConfig(memory_limit_bytes_, /*beta=*/5))}));
+  entries_.push_back(std::unique_ptr<Entry>(
+      new Entry{udf, MakeModel(space, /*beta=*/1), MakeModel(space, /*beta=*/10),
+                MakeModel(space, /*beta=*/5)}));
   return *entries_.back();
 }
 
 const CostCatalog::Entry* CostCatalog::Find(const CostedUdf* udf) const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
   for (const auto& entry : entries_) {
     if (entry->udf == udf) return entry.get();
   }
@@ -53,24 +77,40 @@ const CostCatalog::Entry* CostCatalog::Find(const CostedUdf* udf) const {
 void CostCatalog::RecordExecution(CostedUdf* udf, const Point& model_point,
                                   const UdfCost& cost, bool passed) {
   Entry& entry = For(udf);
-  entry.cpu_model.Observe(model_point, cost.cpu_work);
-  entry.io_model.Observe(model_point, cost.io_pages);
-  entry.selectivity_model.Observe(model_point, passed ? 1.0 : 0.0);
+  entry.cpu_model->Observe(model_point, cost.cpu_work);
+  entry.io_model->Observe(model_point, cost.io_pages);
+  entry.selectivity_model->Observe(model_point, passed ? 1.0 : 0.0);
 }
 
 double CostCatalog::PredictCostMicros(CostedUdf* udf,
                                       const Point& model_point) {
   Entry& entry = For(udf);
-  return entry.cpu_model.Predict(model_point) * kMicrosPerWorkUnit +
-         entry.io_model.Predict(model_point) * kMicrosPerPageMiss;
+  return entry.cpu_model->Predict(model_point) * kMicrosPerWorkUnit +
+         entry.io_model->Predict(model_point) * kMicrosPerPageMiss;
 }
 
 double CostCatalog::PredictSelectivity(CostedUdf* udf,
                                        const Point& model_point) {
   Entry& entry = For(udf);
-  const Prediction p = entry.selectivity_model.PredictDetailed(model_point);
+  const Prediction p = entry.selectivity_model->PredictDetailed(model_point);
   if (!p.reliable && p.count == 0) return 0.5;  // Nothing known yet.
   return std::clamp(p.value, 0.01, 1.0);
+}
+
+void CostCatalog::FlushFeedback() {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  for (auto& entry : entries_) {
+    entry->cpu_model->Flush();
+    entry->io_model->Flush();
+    entry->selectivity_model->Flush();
+  }
+}
+
+int CostCatalog::size() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  return static_cast<int>(entries_.size());
 }
 
 }  // namespace mlq

@@ -3,12 +3,27 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
-#include "model/mlq_model.h"
+#include "model/cost_model.h"
 #include "udf/costed_udf.h"
 
 namespace mlq {
+
+// How the catalog's models are protected against concurrent access.
+enum class CatalogConcurrency {
+  // Bare single-threaded models, zero locking — the paper's setting and
+  // the default. One planner/executor thread only.
+  kSingleThread,
+  // Every model behind one mutex (ConcurrentCostModel). Correct under any
+  // interleaving; throughput capped at one core per model.
+  kGlobalMutex,
+  // Sharded serving models (ShardedCostModel): striped locks, queued
+  // feedback. Prediction throughput scales across threads; Observe never
+  // blocks the prediction path. See docs/concurrency.md.
+  kSharded,
+};
 
 // The optimizer-side metadata for UDFs: for every UDF, the two cost
 // estimators the paper prescribes (one CPU, one disk-IO; Section 1) plus —
@@ -17,23 +32,28 @@ namespace mlq {
 // its block averages are local pass probabilities.
 //
 // Every executed predicate feeds all three models (the Fig. 1 feedback
-// loop); the optimizer reads them when costing plans.
+// loop); the optimizer reads them when costing plans. In the concurrent
+// modes, predictions and feedback may come from many threads at once.
 class CostCatalog {
  public:
   struct Entry {
     CostedUdf* udf;
-    MlqModel cpu_model;
-    MlqModel io_model;
-    MlqModel selectivity_model;
+    std::unique_ptr<CostModel> cpu_model;
+    std::unique_ptr<CostModel> io_model;
+    std::unique_ptr<CostModel> selectivity_model;
   };
 
   // `memory_limit_bytes` is the per-model budget (the paper's 1.8 KB each).
-  explicit CostCatalog(int64_t memory_limit_bytes = 1800);
+  // `num_shards` only applies to CatalogConcurrency::kSharded.
+  explicit CostCatalog(
+      int64_t memory_limit_bytes = 1800,
+      CatalogConcurrency concurrency = CatalogConcurrency::kSingleThread,
+      int num_shards = 4);
 
   CostCatalog(const CostCatalog&) = delete;
   CostCatalog& operator=(const CostCatalog&) = delete;
 
-  // Lazily creates the entry for a UDF.
+  // Lazily creates the entry for a UDF. Thread-safe in concurrent modes.
   Entry& For(CostedUdf* udf);
   // Read-only lookup; nullptr if the UDF has never been registered.
   const Entry* Find(const CostedUdf* udf) const;
@@ -49,11 +69,24 @@ class CostCatalog {
   // cost formulas stay finite); 0.5 when nothing is known yet.
   double PredictSelectivity(CostedUdf* udf, const Point& model_point);
 
-  int size() const { return static_cast<int>(entries_.size()); }
+  // Applies any queued feedback in every model (kSharded); no-op in the
+  // synchronous modes.
+  void FlushFeedback();
+
+  int size() const;
   int64_t memory_limit_bytes() const { return memory_limit_bytes_; }
+  CatalogConcurrency concurrency() const { return concurrency_; }
 
  private:
+  // Wraps a freshly configured MLQ model according to concurrency_.
+  std::unique_ptr<CostModel> MakeModel(const Box& space, int64_t beta) const;
+
   int64_t memory_limit_bytes_;
+  CatalogConcurrency concurrency_;
+  int num_shards_;
+  // Guards entries_ (lookup + lazy creation) in the concurrent modes; the
+  // models themselves carry their own synchronization.
+  mutable std::mutex entries_mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
 };
 

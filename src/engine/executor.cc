@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
 namespace mlq {
 
@@ -36,6 +38,75 @@ ExecutionStats ExecuteQuery(const Query& query, const Plan& plan,
     }
     if (row_passes) ++stats.rows_out;
   }
+  return stats;
+}
+
+ExecutionStats ExecuteQueryConcurrent(const Query& query, const Plan& plan,
+                                      CostCatalog* catalog, int num_threads) {
+  assert(query.table != nullptr);
+  assert(plan.order.size() == query.predicates.size());
+  assert(catalog == nullptr ||
+         catalog->concurrency() != CatalogConcurrency::kSingleThread);
+  if (num_threads <= 1) return ExecuteQuery(query, plan, catalog);
+
+  const int64_t rows = query.table->num_rows();
+  const size_t num_predicates = query.predicates.size();
+  // The UDF substrates are thread-compatible, not thread-safe: one mutex
+  // per predicate keeps each substrate single-threaded while distinct
+  // predicates (and all model traffic) proceed in parallel.
+  std::vector<std::mutex> predicate_mutexes(num_predicates);
+
+  std::vector<ExecutionStats> per_thread(static_cast<size_t>(num_threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  const int64_t chunk = (rows + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int64_t begin = t * chunk;
+    const int64_t end = std::min(rows, begin + chunk);
+    ExecutionStats& local = per_thread[static_cast<size_t>(t)];
+    local.evaluations_per_predicate.assign(num_predicates, 0);
+    workers.emplace_back([&query, &plan, catalog, &predicate_mutexes, &local,
+                          begin, end]() {
+      for (int64_t row = begin; row < end; ++row) {
+        bool row_passes = true;
+        for (int index : plan.order) {
+          const UdfPredicate* predicate =
+              query.predicates[static_cast<size_t>(index)];
+          UdfPredicate::Outcome outcome;
+          {
+            std::lock_guard<std::mutex> lock(
+                predicate_mutexes[static_cast<size_t>(index)]);
+            outcome = predicate->Evaluate(query.table->Row(row));
+          }
+          ++local.evaluations_per_predicate[static_cast<size_t>(index)];
+          local.actual_cost_micros += outcome.cost.NominalMicros();
+          if (catalog != nullptr) {
+            catalog->RecordExecution(predicate->udf(), outcome.model_point,
+                                     outcome.cost, outcome.passed);
+          }
+          if (!outcome.passed) {
+            row_passes = false;
+            break;
+          }
+        }
+        if (row_passes) ++local.rows_out;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  ExecutionStats stats;
+  stats.rows_in = rows;
+  stats.evaluations_per_predicate.assign(num_predicates, 0);
+  for (const ExecutionStats& local : per_thread) {
+    stats.rows_out += local.rows_out;
+    stats.actual_cost_micros += local.actual_cost_micros;
+    for (size_t i = 0; i < num_predicates; ++i) {
+      stats.evaluations_per_predicate[i] +=
+          local.evaluations_per_predicate[i];
+    }
+  }
+  if (catalog != nullptr) catalog->FlushFeedback();
   return stats;
 }
 

@@ -28,6 +28,18 @@ struct ExecutionStats {
 ExecutionStats ExecuteQuery(const Query& query, const Plan& plan,
                             CostCatalog* catalog);
 
+// Concurrent variant of ExecuteQuery: rows are partitioned into
+// `num_threads` contiguous chunks evaluated by worker threads. UDF
+// substrates (buffer pools, indexes) are stateful and single-threaded, so
+// calls to the SAME predicate are serialized behind a per-predicate mutex;
+// distinct predicates run in parallel, and all model traffic (feedback via
+// `catalog`) is concurrent — which is why `catalog`, when given, must be in
+// a concurrent mode (kGlobalMutex or kSharded; asserted). Results are
+// deterministic and identical to ExecuteQuery: pass outcomes depend only on
+// the row, and short-circuiting is per-row.
+ExecutionStats ExecuteQueryConcurrent(const Query& query, const Plan& plan,
+                                      CostCatalog* catalog, int num_threads);
+
 // Adaptive variant: instead of one order for the whole table, re-ranks the
 // predicates *per row* using each row's own model-point predictions — the
 // cost models are cheap enough (~100 ns per probe) that per-tuple

@@ -1,8 +1,10 @@
 #include "engine/query_optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <thread>
 
 #include "optimizer/predicate_ordering.h"
 
@@ -24,10 +26,10 @@ std::string Plan::Explain() const {
   return out;
 }
 
-Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows) {
+Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
+               int planner_threads) {
   assert(query.table != nullptr);
   Plan plan;
-  plan.estimates.reserve(query.predicates.size());
 
   // Deterministic stride sample of the table's rows; per-row model points
   // differ, so estimates are sample averages.
@@ -35,8 +37,11 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows) {
   const int64_t stride =
       n > sample_rows ? n / sample_rows : 1;
 
-  std::vector<PredicateEstimate> estimates;
-  for (const UdfPredicate* predicate : query.predicates) {
+  const size_t num_predicates = query.predicates.size();
+  plan.estimates.assign(num_predicates, PlannedPredicate{});
+
+  const auto estimate_one = [&query, &catalog, &plan, n, stride](size_t i) {
+    const UdfPredicate* predicate = query.predicates[i];
     double cost_sum = 0.0;
     double selectivity_sum = 0.0;
     int64_t samples = 0;
@@ -46,7 +51,7 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows) {
       selectivity_sum += catalog.PredictSelectivity(predicate->udf(), point);
       ++samples;
     }
-    PlannedPredicate planned;
+    PlannedPredicate& planned = plan.estimates[i];
     planned.predicate = predicate;
     if (samples > 0) {
       planned.estimated_cost_micros = cost_sum / static_cast<double>(samples);
@@ -55,9 +60,39 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows) {
     } else {
       planned.estimated_selectivity = 0.5;
     }
-    plan.estimates.push_back(planned);
+  };
+
+  // Concurrency-mode switch: predicates are estimated in parallel only
+  // when the catalog's models can take concurrent probes. Estimates are
+  // written to disjoint slots, so the plan is identical either way.
+  const bool parallel_planning =
+      planner_threads > 1 && num_predicates > 1 &&
+      catalog.concurrency() != CatalogConcurrency::kSingleThread;
+  if (parallel_planning) {
+    assert(catalog.concurrency() != CatalogConcurrency::kSingleThread);
+    std::vector<std::thread> workers;
+    const size_t workers_wanted = std::min<size_t>(
+        static_cast<size_t>(planner_threads), num_predicates);
+    std::atomic<size_t> next{0};
+    workers.reserve(workers_wanted);
+    for (size_t w = 0; w < workers_wanted; ++w) {
+      workers.emplace_back([&estimate_one, &next, num_predicates]() {
+        for (size_t i = next.fetch_add(1); i < num_predicates;
+             i = next.fetch_add(1)) {
+          estimate_one(i);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (size_t i = 0; i < num_predicates; ++i) estimate_one(i);
+  }
+
+  std::vector<PredicateEstimate> estimates;
+  estimates.reserve(num_predicates);
+  for (const PlannedPredicate& planned : plan.estimates) {
     estimates.push_back(PredicateEstimate{
-        predicate->name(), planned.estimated_cost_micros,
+        planned.predicate->name(), planned.estimated_cost_micros,
         planned.estimated_selectivity});
   }
 

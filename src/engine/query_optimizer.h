@@ -41,8 +41,13 @@ struct Plan {
 // from the catalog's self-tuning models — averaged over a deterministic
 // sample of rows, since model points vary per row — and orders by the
 // classical rank metric (ascending (selectivity - 1) / cost).
+//
+// `planner_threads` > 1 estimates predicates in parallel (one task per
+// predicate; model probes only, no UDF execution) and requires the catalog
+// to be in a concurrent mode. The plan is bit-identical to the serial one:
+// per-predicate estimates are independent and the sample is deterministic.
 Plan PlanQuery(const Query& query, CostCatalog& catalog,
-               int sample_rows = 32);
+               int sample_rows = 32, int planner_threads = 1);
 
 }  // namespace mlq
 

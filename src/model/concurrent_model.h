@@ -28,6 +28,11 @@ class ConcurrentCostModel : public CostModel {
     return inner_->Predict(point);
   }
 
+  Prediction PredictDetailed(const Point& point) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->PredictDetailed(point);
+  }
+
   void Observe(const Point& point, double actual_cost) override {
     std::lock_guard<std::mutex> lock(mutex_);
     inner_->Observe(point, actual_cost);

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/geometry.h"
+#include "quadtree/memory_limited_quadtree.h"
 
 namespace mlq {
 
@@ -38,9 +39,24 @@ class CostModel {
   // information (up to a global average, or 0 when nothing is known).
   virtual double Predict(const Point& point) const = 0;
 
+  // Prediction with confidence detail (supporting count, depth,
+  // reliability) for models that can provide it. The default wraps
+  // Predict in an unreliable zero-count Prediction, which callers that
+  // branch on `count`/`reliable` treat as "nothing known".
+  virtual Prediction PredictDetailed(const Point& point) const {
+    Prediction p;
+    p.value = Predict(point);
+    return p;
+  }
+
   // Query feedback: the actual cost observed at `point`. Static models
   // ignore this.
   virtual void Observe(const Point& point, double actual_cost) = 0;
+
+  // Forces any internally buffered feedback to be applied (models that
+  // queue observations, e.g. ShardedCostModel). Default: feedback is
+  // applied synchronously in Observe, nothing to do.
+  virtual void Flush() {}
 
   // Logical bytes currently charged against the model's budget.
   virtual int64_t MemoryBytes() const = 0;

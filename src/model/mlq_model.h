@@ -22,7 +22,7 @@ class MlqModel : public CostModel {
   ModelUpdateBreakdown update_breakdown() const override;
 
   // Full prediction detail (depth, count, reliability).
-  Prediction PredictDetailed(const Point& point) const {
+  Prediction PredictDetailed(const Point& point) const override {
     return tree_.Predict(point);
   }
 

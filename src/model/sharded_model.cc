@@ -1,0 +1,197 @@
+#include "model/sharded_model.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "quadtree/quadtree_config.h"
+
+namespace mlq {
+namespace {
+
+// splitmix64 finalizer: good avalanche for the cheap per-dimension mixes.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+MlqConfig ShardConfig(const MlqConfig& config, int num_shards) {
+  MlqConfig shard_config = config;
+  // Split the budget evenly; every shard needs at least a root and a
+  // couple of children to be a model at all.
+  shard_config.memory_limit_bytes =
+      std::max<int64_t>(config.memory_limit_bytes / num_shards,
+                        kNodeBaseBytes + 2 * kNonRootNodeBytes);
+  return shard_config;
+}
+
+}  // namespace
+
+ShardedCostModel::ShardedCostModel(const Box& space, const MlqConfig& config,
+                                   const ShardedModelOptions& options)
+    : options_(options), space_(space) {
+  options_.num_shards = std::max(options_.num_shards, 1);
+  const int depth_bits = std::clamp(config.max_depth, 1, 30);
+  cells_per_dim_ = int64_t{1} << depth_bits;
+
+  const MlqConfig shard_config = ShardConfig(config, options_.num_shards);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(space, shard_config, options_.queue_capacity));
+  }
+  name_ = "MLQ-Sx" + std::to_string(options_.num_shards);
+
+  if (options_.background_drain) {
+    drainer_ = std::thread([this]() {
+      std::unique_lock<std::mutex> lock(drainer_mutex_);
+      while (!stop_drainer_) {
+        drainer_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.drain_interval_micros));
+        if (stop_drainer_) break;
+        lock.unlock();
+        Flush();
+        lock.lock();
+      }
+    });
+  }
+}
+
+ShardedCostModel::~ShardedCostModel() {
+  if (drainer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(drainer_mutex_);
+      stop_drainer_ = true;
+    }
+    drainer_cv_.notify_all();
+    drainer_.join();
+  }
+}
+
+int ShardedCostModel::ShardOf(const Point& point) const {
+  // Hash of the quantized point: the finest-resolution grid cell the tree
+  // can distinguish (2^max_depth cells per dimension). All points inside
+  // one leaf-size block share a cell, hence a shard.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int d = 0; d < space_.dims(); ++d) {
+    const double lo = space_.lo()[d];
+    const double extent = space_.Extent(d);
+    double t = 0.0;
+    if (extent > 0.0) {
+      t = (std::clamp(point[d], lo, space_.hi()[d]) - lo) / extent;
+    }
+    auto cell = static_cast<int64_t>(t * static_cast<double>(cells_per_dim_));
+    cell = std::clamp<int64_t>(cell, 0, cells_per_dim_ - 1);
+    h = Mix64(h ^ static_cast<uint64_t>(cell));
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(shards_.size()));
+}
+
+void ShardedCostModel::DrainLocked(Shard& shard) const {
+  shard.drain_buffer.clear();
+  shard.queue.PopBatch(&shard.drain_buffer);
+  for (const Observation& obs : shard.drain_buffer) {
+    shard.model.Observe(obs.point, obs.value);
+    ++shard.applied;
+  }
+  shard.drain_buffer.clear();
+}
+
+double ShardedCostModel::Predict(const Point& point) const {
+  return PredictDetailed(point).value;
+}
+
+Prediction ShardedCostModel::PredictDetailed(const Point& point) const {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(point))];
+  std::lock_guard<std::mutex> lock(shard.model_mutex);
+  if (options_.drain_on_predict) DrainLocked(shard);
+  ++shard.predictions;
+  return shard.model.PredictDetailed(point);
+}
+
+void ShardedCostModel::Observe(const Point& point, double actual_cost) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(point))];
+  shard.queue.Push(Observation{point, actual_cost});
+  if (options_.drain_batch > 0 && shard.queue.size() >= options_.drain_batch) {
+    // Opportunistic drain: apply the backlog only if the shard is idle —
+    // never wait on a model that is busy serving predictions.
+    std::unique_lock<std::mutex> lock(shard.model_mutex, std::try_to_lock);
+    if (lock.owns_lock()) DrainLocked(shard);
+  }
+}
+
+void ShardedCostModel::Flush() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    DrainLocked(*shard);
+  }
+}
+
+int64_t ShardedCostModel::MemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    total += shard->model.MemoryBytes();
+  }
+  return total;
+}
+
+ModelUpdateBreakdown ShardedCostModel::update_breakdown() const {
+  ModelUpdateBreakdown total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    const ModelUpdateBreakdown b = shard->model.update_breakdown();
+    total.insert_seconds += b.insert_seconds;
+    total.compress_seconds += b.compress_seconds;
+    total.insertions += b.insertions;
+    total.compressions += b.compressions;
+  }
+  return total;
+}
+
+ShardedModelStats ShardedCostModel::shard_stats(int shard_index) const {
+  const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  ShardedModelStats stats;
+  {
+    std::lock_guard<std::mutex> lock(shard.model_mutex);
+    stats.predictions = shard.predictions;
+    stats.observations_applied = shard.applied;
+    stats.compressions = shard.model.tree().counters().compressions;
+  }
+  stats.observations_submitted = shard.queue.pushed();
+  stats.observations_dropped = shard.queue.dropped();
+  stats.pending = static_cast<int64_t>(shard.queue.size());
+  return stats;
+}
+
+ShardedModelStats ShardedCostModel::stats() const {
+  ShardedModelStats total;
+  for (int i = 0; i < num_shards(); ++i) {
+    const ShardedModelStats s = shard_stats(i);
+    total.predictions += s.predictions;
+    total.observations_submitted += s.observations_submitted;
+    total.observations_dropped += s.observations_dropped;
+    total.observations_applied += s.observations_applied;
+    total.compressions += s.compressions;
+    total.pending += s.pending;
+  }
+  return total;
+}
+
+QuadtreeCounters ShardedCostModel::AggregateTreeCounters() const {
+  QuadtreeCounters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    const QuadtreeCounters& c = shard->model.tree().counters();
+    total.insertions += c.insertions;
+    total.compressions += c.compressions;
+    total.nodes_created += c.nodes_created;
+    total.nodes_freed += c.nodes_freed;
+    total.insert_seconds += c.insert_seconds;
+    total.compress_seconds += c.compress_seconds;
+  }
+  return total;
+}
+
+}  // namespace mlq

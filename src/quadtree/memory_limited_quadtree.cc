@@ -102,6 +102,15 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
       }
     }
 
+    // A tree that has never absorbed an observation just grows its space:
+    // demoting the empty root to a child slot would create a node with no
+    // data points, which every non-root node must have.
+    if (root_->IsLeaf() && root_->summary().count == 0) {
+      space_ = Box(new_lo, new_hi);
+      ++config_.max_depth;  // Preserve the finest block resolution.
+      continue;
+    }
+
     // The old root becomes a non-root node: it now occupies a child slot,
     // and the new root costs a base charge. Make room first if needed.
     const int64_t extra = kNodeBaseBytes + kChildSlotBytes;

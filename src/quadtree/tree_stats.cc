@@ -44,6 +44,43 @@ TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree) {
   return stats;
 }
 
+TreeStats MergeTreeStats(const std::vector<TreeStats>& parts) {
+  TreeStats total;
+  double leaf_depth_weighted = 0.0;
+  double redundant_weighted = 0.0;
+  int64_t nonroot_nodes = 0;
+  for (const TreeStats& part : parts) {
+    total.num_nodes += part.num_nodes;
+    total.num_leaves += part.num_leaves;
+    if (part.max_depth_present > total.max_depth_present) {
+      total.max_depth_present = part.max_depth_present;
+    }
+    const size_t depths = part.nodes_per_depth.size();
+    if (depths > total.nodes_per_depth.size()) {
+      total.nodes_per_depth.resize(depths, 0);
+      total.points_per_depth.resize(depths, 0);
+    }
+    for (size_t d = 0; d < depths; ++d) {
+      total.nodes_per_depth[d] += part.nodes_per_depth[d];
+      total.points_per_depth[d] += part.points_per_depth[d];
+    }
+    leaf_depth_weighted +=
+        part.mean_leaf_depth * static_cast<double>(part.num_leaves);
+    redundant_weighted += part.redundant_node_fraction *
+                          static_cast<double>(part.num_nodes - 1);
+    if (part.num_nodes > 1) nonroot_nodes += part.num_nodes - 1;
+  }
+  if (total.num_leaves > 0) {
+    total.mean_leaf_depth =
+        leaf_depth_weighted / static_cast<double>(total.num_leaves);
+  }
+  if (nonroot_nodes > 0) {
+    total.redundant_node_fraction =
+        redundant_weighted / static_cast<double>(nonroot_nodes);
+  }
+  return total;
+}
+
 std::string TreeStatsToString(const TreeStats& stats) {
   char buf[160];
   std::string out;

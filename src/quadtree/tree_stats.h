@@ -32,6 +32,12 @@ struct TreeStats {
 
 TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree);
 
+// Merges per-tree stats into one aggregate — how a sharded model (N
+// independent trees striping one model space) reports itself through the
+// same introspection shape. Counts add; mean_leaf_depth is leaf-weighted;
+// redundant_node_fraction is node-weighted.
+TreeStats MergeTreeStats(const std::vector<TreeStats>& parts);
+
 // Multi-line human-readable dump of the stats.
 std::string TreeStatsToString(const TreeStats& stats);
 

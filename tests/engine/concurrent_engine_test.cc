@@ -1,0 +1,172 @@
+// Engine-level tests for the concurrent serving modes: a catalog in
+// kGlobalMutex or kSharded mode fed by the multi-threaded executor, and
+// parallel planning against it, must reproduce the single-threaded
+// engine's results.
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/cost_catalog.h"
+#include "engine/executor.h"
+#include "engine/query_optimizer.h"
+#include "engine/table.h"
+#include "engine/udf_predicate.h"
+#include "eval/experiment_setup.h"
+
+namespace mlq {
+namespace {
+
+class ConcurrentEngineTest : public ::testing::Test {
+ protected:
+  ConcurrentEngineTest()
+      : suite_(MakeRealUdfSuite(SubstrateScale::kSmall)),
+        table_("docs_and_places", {"kw1", "kw2", "x", "y"}) {
+    Rng rng(7);
+    const auto vocab =
+        static_cast<double>(suite_.text_engine->index().vocab_size());
+    for (int i = 0; i < 240; ++i) {
+      table_.AddRow(std::vector<double>{
+          std::floor(rng.Uniform(1.0, vocab)),
+          std::floor(rng.Uniform(1.0, vocab)),
+          rng.Uniform(0.0, 1000.0),
+          rng.Uniform(0.0, 1000.0),
+      });
+    }
+  }
+
+  std::unique_ptr<UdfPredicate> MakeProxPredicate() {
+    return std::make_unique<UdfPredicate>(
+        "Contains", suite_.Find("PROX"),
+        std::vector<int>{table_.ColumnIndex("kw1"), table_.ColumnIndex("kw2"),
+                         -1},
+        Point{0.0, 0.0, 30.0}, /*min_result_count=*/1);
+  }
+
+  std::unique_ptr<UdfPredicate> MakeWinPredicate() {
+    return std::make_unique<UdfPredicate>(
+        "InUrbanArea", suite_.Find("WIN"),
+        std::vector<int>{table_.ColumnIndex("x"), table_.ColumnIndex("y"), -1,
+                         -1},
+        Point{0.0, 0.0, 120.0, 120.0}, /*min_result_count=*/5);
+  }
+
+  RealUdfSuite suite_;
+  Table table_;
+};
+
+TEST_F(ConcurrentEngineTest, CatalogModesAnswerLikeSingleThreadMode) {
+  // The same feedback fed through each concurrency mode must produce the
+  // same predictions (sharded mode drains on predict, so single-threaded
+  // use reads its own writes).
+  for (const CatalogConcurrency mode :
+       {CatalogConcurrency::kSingleThread, CatalogConcurrency::kGlobalMutex,
+        CatalogConcurrency::kSharded}) {
+    CostCatalog catalog(1800, mode, /*num_shards=*/1);
+    CostedUdf* win = suite_.Find("WIN");
+    const Point p{500.0, 500.0, 120.0, 120.0};
+    UdfCost cost;
+    cost.cpu_work = 1000.0;
+    cost.io_pages = 2.0;
+    catalog.RecordExecution(win, p, cost, true);
+    catalog.RecordExecution(win, p, cost, false);
+    catalog.FlushFeedback();
+    EXPECT_NEAR(catalog.PredictCostMicros(win, p),
+                1000.0 * kMicrosPerWorkUnit + 2.0 * kMicrosPerPageMiss, 1e-6)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_NEAR(catalog.PredictSelectivity(win, p), 0.5, 1e-9)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST_F(ConcurrentEngineTest, ConcurrentExecutorMatchesSerialExecutor) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {prox.get(), win.get()};
+
+  // Fixed plan, no feedback: result sets and per-predicate evaluation
+  // counts are fully determined by the rows.
+  Plan plan;
+  plan.order = {0, 1};
+  plan.estimates.assign(2, PlannedPredicate{});
+  const ExecutionStats serial = ExecuteQuery(query, plan, nullptr);
+
+  for (int threads : {2, 4}) {
+    suite_.text_engine->ResetCaches();
+    suite_.spatial_engine->ResetCaches();
+    const ExecutionStats concurrent =
+        ExecuteQueryConcurrent(query, plan, nullptr, threads);
+    EXPECT_EQ(concurrent.rows_in, serial.rows_in);
+    EXPECT_EQ(concurrent.rows_out, serial.rows_out);
+    EXPECT_EQ(concurrent.evaluations_per_predicate,
+              serial.evaluations_per_predicate);
+  }
+}
+
+TEST_F(ConcurrentEngineTest, ConcurrentExecutorFeedsShardedCatalog) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {prox.get(), win.get()};
+
+  Plan plan;
+  plan.order = {1, 0};
+  plan.estimates.assign(2, PlannedPredicate{});
+
+  CostCatalog catalog(1800, CatalogConcurrency::kSharded, /*num_shards=*/4);
+  const ExecutionStats stats =
+      ExecuteQueryConcurrent(query, plan, &catalog, /*num_threads=*/4);
+
+  // Every evaluation fed the catalog (ExecuteQueryConcurrent flushes).
+  int64_t evaluations = 0;
+  for (int64_t n : stats.evaluations_per_predicate) evaluations += n;
+  EXPECT_GT(evaluations, 0);
+  EXPECT_EQ(catalog.size(), 2);
+
+  // The learned models answer plausible values afterwards.
+  const Point sample = win->ModelPointFor(table_.Row(0));
+  EXPECT_GT(catalog.PredictCostMicros(win->udf(), sample), 0.0);
+  const double selectivity = catalog.PredictSelectivity(win->udf(), sample);
+  EXPECT_GE(selectivity, 0.01);
+  EXPECT_LE(selectivity, 1.0);
+}
+
+TEST_F(ConcurrentEngineTest, ParallelPlanningMatchesSerialPlanning) {
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {prox.get(), win.get()};
+
+  // Train a concurrent-mode catalog with one executed pass.
+  CostCatalog catalog(1800, CatalogConcurrency::kGlobalMutex);
+  Plan warmup;
+  warmup.order = {0, 1};
+  warmup.estimates.assign(2, PlannedPredicate{});
+  ExecuteQuery(query, warmup, &catalog);
+
+  const Plan serial = PlanQuery(query, catalog, /*sample_rows=*/32,
+                                /*planner_threads=*/1);
+  const Plan parallel = PlanQuery(query, catalog, /*sample_rows=*/32,
+                                  /*planner_threads=*/4);
+  ASSERT_EQ(serial.order, parallel.order);
+  ASSERT_EQ(serial.estimates.size(), parallel.estimates.size());
+  for (size_t i = 0; i < serial.estimates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.estimates[i].estimated_cost_micros,
+                     parallel.estimates[i].estimated_cost_micros);
+    EXPECT_DOUBLE_EQ(serial.estimates[i].estimated_selectivity,
+                     parallel.estimates[i].estimated_selectivity);
+  }
+  EXPECT_DOUBLE_EQ(serial.expected_cost_per_row_micros,
+                   parallel.expected_cost_per_row_micros);
+}
+
+}  // namespace
+}  // namespace mlq

@@ -4,6 +4,7 @@
 //                     [--seed=42] [--scale=small] [--peaks=50]
 //   mlq_tool replay   --trace=trace.txt [--strategy=lazy] [--budget=1800]
 //                     [--beta=1] [--cost=cpu] [--model-out=model.bin]
+//                     [--threads=1] [--shards=1]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
 //   mlq_tool selftest
@@ -17,12 +18,16 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/args.h"
 #include "eval/experiment_setup.h"
+#include "eval/metrics.h"
 #include "eval/trace.h"
 #include "model/mlq_model.h"
 #include "model/serialization.h"
+#include "model/sharded_model.h"
 #include "quadtree/tree_stats.h"
 
 namespace mlq {
@@ -36,7 +41,8 @@ int Usage() {
                "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
                " [--peaks=50]\n"
                "  replay   --trace=FILE [--strategy=eager|lazy] "
-               "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]\n"
+               "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]"
+               " [--threads=1] [--shards=1]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
                "  selftest\n");
@@ -143,6 +149,75 @@ int RunReplay(int argc, char** argv) {
   const CostKind kind =
       ArgValue(argc, argv, "cost", "cpu") == "io" ? CostKind::kIo
                                                   : CostKind::kCpu;
+
+  const int threads = std::atoi(ArgValue(argc, argv, "threads", "1").c_str());
+  const int shards = std::atoi(ArgValue(argc, argv, "shards", "1").c_str());
+
+  if (threads > 1 || shards > 1) {
+    if (!ArgValue(argc, argv, "model-out").empty()) {
+      std::fprintf(stderr,
+                   "--model-out is unsupported with --threads/--shards "
+                   "(sharded models are N trees, not one)\n");
+      return 1;
+    }
+    // Concurrent serving replay: the trace is striped across worker
+    // threads, each doing predict-then-observe against one shared
+    // ShardedCostModel; per-thread NAE partials merge exactly.
+    ShardedModelOptions options;
+    options.num_shards = shards > 0 ? shards : 1;
+    ShardedCostModel model(Box(lo, hi), config, options);
+    const int workers = threads > 0 ? threads : 1;
+    std::vector<NaeAccumulator> partials(static_cast<size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&records, &model, &partials, t, workers, kind]() {
+        NaeAccumulator& nae = partials[static_cast<size_t>(t)];
+        for (size_t i = static_cast<size_t>(t); i < records.size();
+             i += static_cast<size_t>(workers)) {
+          const TraceRecord& record = records[i];
+          const double actual =
+              kind == CostKind::kCpu ? record.cpu_cost : record.io_cost;
+          nae.Add(model.Predict(record.point), actual);
+          model.Observe(record.point, actual);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    model.Flush();
+
+    // Merge the sums that define Eq. 10 across the per-thread partials.
+    double abs_error_sum = 0.0, actual_sum = 0.0;
+    int64_t count = 0;
+    for (const NaeAccumulator& partial : partials) {
+      abs_error_sum += partial.abs_error_sum();
+      actual_sum += partial.actual_sum();
+      count += partial.count();
+    }
+    const double nae =
+        count == 0 ? 0.0
+        : actual_sum <= 0.0 ? abs_error_sum / static_cast<double>(count)
+                            : abs_error_sum / actual_sum;
+
+    const ShardedModelStats stats = model.stats();
+    std::vector<TreeStats> per_shard;
+    for (int s = 0; s < model.num_shards(); ++s) {
+      per_shard.push_back(ComputeTreeStats(model.shard_model(s).tree()));
+    }
+    const TreeStats tree_stats = MergeTreeStats(per_shard);
+    std::printf(
+        "replayed %zu records on %d threads / %d shards: NAE=%.4f, "
+        "%lld nodes, %lld bytes, %lld compressions\n"
+        "feedback: %lld submitted, %lld applied, %lld dropped\n",
+        records.size(), workers, model.num_shards(), nae,
+        static_cast<long long>(tree_stats.num_nodes),
+        static_cast<long long>(model.MemoryBytes()),
+        static_cast<long long>(stats.compressions),
+        static_cast<long long>(stats.observations_submitted),
+        static_cast<long long>(stats.observations_applied),
+        static_cast<long long>(stats.observations_dropped));
+    return 0;
+  }
 
   MlqModel model(Box(lo, hi), config);
   const double nae = ReplayTrace(model, records, kind);
@@ -258,9 +333,50 @@ int RunSelfTest() {
       return 1;
     }
   }
+  {
+    // Concurrent serving leg: replay the same trace into a sharded model
+    // from two threads and verify the shards stay sound and accounted.
+    std::ifstream in(trace_path);
+    std::vector<TraceRecord> records;
+    std::string error;
+    if (!ReadTrace(in, &records, &error)) {
+      std::fprintf(stderr, "selftest: sharded trace re-read failed\n");
+      return 1;
+    }
+    MlqConfig config;
+    ShardedModelOptions options;
+    options.num_shards = 4;
+    ShardedCostModel model(Box::Cube(4, 0.0, 1000.0), config, options);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 2; ++t) {
+      pool.emplace_back([&records, &model, t]() {
+        for (size_t i = static_cast<size_t>(t); i < records.size(); i += 2) {
+          model.Predict(records[i].point);
+          model.Observe(records[i].point, records[i].cpu_cost);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    model.Flush();
+    const ShardedModelStats stats = model.stats();
+    if (stats.observations_applied + stats.observations_dropped !=
+        stats.observations_submitted) {
+      std::fprintf(stderr, "selftest: sharded feedback accounting broken\n");
+      return 1;
+    }
+    for (int s = 0; s < model.num_shards(); ++s) {
+      if (!model.shard_model(s).tree().CheckInvariants(&error)) {
+        std::fprintf(stderr, "selftest: shard %d inconsistent: %s\n", s,
+                     error.c_str());
+        return 1;
+      }
+    }
+  }
   std::remove(trace_path.c_str());
   std::remove(model_path.c_str());
-  std::printf("selftest OK (capture -> replay -> save -> load -> predict)\n");
+  std::printf(
+      "selftest OK (capture -> replay -> save -> load -> predict -> "
+      "sharded concurrent replay)\n");
   return 0;
 }
 
