@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 #include "model/global_average_model.h"
@@ -72,7 +73,7 @@ void RunCase(const char* label, CostedUdf& udf, QueryDistributionKind kind,
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Ablation A4: MLQ vs curve fitting vs histograms ==\n");
 
   // Smooth surface: few peaks with *wide* decay regions (half the space
@@ -96,5 +97,5 @@ int main() {
   mlq::RunCase("WIN (real spatial UDF)", *suite.Find("WIN"),
                mlq::QueryDistributionKind::kGaussianRandom,
                mlq::kPaperRealQueries, 23);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "ablation_baselines");
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
@@ -94,7 +95,7 @@ void RunScenario(const char* label, const Point& phase2_center,
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Ablation A3: adaptation to workload drift ==\n");
   auto udf = mlq::MakePaperSyntheticUdf(/*num_peaks=*/30,
                                         /*noise_probability=*/0.0,
@@ -111,5 +112,5 @@ int main() {
   }
   mlq::RunScenario("off-peak (workload moves to a near-zero-cost region)",
                    cold, *udf);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "ablation_drift");
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 #include "model/mlq_model.h"
@@ -59,9 +60,9 @@ void RunCase(const char* label, int num_peaks, QueryDistributionKind kind) {
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Ablation A5: compression eviction policies ==\n");
   mlq::RunCase("clustered", 50, mlq::QueryDistributionKind::kGaussianRandom);
   mlq::RunCase("uniform", 50, mlq::QueryDistributionKind::kUniform);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "ablation_eviction");
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 #include "model/mlq_model.h"
@@ -132,7 +133,7 @@ void SweepTrainingSize() {
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Ablation A1: MLQ parameter sweeps (tech-report [18] "
               "territory) ==\n");
   mlq::SweepAlpha();
@@ -141,5 +142,5 @@ int main() {
   mlq::SweepLambda();
   mlq::SweepMemory();
   mlq::SweepTrainingSize();
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "ablation_parameters");
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/bench_report.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
@@ -120,12 +121,12 @@ void InfluenceSection() {
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Ablation A6: model-space engineering (transformation T "
               "and influence-weighted intervals) ==\n");
   const mlq::RealUdfSuite suite =
       mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
   mlq::TransformSection(suite);
   mlq::InfluenceSection();
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "ablation_transforms");
 }

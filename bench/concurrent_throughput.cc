@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/bench_report.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -162,7 +163,7 @@ int Main(int argc, char** argv) {
       "model stripes the space across %d independently locked trees and\n"
       "queues feedback, so predictions only contend within one stripe.\n",
       num_shards);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "concurrent_throughput");
 }
 
 }  // namespace

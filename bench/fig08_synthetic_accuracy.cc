@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/csv_export.h"
 #include "eval/experiment_setup.h"
@@ -66,5 +67,5 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %zu rows to %s\n", mlq::g_all_results.size(),
                 csv_path.c_str());
   }
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "fig08_synthetic_accuracy");
 }

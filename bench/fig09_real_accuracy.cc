@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 
@@ -42,7 +43,7 @@ void RunDistribution(const RealUdfSuite& suite, QueryDistributionKind kind,
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Experiment 1 (Fig. 9): real UDFs, CPU cost, NAE ==\n");
   std::printf("building substrates (synthetic Reuters-scale corpus + urban-area maps)...\n");
   const mlq::RealUdfSuite suite =
@@ -61,5 +62,5 @@ int main() {
       "\nsummary: MLQ better-or-within-0.02 in %d of %d cases "
       "(paper: 10 of 12)\n",
       wins_counter[0], wins_counter[0] + wins_counter[1]);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "fig09_real_accuracy");
 }

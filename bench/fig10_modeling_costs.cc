@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 #include "model/mlq_model.h"
@@ -46,7 +47,7 @@ void Report(const char* label, CostedUdf& udf, int num_queries) {
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Experiment 2 (Fig. 10): modeling costs ==\n");
   std::printf("paper reference: PC ~ 0.02%%, MUC between 0.04%% and 1.2%%; "
               "MLQ-L updates cheaper than MLQ-E\n");
@@ -61,5 +62,5 @@ int main() {
                                               /*seed=*/501);
   mlq::Report("SYNTH-50p (synthetic UDF)", *synthetic,
               mlq::kPaperSyntheticQueries);
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "fig10_modeling_costs");
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/experiment_setup.h"
 
@@ -67,12 +68,12 @@ void SyntheticPart() {
 }  // namespace
 }  // namespace mlq
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Experiment 3 (Fig. 11): noise effect on disk-IO prediction "
               "accuracy ==\n");
   const mlq::RealUdfSuite suite =
       mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
   mlq::RealUdfPart(suite);
   mlq::SyntheticPart();
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "fig11_noise_effect");
 }

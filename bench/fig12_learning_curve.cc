@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/bench_report.h"
 #include "common/table_printer.h"
 #include "eval/csv_export.h"
 #include "eval/experiment_setup.h"
@@ -98,5 +99,5 @@ int main(int argc, char** argv) {
     mlq::WriteLearningCurvesCsv(csv, mlq::g_curve_results, mlq::g_csv_window);
     std::printf("\nwrote learning curves to %s\n", csv_path.c_str());
   }
-  return 0;
+  return mlq::MaybeWriteBenchJson(argc, argv, "fig12_learning_curve");
 }

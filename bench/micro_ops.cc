@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/args.h"
 #include "common/rng.h"
 #include "eval/experiment_setup.h"
 #include "model/mlq_model.h"
@@ -150,4 +155,37 @@ BENCHMARK(BM_EndToEndSelfTuningStep);
 }  // namespace
 }  // namespace mlq
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
+// `--json <path>` convention into google-benchmark's JSON reporter flags,
+// so every bench binary exposes the same machine-readable switch.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  const std::string json_path = mlq::ArgValue(argc, argv, "json");
+  if (!json_path.empty()) {
+    // Drop the --json tokens and inject the benchmark_out equivalents.
+    std::vector<char*> kept;
+    for (int i = 0; i < argc; ++i) {
+      const std::string_view arg = args[static_cast<size_t>(i)];
+      if (arg.rfind("--json=", 0) == 0) continue;
+      if (arg == "--json") {
+        ++i;  // Skip the value token as well.
+        continue;
+      }
+      kept.push_back(args[static_cast<size_t>(i)]);
+    }
+    out_flag = "--benchmark_out=" + json_path;
+    kept.push_back(out_flag.data());
+    kept.push_back(format_flag.data());
+    args = std::move(kept);
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,16 +7,21 @@
 namespace mlq {
 
 // Minimal command-line handling for the bench binaries: finds "--name=value"
-// in argv and returns the value, or `default_value` when absent. Keeps the
-// harness dependency-free; the benches only need one or two switches
-// (e.g. --csv=out.csv).
+// or the two-token form "--name value" in argv and returns the value, or
+// `default_value` when absent. Keeps the harness dependency-free; the
+// benches only need one or two switches (e.g. --csv=out.csv).
 inline std::string ArgValue(int argc, char** argv, std::string_view name,
                             std::string_view default_value = "") {
-  const std::string prefix = "--" + std::string(name) + "=";
+  const std::string flag = "--" + std::string(name);
+  const std::string prefix = flag + "=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, prefix.size()) == prefix) {
       return std::string(arg.substr(prefix.size()));
+    }
+    // Two-token form: the value must exist and not itself be a flag.
+    if (arg == flag && i + 1 < argc && argv[i + 1][0] != '-') {
+      return argv[i + 1];
     }
   }
   return std::string(default_value);

@@ -1,0 +1,114 @@
+#include "common/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/args.h"
+
+namespace mlq {
+namespace {
+
+// JSON string escaping for the small set of characters table cells can
+// realistically contain.
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+// Emits a cell as a JSON number when the whole cell parses as one (the
+// common case: TablePrinter::Num output), else as a string. inf/nan are
+// not valid JSON numbers, so they stay strings.
+void WriteJsonCell(std::ostream& os, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+      os << cell;
+      return;
+    }
+  }
+  WriteJsonString(os, cell);
+}
+
+}  // namespace
+
+BenchReport& BenchReport::Global() {
+  static BenchReport* instance = new BenchReport();
+  return *instance;
+}
+
+void BenchReport::RecordTable(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_.push_back(Table{header, rows});
+}
+
+bool BenchReport::WriteJson(const std::string& path,
+                            const std::string& bench_name) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"bench\": ";
+  WriteJsonString(out, bench_name);
+  out << ", \"tables\": [";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = tables_[t];
+    out << (t == 0 ? "" : ", ") << "{\"columns\": [";
+    for (size_t c = 0; c < table.header.size(); ++c) {
+      if (c != 0) out << ", ";
+      WriteJsonString(out, table.header[c]);
+    }
+    out << "], \"rows\": [";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << '[';
+      for (size_t c = 0; c < table.rows[r].size(); ++c) {
+        if (c != 0) out << ", ";
+        WriteJsonCell(out, table.rows[r][c]);
+      }
+      out << ']';
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  return out.good();
+}
+
+void BenchReport::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_.clear();
+}
+
+int MaybeWriteBenchJson(int argc, char** argv,
+                        const std::string& bench_name) {
+  const std::string path = ArgValue(argc, argv, "json");
+  if (path.empty()) return 0;
+  if (!BenchReport::Global().WriteJson(path, bench_name)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote JSON results to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace mlq

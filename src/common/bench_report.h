@@ -1,0 +1,50 @@
+#ifndef MLQ_COMMON_BENCH_REPORT_H_
+#define MLQ_COMMON_BENCH_REPORT_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlq {
+
+// Process-global recorder of every table a bench binary prints, so each
+// bench can offer `--json <path>` (machine-readable results) without
+// per-bench serialization code: TablePrinter::Print feeds the recorder
+// automatically, and the bench's main calls MaybeWriteBenchJson once at
+// the end.
+class BenchReport {
+ public:
+  static BenchReport& Global();
+
+  void RecordTable(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+  // Writes {"bench": <name>, "tables": [{"columns": [...],
+  // "rows": [[...], ...]}, ...]}. Cells that parse fully as numbers are
+  // emitted as JSON numbers, everything else as strings. Returns false
+  // when the file cannot be written.
+  bool WriteJson(const std::string& path, const std::string& bench_name) const;
+
+  void Clear();
+
+ private:
+  struct Table {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  BenchReport() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<Table> tables_;
+};
+
+// Bench-main epilogue: when --json=PATH (or "--json PATH") is present in
+// argv, dumps every table recorded so far to PATH. Returns 0 on success or
+// when the flag is absent, 1 when the write fails — suitable as the final
+// `return` of main.
+int MaybeWriteBenchJson(int argc, char** argv, const std::string& bench_name);
+
+}  // namespace mlq
+
+#endif  // MLQ_COMMON_BENCH_REPORT_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "common/bench_report.h"
+
 namespace mlq {
 
 TablePrinter::TablePrinter(std::vector<std::string> header)
@@ -21,6 +23,9 @@ std::string TablePrinter::Num(double v, int precision) {
 }
 
 void TablePrinter::Print(std::ostream& os) const {
+  // Every printed table is also recorded so bench binaries can emit their
+  // results as JSON (--json) without separate serialization code.
+  BenchReport::Global().RecordTable(header_, rows_);
   std::vector<size_t> widths(header_.size());
   for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
   for (const auto& row : rows_) {

@@ -7,6 +7,7 @@
 #include "model/concurrent_model.h"
 #include "model/mlq_model.h"
 #include "model/sharded_model.h"
+#include "obs/obs.h"
 
 namespace mlq {
 namespace {
@@ -80,6 +81,7 @@ void CostCatalog::RecordExecution(CostedUdf* udf, const Point& model_point,
   entry.cpu_model->Observe(model_point, cost.cpu_work);
   entry.io_model->Observe(model_point, cost.io_pages);
   entry.selectivity_model->Observe(model_point, passed ? 1.0 : 0.0);
+  if (obs::Enabled()) obs::Core().catalog_feedback.Inc();
 }
 
 double CostCatalog::PredictCostMicros(CostedUdf* udf,

@@ -2,14 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <limits>
+
+#include "obs/obs.h"
 
 namespace mlq {
 namespace {
 
 double Drift(double before, double after) {
-  if (before == after) return 1.0;  // Covers 0 == 0.
+  // Zero-cost estimates are legitimate (a predicate whose model has seen no
+  // feedback yet, or a selectivity of exactly 0): when both sides are ~0 the
+  // estimate and the post-hoc measurement agree, so the drift is 1.0, not a
+  // division blow-up. The epsilon also absorbs denormal noise from averaged
+  // samples. NaN on either side means a garbled measurement — surface it as
+  // infinite drift rather than letting NaN poison max-aggregation downstream
+  // (NaN comparisons are always false, so std::max would silently drop it).
+  constexpr double kZeroEps = 1e-9;
+  if (std::isnan(before) || std::isnan(after)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (std::abs(before) <= kZeroEps && std::abs(after) <= kZeroEps) return 1.0;
   if (before <= 0.0 || after <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
@@ -74,6 +88,21 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
     }
     audit.max_cost_drift = std::max(audit.max_cost_drift, entry.CostDrift());
     audit.predicates.push_back(std::move(entry));
+  }
+  if (obs::Enabled()) {
+    obs::CoreMetrics& core = obs::Core();
+    core.plan_audits.Inc();
+    double max_sel_drift = 0.0;
+    for (const PredicateAudit& p : audit.predicates) {
+      max_sel_drift = std::max(max_sel_drift, p.SelectivityDrift());
+    }
+    // The drift gauges are the model-health signal: x1.0 means the model
+    // agrees with its own post-execution re-estimate; large values mean the
+    // serving model has moved since planning (fresh feedback or compression).
+    core.max_cost_drift.Set(audit.max_cost_drift);
+    core.max_selectivity_drift.Set(max_sel_drift);
+    MLQ_TRACE_EVENT(obs::TraceEventType::kPlanAudit, obs::NowNs(), 0,
+                    audit.max_cost_drift, max_sel_drift);
   }
   return audit;
 }

@@ -7,12 +7,32 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/obs.h"
+
 namespace mlq {
+namespace {
+
+// Shared epilogue for the three execution strategies: one histogram sample
+// and one kQueryExec span per query, tagged with input size and actual cost.
+void RecordExecObs(const ExecutionStats& stats, int64_t t0_ns, bool enabled) {
+  if (!enabled) return;
+  obs::CoreMetrics& core = obs::Core();
+  core.query_execs.Inc();
+  const int64_t dur = obs::NowNs() - t0_ns;
+  core.exec_ns.Record(dur);
+  MLQ_TRACE_EVENT(obs::TraceEventType::kQueryExec, t0_ns, dur,
+                  static_cast<double>(stats.rows_in),
+                  stats.actual_cost_micros);
+}
+
+}  // namespace
 
 ExecutionStats ExecuteQuery(const Query& query, const Plan& plan,
                             CostCatalog* catalog) {
   assert(query.table != nullptr);
   assert(plan.order.size() == query.predicates.size());
+  const bool obs_on = obs::Enabled();
+  const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
 
   ExecutionStats stats;
   stats.rows_in = query.table->num_rows();
@@ -38,6 +58,7 @@ ExecutionStats ExecuteQuery(const Query& query, const Plan& plan,
     }
     if (row_passes) ++stats.rows_out;
   }
+  RecordExecObs(stats, obs_t0, obs_on);
   return stats;
 }
 
@@ -48,6 +69,8 @@ ExecutionStats ExecuteQueryConcurrent(const Query& query, const Plan& plan,
   assert(catalog == nullptr ||
          catalog->concurrency() != CatalogConcurrency::kSingleThread);
   if (num_threads <= 1) return ExecuteQuery(query, plan, catalog);
+  const bool obs_on = obs::Enabled();
+  const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
 
   const int64_t rows = query.table->num_rows();
   const size_t num_predicates = query.predicates.size();
@@ -107,11 +130,14 @@ ExecutionStats ExecuteQueryConcurrent(const Query& query, const Plan& plan,
     }
   }
   if (catalog != nullptr) catalog->FlushFeedback();
+  RecordExecObs(stats, obs_t0, obs_on);
   return stats;
 }
 
 ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog) {
   assert(query.table != nullptr);
+  const bool obs_on = obs::Enabled();
+  const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
   ExecutionStats stats;
   stats.rows_in = query.table->num_rows();
   stats.evaluations_per_predicate.assign(query.predicates.size(), 0);
@@ -152,6 +178,7 @@ ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog) {
     }
     if (row_passes) ++stats.rows_out;
   }
+  RecordExecObs(stats, obs_t0, obs_on);
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/obs.h"
 #include "optimizer/predicate_ordering.h"
 
 namespace mlq {
@@ -29,6 +30,8 @@ std::string Plan::Explain() const {
 Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
                int planner_threads) {
   assert(query.table != nullptr);
+  obs::ScopedLatency latency(obs::Core().plan_ns, obs::Core().plans,
+                             obs::TraceEventType::kPlan);
   Plan plan;
 
   // Deterministic stride sample of the table's rows; per-row model points
@@ -99,6 +102,8 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
   const OrderingResult ordering = OrderPredicates(estimates);
   plan.order = ordering.order;
   plan.expected_cost_per_row_micros = ordering.expected_cost_per_tuple;
+  latency.set_args(static_cast<double>(num_predicates),
+                   plan.expected_cost_per_row_micros);
   return plan;
 }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "model/cost_model.h"
+#include "obs/obs.h"
 
 namespace mlq {
 
@@ -24,17 +25,17 @@ class ConcurrentCostModel : public CostModel {
   std::string_view name() const override { return inner_->name(); }
 
   double Predict(const Point& point) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
     return inner_->Predict(point);
   }
 
   Prediction PredictDetailed(const Point& point) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
     return inner_->PredictDetailed(point);
   }
 
   void Observe(const Point& point, double actual_cost) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
     inner_->Observe(point, actual_cost);
   }
 
@@ -55,6 +56,20 @@ class ConcurrentCostModel : public CostModel {
   CostModel& inner() { return *inner_; }
 
  private:
+  // Acquires mutex_ and, when observability is on, records the time spent
+  // blocked on it. Returning adopt_lock lets the public methods keep their
+  // one-line lock_guard shape with zero cost when observability is off.
+  std::adopt_lock_t LockTimed() const {
+    if (obs::Enabled()) {
+      const int64_t t0 = obs::NowNs();
+      mutex_.lock();
+      obs::Core().lock_wait_ns.Record(obs::NowNs() - t0);
+    } else {
+      mutex_.lock();
+    }
+    return std::adopt_lock;
+  }
+
   mutable std::mutex mutex_;
   std::unique_ptr<CostModel> inner_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/obs.h"
 #include "quadtree/quadtree_config.h"
 
 namespace mlq {
@@ -95,6 +96,12 @@ void ShardedCostModel::DrainLocked(Shard& shard) const {
     shard.model.Observe(obs.point, obs.value);
     ++shard.applied;
   }
+  const auto applied = static_cast<int64_t>(shard.drain_buffer.size());
+  if (applied > 0 && obs::Enabled()) {
+    obs::Core().feedback_applied.Inc(applied);
+    MLQ_TRACE_EVENT(obs::TraceEventType::kFeedbackDrain, obs::NowNs(), 0,
+                    static_cast<double>(applied), 0.0);
+  }
   shard.drain_buffer.clear();
 }
 
@@ -104,7 +111,10 @@ double ShardedCostModel::Predict(const Point& point) const {
 
 Prediction ShardedCostModel::PredictDetailed(const Point& point) const {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(point))];
+  const bool obs_on = obs::Enabled();
+  const int64_t wait_t0 = obs_on ? obs::NowNs() : 0;
   std::lock_guard<std::mutex> lock(shard.model_mutex);
+  if (obs_on) obs::Core().lock_wait_ns.Record(obs::NowNs() - wait_t0);
   if (options_.drain_on_predict) DrainLocked(shard);
   ++shard.predictions;
   return shard.model.PredictDetailed(point);
@@ -112,7 +122,16 @@ Prediction ShardedCostModel::PredictDetailed(const Point& point) const {
 
 void ShardedCostModel::Observe(const Point& point, double actual_cost) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(point))];
-  shard.queue.Push(Observation{point, actual_cost});
+  const bool dropped = !shard.queue.Push(Observation{point, actual_cost});
+  if (obs::Enabled()) {
+    obs::CoreMetrics& core = obs::Core();
+    core.feedback_enqueued.Inc();
+    if (dropped) {
+      core.feedback_dropped.Inc();
+      MLQ_TRACE_EVENT(obs::TraceEventType::kFeedbackDrop, obs::NowNs(), 0,
+                      static_cast<double>(shard.queue.size()), 0.0);
+    }
+  }
   if (options_.drain_batch > 0 && shard.queue.size() >= options_.drain_batch) {
     // Opportunistic drain: apply the backlog only if the shard is idle —
     // never wait on a model that is busy serving predictions.

@@ -1,0 +1,178 @@
+#ifndef MLQ_OBS_METRICS_H_
+#define MLQ_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mlq {
+namespace obs {
+
+// Master runtime switch for the whole observability layer. OFF by default,
+// so the library behaves exactly like the uninstrumented build: every hook
+// is a single relaxed atomic load plus a predicted-not-taken branch
+// (bench/obs_overhead measures this disabled path at well under 2% of the
+// hot-loop cost). Tools, benches and tests flip it on explicitly.
+extern std::atomic<bool> g_metrics_enabled;
+
+inline bool Enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool on);
+
+// Monotonic nanoseconds since the first call in this process (steady
+// clock); the shared timebase for latency histograms and trace events.
+int64_t NowNs();
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use order);
+// used as the `tid` of trace events so Chrome's trace viewer groups rows
+// sensibly.
+int CurrentThreadId();
+
+// --- Instruments -----------------------------------------------------------
+// All instruments are thread-safe via relaxed atomics: increments from any
+// number of threads are exact; readers see values that are individually
+// consistent (snapshots across instruments are not atomic, which is fine
+// for monitoring).
+
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-bucketed latency histogram over nanoseconds: bucket 0 holds
+// [0, 2) ns and bucket i >= 1 holds [2^i, 2^(i+1)) ns, so 48 buckets cover
+// everything up to ~78 hours. Record is two relaxed fetch_adds plus a
+// bit_width; Quantile reads a snapshot of the buckets and interpolates
+// linearly inside the chosen bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  void Record(int64_t ns);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  int64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  // Inclusive upper bound of bucket `i` (the Prometheus `le` label).
+  static int64_t BucketUpperNs(int i);
+
+  // Estimated q-quantile in nanoseconds (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_ns_{0};
+  std::atomic<int64_t> max_ns_{0};
+};
+
+// --- Registry --------------------------------------------------------------
+
+// Named metric registry. Get* finds or creates; returned references stay
+// valid for the registry's lifetime (instruments are heap-allocated and
+// never removed), so hot paths resolve a metric once and keep the
+// reference. Registration takes a mutex; the instruments themselves do not.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const std::string& help = "");
+
+  // Prometheus-style text exposition (counters, gauges, histograms with
+  // cumulative le-buckets in nanoseconds).
+  void RenderPrometheus(std::ostream& os) const;
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum_ns, max_ns, p50_ns, p90_ns, p99_ns}}}.
+  void RenderJson(std::ostream& os) const;
+
+  // Human-readable latency summary (one line per non-empty histogram with
+  // count / p50 / p90 / p99 / max), for terminal output.
+  void RenderLatencySummary(std::ostream& os) const;
+
+  // Zeroes every registered instrument (names stay registered).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename T>
+  T& FindOrCreate(std::map<std::string, std::unique_ptr<T>>& family,
+                  const std::string& name, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+// --- Well-known metrics ----------------------------------------------------
+
+// The stack's core instruments, resolved once against the global registry
+// so instrumentation sites pay a function-local-static check instead of a
+// name lookup. Names are the stable public metric schema
+// (docs/observability.md).
+struct CoreMetrics {
+  Counter& predicts;              // mlq_predicts_total
+  Counter& inserts;               // mlq_inserts_total
+  Counter& partitions;            // mlq_partitions_total (nodes materialized)
+  Counter& compressions;          // mlq_compressions_total
+  Counter& compress_bytes_freed;  // mlq_compress_bytes_freed_total
+  Counter& expansions;            // mlq_expansions_total (root doublings)
+  Counter& feedback_enqueued;     // mlq_feedback_enqueued_total
+  Counter& feedback_applied;      // mlq_feedback_applied_total
+  Counter& feedback_dropped;      // mlq_feedback_dropped_total
+  Counter& catalog_feedback;      // mlq_catalog_feedback_total
+  Counter& plans;                 // mlq_plans_total
+  Counter& plan_audits;           // mlq_plan_audits_total
+  Counter& query_execs;           // mlq_query_execs_total
+
+  LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
+  LatencyHistogram& insert_ns;     // mlq_insert_latency_ns
+  LatencyHistogram& compress_ns;   // mlq_compress_latency_ns
+  LatencyHistogram& plan_ns;       // mlq_plan_latency_ns
+  LatencyHistogram& exec_ns;       // mlq_query_exec_latency_ns
+  LatencyHistogram& lock_wait_ns;  // mlq_model_lock_wait_ns
+
+  Gauge& max_cost_drift;         // mlq_model_max_cost_drift
+  Gauge& max_selectivity_drift;  // mlq_model_max_selectivity_drift
+  Gauge& sse_threshold;          // mlq_compress_sse_threshold
+};
+
+CoreMetrics& Core();
+
+}  // namespace obs
+}  // namespace mlq
+
+#endif  // MLQ_OBS_METRICS_H_

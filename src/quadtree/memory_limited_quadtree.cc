@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <queue>
 
+#include "obs/obs.h"
+
 namespace mlq {
 namespace {
 
@@ -38,6 +40,8 @@ Prediction MemoryLimitedQuadtree::Predict(const Point& point) const {
 
 Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
                                                   int64_t beta) const {
+  obs::ScopedLatency latency(obs::Core().predict_ns, obs::Core().predicts,
+                             obs::TraceEventType::kPredict);
   const Point p = ClampToSpace(point, space_);
   const QuadtreeNode* cn = root_.get();
   Prediction out;
@@ -51,6 +55,7 @@ Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
     out.count = cn->summary().count;
     out.depth = 0;
     out.reliable = false;
+    latency.set_args(out.value, out.depth);
     return out;
   }
   // Counts shrink monotonically along a root-to-leaf path (summaries are
@@ -70,6 +75,7 @@ Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
   out.count = cn->summary().count;
   out.depth = cn->depth();
   out.reliable = true;
+  latency.set_args(out.value, out.depth);
   return out;
 }
 
@@ -84,6 +90,11 @@ double MemoryLimitedQuadtree::CurrentSseThreshold() const {
 
 void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
   while (!space_.ContainsClosed(point)) {
+    if (obs::Enabled()) {
+      obs::Core().expansions.Inc();
+      MLQ_TRACE_EVENT(obs::TraceEventType::kExpand, obs::NowNs(), 0,
+                      static_cast<double>(config_.max_depth + 1), 0.0);
+    }
     // Grow the space away from the point's overflow direction: along every
     // dimension where the point lies below the space, the old block becomes
     // the *upper* half of the doubled space; everywhere else the lower half.
@@ -143,6 +154,8 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
   WallTimer timer;
   const double compress_seconds_before = counters_.compress_seconds;
   ++counters_.insertions;
+  obs::ScopedLatency latency(obs::Core().insert_ns, obs::Core().inserts,
+                             obs::TraceEventType::kInsert);
 
   if (config_.auto_expand) ExpandToInclude(point);
   const Point p = ClampToSpace(point, space_);
@@ -179,6 +192,7 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
   const double compress_delta =
       counters_.compress_seconds - compress_seconds_before;
   counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
+  latency.set_args(value, static_cast<double>(path.size()));
 }
 
 QuadtreeNode* MemoryLimitedQuadtree::TryCreateChild(
@@ -192,6 +206,12 @@ QuadtreeNode* MemoryLimitedQuadtree::TryCreateChild(
   budget_.Charge(cost);
   ++num_nodes_;
   ++counters_.nodes_created;
+  if (obs::Enabled()) {
+    obs::Core().partitions.Inc();
+    MLQ_TRACE_EVENT(obs::TraceEventType::kPartition, obs::NowNs(), 0,
+                    static_cast<double>(parent->depth() + 1),
+                    static_cast<double>(index));
+  }
   return parent->CreateChild(index);
 }
 
@@ -200,6 +220,8 @@ void MemoryLimitedQuadtree::Compress() { CompressInternal({}); }
 void MemoryLimitedQuadtree::CompressInternal(
     const std::vector<const QuadtreeNode*>& protected_path) {
   WallTimer timer;
+  const bool obs_on = obs::Enabled();
+  const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
   ++counters_.compressions;
   compressed_once_ = true;
 
@@ -282,6 +304,17 @@ void MemoryLimitedQuadtree::CompressInternal(
   }
 
   counters_.compress_seconds += timer.ElapsedSeconds();
+  if (obs_on) {
+    obs::CoreMetrics& core = obs::Core();
+    core.compressions.Inc();
+    core.compress_bytes_freed.Inc(freed);
+    const double th_sse = CurrentSseThreshold();
+    core.sse_threshold.Set(th_sse);
+    const int64_t dur = obs::NowNs() - obs_t0;
+    core.compress_ns.Record(dur);
+    MLQ_TRACE_EVENT(obs::TraceEventType::kCompress, obs_t0, dur,
+                    static_cast<double>(freed), th_sse);
+  }
 }
 
 double MemoryLimitedQuadtree::TotalSsenc() const {

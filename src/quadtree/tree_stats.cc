@@ -55,20 +55,32 @@ TreeStats MergeTreeStats(const std::vector<TreeStats>& parts) {
     if (part.max_depth_present > total.max_depth_present) {
       total.max_depth_present = part.max_depth_present;
     }
-    const size_t depths = part.nodes_per_depth.size();
-    if (depths > total.nodes_per_depth.size()) {
-      total.nodes_per_depth.resize(depths, 0);
-      total.points_per_depth.resize(depths, 0);
+    // The two depth vectors are merged each by its own length:
+    // ComputeTreeStats keeps them in lockstep, but a hand-assembled part
+    // (stats recovered from a snapshot, say) may carry them at different
+    // lengths, and indexing one by the other's size would read out of
+    // bounds.
+    if (part.nodes_per_depth.size() > total.nodes_per_depth.size()) {
+      total.nodes_per_depth.resize(part.nodes_per_depth.size(), 0);
     }
-    for (size_t d = 0; d < depths; ++d) {
+    for (size_t d = 0; d < part.nodes_per_depth.size(); ++d) {
       total.nodes_per_depth[d] += part.nodes_per_depth[d];
+    }
+    if (part.points_per_depth.size() > total.points_per_depth.size()) {
+      total.points_per_depth.resize(part.points_per_depth.size(), 0);
+    }
+    for (size_t d = 0; d < part.points_per_depth.size(); ++d) {
       total.points_per_depth[d] += part.points_per_depth[d];
     }
     leaf_depth_weighted +=
         part.mean_leaf_depth * static_cast<double>(part.num_leaves);
-    redundant_weighted += part.redundant_node_fraction *
-                          static_cast<double>(part.num_nodes - 1);
-    if (part.num_nodes > 1) nonroot_nodes += part.num_nodes - 1;
+    if (part.num_nodes > 1) {
+      // Root-only or empty parts carry no non-root nodes; without this
+      // guard a part with num_nodes == 0 would subtract weight.
+      redundant_weighted += part.redundant_node_fraction *
+                            static_cast<double>(part.num_nodes - 1);
+      nonroot_nodes += part.num_nodes - 1;
+    }
   }
   if (total.num_leaves > 0) {
     total.mean_leaf_depth =

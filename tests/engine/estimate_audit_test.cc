@@ -1,0 +1,89 @@
+// Unit tests for the LEO-style drift measures on PredicateAudit — in
+// particular the degenerate cases: agreeing zero estimates are perfect
+// agreement (drift 1.0), never an infinite blow-up or a NaN.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "engine/estimate_audit.h"
+
+namespace mlq {
+namespace {
+
+PredicateAudit MakeCostAudit(double estimated, double post) {
+  PredicateAudit audit;
+  audit.estimated_cost_micros = estimated;
+  audit.post_cost_micros = post;
+  return audit;
+}
+
+PredicateAudit MakeSelectivityAudit(double estimated, double post) {
+  PredicateAudit audit;
+  audit.estimated_selectivity = estimated;
+  audit.post_selectivity = post;
+  return audit;
+}
+
+TEST(EstimateAuditDriftTest, PerfectAgreementIsOne) {
+  EXPECT_DOUBLE_EQ(MakeCostAudit(12.5, 12.5).CostDrift(), 1.0);
+  EXPECT_DOUBLE_EQ(MakeSelectivityAudit(0.3, 0.3).SelectivityDrift(), 1.0);
+}
+
+TEST(EstimateAuditDriftTest, RatioIsSymmetric) {
+  EXPECT_DOUBLE_EQ(MakeCostAudit(10.0, 40.0).CostDrift(), 4.0);
+  EXPECT_DOUBLE_EQ(MakeCostAudit(40.0, 10.0).CostDrift(), 4.0);
+}
+
+TEST(EstimateAuditDriftTest, BothZeroIsPerfectAgreement) {
+  // A predicate whose model has seen no feedback legitimately estimates
+  // zero cost; when the post-execution re-estimate is also zero the
+  // estimates agree, so the drift must read 1.0 — not infinity and not
+  // the NaN of 0/0.
+  const PredicateAudit cost = MakeCostAudit(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(cost.CostDrift(), 1.0);
+  const PredicateAudit sel = MakeSelectivityAudit(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(sel.SelectivityDrift(), 1.0);
+}
+
+TEST(EstimateAuditDriftTest, NearZeroBothSidesIsPerfectAgreement) {
+  // Sub-epsilon magnitudes (denormal noise from averaging samples) count
+  // as zero on both sides.
+  EXPECT_DOUBLE_EQ(MakeCostAudit(1e-12, -1e-15).CostDrift(), 1.0);
+  EXPECT_DOUBLE_EQ(MakeSelectivityAudit(5e-10, 0.0).SelectivityDrift(), 1.0);
+}
+
+TEST(EstimateAuditDriftTest, ZeroAgainstNonzeroIsInfinite) {
+  EXPECT_TRUE(std::isinf(MakeCostAudit(0.0, 25.0).CostDrift()));
+  EXPECT_TRUE(std::isinf(MakeCostAudit(25.0, 0.0).CostDrift()));
+  EXPECT_TRUE(std::isinf(MakeSelectivityAudit(0.0, 0.5).SelectivityDrift()));
+}
+
+TEST(EstimateAuditDriftTest, NanInputNeverProducesNanDrift) {
+  // NaN on either side means a garbled measurement. The drift must never
+  // itself be NaN: NaN compares false against everything, so it would
+  // silently vanish from max-aggregation (PlanAudit::max_cost_drift) and
+  // the model-health gauges. Infinity propagates correctly instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double d1 = MakeCostAudit(nan, 10.0).CostDrift();
+  const double d2 = MakeCostAudit(10.0, nan).CostDrift();
+  const double d3 = MakeCostAudit(nan, nan).CostDrift();
+  EXPECT_FALSE(std::isnan(d1));
+  EXPECT_FALSE(std::isnan(d2));
+  EXPECT_FALSE(std::isnan(d3));
+  EXPECT_TRUE(std::isinf(d1));
+  EXPECT_TRUE(std::isinf(d2));
+  EXPECT_TRUE(std::isinf(d3));
+  const double s = MakeSelectivityAudit(nan, 0.4).SelectivityDrift();
+  EXPECT_FALSE(std::isnan(s));
+}
+
+TEST(EstimateAuditDriftTest, NegativeCostIsInfinite) {
+  // Negative costs are nonsense measurements; surfacing them as infinite
+  // drift (matching the pre-existing <= 0 contract) keeps them visible.
+  EXPECT_TRUE(std::isinf(MakeCostAudit(-5.0, 5.0).CostDrift()));
+}
+
+}  // namespace
+}  // namespace mlq

@@ -1,0 +1,153 @@
+// End-to-end test of the observability hooks: drive a real MLQ model with
+// metrics and tracing enabled and check that the core instruments and the
+// global trace ring reflect the work that was done.
+//
+// gtest runs every suite in one process, so these tests are careful to
+// leave the layer exactly as they found it (toggles off, registry and ring
+// clean) — other suites assert on the disabled default.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment_setup.h"
+#include "model/mlq_model.h"
+#include "obs/obs.h"
+
+namespace mlq {
+namespace {
+
+// Enables metrics + tracing for one test body and restores the pristine
+// disabled/empty state on the way out.
+class ObsSession {
+ public:
+  ObsSession() {
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::GlobalTraceRing().Clear();
+    obs::SetEnabled(true);
+    obs::SetTraceEnabled(true);
+  }
+  ~ObsSession() {
+    obs::SetEnabled(false);
+    obs::SetTraceEnabled(false);
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::GlobalTraceRing().Clear();
+  }
+};
+
+int CountEvents(const std::vector<obs::TraceEvent>& events,
+                obs::TraceEventType type) {
+  int n = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+TEST(ObsIntegrationTest, ModelWorkloadPopulatesCoreMetrics) {
+  ObsSession session;
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  MlqModel model(space,
+                 MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+
+  constexpr int kOps = 1500;
+  Rng rng(7);
+  for (int i = 0; i < kOps; ++i) {
+    const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    model.Observe(p, rng.Uniform(0.0, 500.0));
+    model.Predict(p);
+  }
+
+  obs::CoreMetrics& core = obs::Core();
+  EXPECT_EQ(core.inserts.Value(), kOps);
+  EXPECT_EQ(core.predicts.Value(), kOps);
+  EXPECT_EQ(core.insert_ns.count(), kOps);
+  EXPECT_EQ(core.predict_ns.count(), kOps);
+  EXPECT_GT(core.insert_ns.Quantile(0.99), 0.0);
+  // The paper budget (1.8 KB) is far below what 1500 eager inserts want,
+  // so compression must have run — and published its threshold gauge.
+  EXPECT_GT(core.compressions.Value(), 0);
+  EXPECT_GT(core.compress_bytes_freed.Value(), 0);
+  EXPECT_GT(core.partitions.Value(), 0);
+  EXPECT_GE(core.sse_threshold.Value(), 0.0);
+
+  const std::vector<obs::TraceEvent> events =
+      obs::GlobalTraceRing().Snapshot();
+  EXPECT_GT(CountEvents(events, obs::TraceEventType::kPredict), 0);
+  EXPECT_GT(CountEvents(events, obs::TraceEventType::kInsert), 0);
+  EXPECT_GT(CountEvents(events, obs::TraceEventType::kCompress), 0);
+  // Compress spans carry (bytes freed, th_SSE) and a real duration.
+  for (const obs::TraceEvent& e : events) {
+    if (e.type == obs::TraceEventType::kCompress) {
+      EXPECT_GT(e.a, 0.0);
+      EXPECT_GE(e.dur_ns, 0);
+    }
+  }
+}
+
+TEST(ObsIntegrationTest, DisabledLayerRecordsNothing) {
+  {
+    ObsSession session;  // Reset + enable...
+    obs::SetEnabled(false);
+    obs::SetTraceEnabled(false);  // ...then switch off for the workload.
+
+    const Box space = Box::Cube(2, 0.0, 100.0);
+    MlqModel model(
+        space, MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+      const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+      model.Observe(p, rng.Uniform(0.0, 500.0));
+      model.Predict(p);
+    }
+
+    EXPECT_EQ(obs::Core().inserts.Value(), 0);
+    EXPECT_EQ(obs::Core().predicts.Value(), 0);
+    EXPECT_EQ(obs::Core().compressions.Value(), 0);
+    EXPECT_TRUE(obs::GlobalTraceRing().Snapshot().empty());
+  }
+  EXPECT_FALSE(obs::Enabled());
+  EXPECT_FALSE(obs::TraceEnabled());
+}
+
+TEST(ObsIntegrationTest, MetricsOnTracingOffKeepsRingEmpty) {
+  ObsSession session;
+  obs::SetTraceEnabled(false);
+
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  MlqModel model(space,
+                 MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    model.Observe(p, rng.Uniform(0.0, 500.0));
+    model.Predict(p);
+  }
+
+  EXPECT_EQ(obs::Core().inserts.Value(), 500);
+  EXPECT_EQ(obs::Core().predicts.Value(), 500);
+  EXPECT_TRUE(obs::GlobalTraceRing().Snapshot().empty());
+}
+
+TEST(ObsIntegrationTest, MidRunToggleStopsNewRecordings) {
+  ObsSession session;
+  const Box space = Box::Cube(2, 0.0, 100.0);
+  MlqModel model(space,
+                 MakePaperMlqConfig(InsertionStrategy::kEager, CostKind::kCpu));
+  Rng rng(17);
+  const Point p{50.0, 50.0};
+  model.Observe(p, 10.0);
+  ASSERT_EQ(obs::Core().inserts.Value(), 1);
+
+  obs::SetEnabled(false);
+  obs::SetTraceEnabled(false);
+  model.Observe(p, 12.0);
+  model.Predict(p);
+  EXPECT_EQ(obs::Core().inserts.Value(), 1);
+  EXPECT_EQ(obs::Core().predicts.Value(), 0);
+}
+
+}  // namespace
+}  // namespace mlq

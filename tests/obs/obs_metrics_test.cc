@@ -1,0 +1,230 @@
+// Unit tests for the metrics layer: instruments, histogram bucketing and
+// quantiles, registry rendering, and the runtime toggle.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mlq {
+namespace obs {
+namespace {
+
+TEST(ObsCounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c]() {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.Value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsGaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(ObsHistogramTest, BucketBoundsArePowersOfTwo) {
+  // Bucket 0 = [0,2), bucket i = [2^i, 2^(i+1)).
+  EXPECT_EQ(LatencyHistogram::BucketUpperNs(0), 2);
+  EXPECT_EQ(LatencyHistogram::BucketUpperNs(1), 4);
+  EXPECT_EQ(LatencyHistogram::BucketUpperNs(10), 2048);
+
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);
+  EXPECT_EQ(h.bucket(0), 2u);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.bucket(1), 2u);
+  h.Record(1024);
+  h.Record(2047);
+  EXPECT_EQ(h.bucket(10), 2u);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum_ns(), 0 + 1 + 2 + 3 + 1024 + 2047);
+  EXPECT_EQ(h.max_ns(), 2047);
+}
+
+TEST(ObsHistogramTest, NegativeDurationsClampToBucketZero) {
+  // A clock hiccup must not index out of bounds.
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(ObsHistogramTest, HugeDurationsClampToLastBucket) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.bucket(LatencyHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST(ObsHistogramTest, QuantilesAreOrderedAndBracketed) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // Empty.
+  for (int i = 0; i < 1000; ++i) h.Record(100);   // All in [64,128).
+  for (int i = 0; i < 10; ++i) h.Record(100000);  // Tail in [65536,131072).
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  const double p999 = h.Quantile(0.999);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // The 0.999 quantile must land in the tail bucket.
+  EXPECT_GE(p999, 65536.0);
+  EXPECT_LE(p999, 131072.0);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsKeepCountsConsistent) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t]() {
+      for (int i = 0; i < kPerThread; ++i) h.Record(100 + t);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(h.count(), static_cast<int64_t>(kThreads) * kPerThread);
+  uint64_t bucket_sum = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucket_sum += h.bucket(i);
+  }
+  EXPECT_EQ(bucket_sum, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistryTest, GetReturnsStableReferences) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("obs_test_stable_counter");
+  a.Inc(7);
+  Counter& b = reg.GetCounter("obs_test_stable_counter");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.Value(), 7);
+  a.Reset();
+}
+
+TEST(ObsRegistryTest, PrometheusRenderContainsRegisteredMetrics) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_prom_counter", "a test counter").Inc(3);
+  reg.GetGauge("obs_test_prom_gauge", "a test gauge").Set(1.5);
+  reg.GetHistogram("obs_test_prom_hist", "a test histogram").Record(100);
+
+  std::ostringstream os;
+  reg.RenderPrometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# HELP obs_test_prom_counter a test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"128\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, JsonRenderIsWellFormedEnough) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_json_counter").Inc(5);
+  reg.GetHistogram("obs_test_json_hist").Record(1000);
+  std::ostringstream os;
+  reg.RenderJson(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_json_counter\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  // Braces balance (no nested strings with braces in metric names).
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsRegistryTest, ResetAllZeroesInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test_reset_counter");
+  LatencyHistogram& h = reg.GetHistogram("obs_test_reset_hist");
+  c.Inc(9);
+  h.Record(50);
+  reg.ResetAll();
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(ObsToggleTest, DefaultIsDisabled) {
+  // The whole layer must be off unless something turns it on; tests that
+  // enable it are responsible for restoring the default.
+  EXPECT_FALSE(Enabled());
+}
+
+TEST(ObsCoreTest, CoreMetricsResolveOnce) {
+  CoreMetrics& a = Core();
+  CoreMetrics& b = Core();
+  EXPECT_EQ(&a.predicts, &b.predicts);
+  EXPECT_EQ(&a.predict_ns, &b.predict_ns);
+  // And they are registry-backed under their public names.
+  EXPECT_EQ(&a.predicts,
+            &MetricsRegistry::Global().GetCounter("mlq_predicts_total"));
+  EXPECT_EQ(&a.predict_ns, &MetricsRegistry::Global().GetHistogram(
+                               "mlq_predict_latency_ns"));
+}
+
+TEST(ObsTimeTest, NowNsIsMonotonic) {
+  const int64_t t0 = NowNs();
+  const int64_t t1 = NowNs();
+  EXPECT_GE(t1, t0);
+  EXPECT_GE(t0, 0);
+}
+
+TEST(ObsTimeTest, ThreadIdsAreSmallAndStable) {
+  const int id_here = CurrentThreadId();
+  EXPECT_EQ(CurrentThreadId(), id_here);
+  int id_there = -1;
+  std::thread([&id_there]() { id_there = CurrentThreadId(); }).join();
+  EXPECT_NE(id_there, id_here);
+  EXPECT_GE(id_there, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mlq

@@ -1,0 +1,190 @@
+// Unit tests for the lock-free trace ring and the Chrome trace exporter.
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_ring.h"
+
+namespace mlq {
+namespace obs {
+namespace {
+
+TEST(TraceRingTest, RecordsAndSnapshotsInOrder) {
+  TraceRing ring(8);
+  ring.Record(TraceEventType::kPredict, 100, 10, 1.0, 2.0);
+  ring.Record(TraceEventType::kInsert, 200, 20, 3.0, 4.0);
+  ring.Record(TraceEventType::kCompress, 300, 30, 5.0, 6.0);
+
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, TraceEventType::kPredict);
+  EXPECT_EQ(events[0].ts_ns, 100);
+  EXPECT_EQ(events[0].dur_ns, 10);
+  EXPECT_DOUBLE_EQ(events[0].a, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].b, 2.0);
+  EXPECT_EQ(events[1].type, TraceEventType::kInsert);
+  EXPECT_EQ(events[2].type, TraceEventType::kCompress);
+  EXPECT_EQ(ring.total_recorded(), 3);
+  EXPECT_EQ(ring.overwritten(), 0);
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(10);
+  EXPECT_EQ(ring.capacity(), 16u);
+  TraceRing exact(32);
+  EXPECT_EQ(exact.capacity(), 32u);
+  TraceRing tiny(0);
+  EXPECT_GE(tiny.capacity(), 2u);
+}
+
+TEST(TraceRingTest, WrapsKeepingNewestEvents) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Record(TraceEventType::kInsert, 1000 + i, 0, static_cast<double>(i),
+                0.0);
+  }
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the newest `capacity` events: 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].a, static_cast<double>(6 + i));
+  }
+  EXPECT_EQ(ring.total_recorded(), 10);
+  EXPECT_EQ(ring.overwritten(), 6);
+}
+
+TEST(TraceRingTest, ClearEmptiesTheRing) {
+  TraceRing ring(8);
+  ring.Record(TraceEventType::kPlan, 1, 1, 0.0, 0.0);
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.total_recorded(), 0);
+}
+
+TEST(TraceRingTest, ConcurrentWritersLoseNothingWhenRingIsLargeEnough) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  TraceRing ring(16384);  // > kThreads * kPerThread: nothing overwritten.
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&ring, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Record(TraceEventType::kPredict, i, 0,
+                    static_cast<double>(t * kPerThread + i), 0.0);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(ring.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.overwritten(), 0);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  // Every event id arrives exactly once: ticketed slots never collide.
+  std::set<double> ids;
+  for (const TraceEvent& e : events) ids.insert(e.a);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceRingTest, SnapshotDuringConcurrentWritesYieldsWholeEvents) {
+  // Writers hammer a tiny ring while a reader snapshots; every event the
+  // snapshot returns must be internally consistent (the payload encodes a
+  // checkable invariant: b == a + 1).
+  TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ring, &stop]() {
+      double v = 0.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.Record(TraceEventType::kInsert, 1, 1, v, v + 1.0);
+        v += 1.0;
+      }
+    });
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::vector<TraceEvent> events = ring.Snapshot();
+    for (const TraceEvent& e : events) {
+      EXPECT_DOUBLE_EQ(e.b, e.a + 1.0);
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(TraceEventTypeTest, NamesAreStable) {
+  EXPECT_EQ(TraceEventTypeName(TraceEventType::kPredict), "predict");
+  EXPECT_EQ(TraceEventTypeName(TraceEventType::kInsert), "insert");
+  EXPECT_EQ(TraceEventTypeName(TraceEventType::kCompress), "compress");
+  EXPECT_EQ(TraceEventTypeName(TraceEventType::kFeedbackDrop),
+            "feedback_drop");
+  EXPECT_EQ(TraceEventTypeName(TraceEventType::kQueryExec), "query_exec");
+}
+
+TEST(ChromeTraceExportTest, EmitsLoadableTraceEventJson) {
+  std::vector<TraceEvent> events;
+  TraceEvent span;
+  span.type = TraceEventType::kPredict;
+  span.tid = 3;
+  span.ts_ns = 2500;
+  span.dur_ns = 1500;
+  span.a = 42.0;
+  span.b = 2.0;
+  events.push_back(span);
+  TraceEvent instant;
+  instant.type = TraceEventType::kFeedbackDrop;
+  instant.tid = 1;
+  instant.ts_ns = 9000;
+  instant.dur_ns = 0;
+  instant.a = 17.0;
+  events.push_back(instant);
+
+  std::ostringstream os;
+  ExportChromeTrace(os, events);
+  const std::string json = os.str();
+
+  // Top-level object with the traceEvents array.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The span comes out as a complete ("X") event with us timestamps.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  // The zero-duration event is an instant ("i").
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"feedback_drop\""), std::string::npos);
+  // Structural sanity: brackets and braces balance.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTraceExportTest, EmptyEventListIsStillValidJson) {
+  std::ostringstream os;
+  ExportChromeTrace(os, {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mlq

@@ -167,5 +167,96 @@ TEST(EvictionPolicyTest, SsegBeatsRandomOnAccuracy) {
   EXPECT_LT(run(EvictionPolicy::kSseg), run(EvictionPolicy::kRandom));
 }
 
+TEST(MergeTreeStatsTest, EmptyInputIsIdentity) {
+  const TreeStats merged = MergeTreeStats({});
+  EXPECT_EQ(merged.num_nodes, 0);
+  EXPECT_EQ(merged.num_leaves, 0);
+  EXPECT_EQ(merged.max_depth_present, 0);
+  EXPECT_TRUE(merged.nodes_per_depth.empty());
+  EXPECT_TRUE(merged.points_per_depth.empty());
+  EXPECT_DOUBLE_EQ(merged.mean_leaf_depth, 0.0);
+  EXPECT_DOUBLE_EQ(merged.redundant_node_fraction, 0.0);
+}
+
+TEST(MergeTreeStatsTest, SingleTreeIsUnchanged) {
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 100.0), BigConfig(3));
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    Point p{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    tree.Insert(p, rng.Uniform(0.0, 50.0));
+  }
+  const TreeStats single = ComputeTreeStats(tree);
+  const TreeStats merged = MergeTreeStats({single});
+  EXPECT_EQ(merged.num_nodes, single.num_nodes);
+  EXPECT_EQ(merged.num_leaves, single.num_leaves);
+  EXPECT_EQ(merged.max_depth_present, single.max_depth_present);
+  EXPECT_EQ(merged.nodes_per_depth, single.nodes_per_depth);
+  EXPECT_EQ(merged.points_per_depth, single.points_per_depth);
+  EXPECT_DOUBLE_EQ(merged.mean_leaf_depth, single.mean_leaf_depth);
+  EXPECT_DOUBLE_EQ(merged.redundant_node_fraction,
+                   single.redundant_node_fraction);
+}
+
+TEST(MergeTreeStatsTest, UnequalDepthVectorLengths) {
+  // Hand-assembled parts whose two depth vectors disagree in length (a
+  // shape ComputeTreeStats never produces, but snapshot/import paths can):
+  // each vector must be merged by its own length, not the other's.
+  TreeStats a;
+  a.num_nodes = 3;
+  a.num_leaves = 2;
+  a.max_depth_present = 1;
+  a.nodes_per_depth = {1, 2};
+  a.points_per_depth = {10};  // Shorter than nodes_per_depth.
+  a.mean_leaf_depth = 1.0;
+  a.redundant_node_fraction = 0.5;
+
+  TreeStats b;
+  b.num_nodes = 5;
+  b.num_leaves = 3;
+  b.max_depth_present = 2;
+  b.nodes_per_depth = {1, 1};
+  b.points_per_depth = {20, 15, 7};  // Longer than nodes_per_depth.
+  b.mean_leaf_depth = 2.0;
+  b.redundant_node_fraction = 0.25;
+
+  const TreeStats merged = MergeTreeStats({a, b});
+  EXPECT_EQ(merged.num_nodes, 8);
+  EXPECT_EQ(merged.num_leaves, 5);
+  EXPECT_EQ(merged.max_depth_present, 2);
+  ASSERT_EQ(merged.nodes_per_depth.size(), 2u);
+  EXPECT_EQ(merged.nodes_per_depth[0], 2);
+  EXPECT_EQ(merged.nodes_per_depth[1], 3);
+  ASSERT_EQ(merged.points_per_depth.size(), 3u);
+  EXPECT_EQ(merged.points_per_depth[0], 30);
+  EXPECT_EQ(merged.points_per_depth[1], 15);
+  EXPECT_EQ(merged.points_per_depth[2], 7);
+  // Leaf-weighted: (1.0*2 + 2.0*3) / 5.
+  EXPECT_DOUBLE_EQ(merged.mean_leaf_depth, 1.6);
+  // Node-weighted over non-root nodes: (0.5*2 + 0.25*4) / 6.
+  EXPECT_DOUBLE_EQ(merged.redundant_node_fraction, 2.0 / 6.0);
+}
+
+TEST(MergeTreeStatsTest, EmptyAndRootOnlyPartsDoNotSkewRedundancy) {
+  TreeStats empty;  // All defaults: num_nodes == 0.
+  TreeStats root_only;
+  root_only.num_nodes = 1;
+  root_only.num_leaves = 1;
+  root_only.nodes_per_depth = {1};
+  root_only.points_per_depth = {0};
+  TreeStats real;
+  real.num_nodes = 4;
+  real.num_leaves = 3;
+  real.nodes_per_depth = {1, 3};
+  real.points_per_depth = {9, 9};
+  real.mean_leaf_depth = 1.0;
+  real.redundant_node_fraction = 1.0;
+
+  const TreeStats merged = MergeTreeStats({empty, root_only, real});
+  EXPECT_EQ(merged.num_nodes, 5);
+  // Only `real` carries non-root nodes; the zero-node and root-only parts
+  // must contribute zero weight (not -1 and 0 node counts).
+  EXPECT_DOUBLE_EQ(merged.redundant_node_fraction, 1.0);
+}
+
 }  // namespace
 }  // namespace mlq

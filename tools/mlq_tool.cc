@@ -4,17 +4,28 @@
 //                     [--seed=42] [--scale=small] [--peaks=50]
 //   mlq_tool replay   --trace=trace.txt [--strategy=lazy] [--budget=1800]
 //                     [--beta=1] [--cost=cpu] [--model-out=model.bin]
-//                     [--threads=1] [--shards=1]
+//                     [--threads=1] [--shards=1] [--metrics]
+//                     [--trace-out=events.json]
+//   mlq_tool metrics  [--trace=trace.txt] [--json] [--n=2000] [--seed=42]
+//                     [--strategy=lazy] [--budget=1800] [--beta=1]
+//                     [--cost=cpu] [--trace-out=events.json]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
 //   mlq_tool selftest
 //
 // UDF names: synth (synthetic surface; --peaks) or one of
 // SIMPLE THRESH PROX KNN WIN RANGE (the real-UDF suite; --scale=small|full).
+//
+// `metrics` replays a trace (or a synthetic workload when --trace is
+// absent) with observability switched on, then prints the Prometheus-style
+// metric exposition plus a latency/quantile summary; --json emits one JSON
+// snapshot object instead. `--trace-out` (on replay or metrics) writes the
+// recorded events as Chrome trace JSON, loadable in chrome://tracing.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -28,6 +39,7 @@
 #include "model/mlq_model.h"
 #include "model/serialization.h"
 #include "model/sharded_model.h"
+#include "obs/obs.h"
 #include "quadtree/tree_stats.h"
 
 namespace mlq {
@@ -35,18 +47,54 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mlq_tool <capture|replay|inspect|predict|selftest> "
-               "[--flags]\n"
+               "usage: mlq_tool <capture|replay|metrics|inspect|predict|"
+               "selftest> [--flags]\n"
                "  capture  --udf=NAME --out=FILE [--n=2000] [--dist=uniform|"
                "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
                " [--peaks=50]\n"
                "  replay   --trace=FILE [--strategy=eager|lazy] "
                "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]"
-               " [--threads=1] [--shards=1]\n"
+               " [--threads=1] [--shards=1] [--metrics] [--trace-out=FILE]\n"
+               "  metrics  [--trace=FILE] [--json] [--n=2000] [--seed=42] "
+               "[--strategy=eager|lazy] [--budget=1800] [--beta=1] "
+               "[--cost=cpu|io] [--trace-out=FILE]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
                "  selftest\n");
   return 1;
+}
+
+// Shared by replay and metrics: the model space is the padded bounding box
+// of the trace's points.
+Box TraceBoundingBox(const std::vector<TraceRecord>& records) {
+  const int dims = records[0].point.dims();
+  Point lo = records[0].point;
+  Point hi = records[0].point;
+  for (const TraceRecord& r : records) {
+    for (int d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], r.point[d]);
+      hi[d] = std::max(hi[d], r.point[d]);
+    }
+  }
+  for (int d = 0; d < dims; ++d) {
+    if (lo[d] == hi[d]) hi[d] = lo[d] + 1.0;
+  }
+  return Box(lo, hi);
+}
+
+// Dumps the global trace ring as Chrome trace JSON (chrome://tracing /
+// Perfetto "Open trace file").
+bool WriteChromeTrace(const std::string& path) {
+  const std::vector<obs::TraceEvent> events =
+      obs::GlobalTraceRing().Snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  obs::ExportChromeTrace(out, events);
+  std::printf("wrote %zu trace events to %s\n", events.size(), path.c_str());
+  return true;
 }
 
 QueryDistributionKind ParseDistribution(const std::string& name) {
@@ -125,19 +173,24 @@ int RunReplay(int argc, char** argv) {
     return 1;
   }
 
-  // Model space: the bounding box of the trace points, slightly padded.
-  const int dims = records[0].point.dims();
-  Point lo = records[0].point;
-  Point hi = records[0].point;
-  for (const TraceRecord& r : records) {
-    for (int d = 0; d < dims; ++d) {
-      lo[d] = std::min(lo[d], r.point[d]);
-      hi[d] = std::max(hi[d], r.point[d]);
+  // Observability: --metrics prints the metric exposition after the replay;
+  // --trace-out additionally records events for a Chrome trace dump.
+  const bool print_metrics = HasFlag(argc, argv, "metrics");
+  const std::string trace_out = ArgValue(argc, argv, "trace-out");
+  if (print_metrics || !trace_out.empty()) obs::SetEnabled(true);
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  const auto finish_observability = [&print_metrics, &trace_out]() {
+    if (print_metrics) {
+      std::printf("\n");
+      obs::MetricsRegistry::Global().RenderPrometheus(std::cout);
+      std::printf("\nlatency summary:\n");
+      obs::MetricsRegistry::Global().RenderLatencySummary(std::cout);
     }
-  }
-  for (int d = 0; d < dims; ++d) {
-    if (lo[d] == hi[d]) hi[d] = lo[d] + 1.0;
-  }
+    if (!trace_out.empty() && !WriteChromeTrace(trace_out)) return 1;
+    return 0;
+  };
+
+  const Box space = TraceBoundingBox(records);
 
   MlqConfig config;
   config.strategy = ArgValue(argc, argv, "strategy", "lazy") == "eager"
@@ -165,7 +218,7 @@ int RunReplay(int argc, char** argv) {
     // ShardedCostModel; per-thread NAE partials merge exactly.
     ShardedModelOptions options;
     options.num_shards = shards > 0 ? shards : 1;
-    ShardedCostModel model(Box(lo, hi), config, options);
+    ShardedCostModel model(space, config, options);
     const int workers = threads > 0 ? threads : 1;
     std::vector<NaeAccumulator> partials(static_cast<size_t>(workers));
     std::vector<std::thread> pool;
@@ -216,10 +269,10 @@ int RunReplay(int argc, char** argv) {
         static_cast<long long>(stats.observations_submitted),
         static_cast<long long>(stats.observations_applied),
         static_cast<long long>(stats.observations_dropped));
-    return 0;
+    return finish_observability();
   }
 
-  MlqModel model(Box(lo, hi), config);
+  MlqModel model(space, config);
   const double nae = ReplayTrace(model, records, kind);
   std::printf("replayed %zu records: NAE=%.4f, %lld nodes, %lld bytes, "
               "%lld compressions\n",
@@ -236,6 +289,82 @@ int RunReplay(int argc, char** argv) {
     }
     std::printf("saved model to %s\n", model_out.c_str());
   }
+  return finish_observability();
+}
+
+// `metrics`: run a replay with the observability layer on and print what it
+// collected. With --trace the workload is a captured trace file; without,
+// a deterministic synthetic workload (paper's surface, --n/--seed) so the
+// command works standalone.
+int RunMetrics(int argc, char** argv) {
+  obs::SetEnabled(true);
+  obs::SetTraceEnabled(true);
+
+  const std::string trace_path = ArgValue(argc, argv, "trace");
+  std::vector<TraceRecord> records;
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::string error;
+    if (!ReadTrace(in, &records, &error)) {
+      std::fprintf(stderr, "bad trace: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    const int n = std::atoi(ArgValue(argc, argv, "n", "2000").c_str());
+    const auto seed = static_cast<uint64_t>(
+        std::atoll(ArgValue(argc, argv, "seed", "42").c_str()));
+    if (n <= 0) return Usage();
+    auto udf = MakePaperSyntheticUdf(50, /*noise_probability=*/0.0, seed);
+    const auto points = MakePaperWorkload(
+        udf->model_space(), QueryDistributionKind::kUniform, n, seed);
+    records = CaptureTrace(*udf, points);
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "trace is empty\n");
+    return 1;
+  }
+
+  MlqConfig config;
+  config.strategy = ArgValue(argc, argv, "strategy", "lazy") == "eager"
+                        ? InsertionStrategy::kEager
+                        : InsertionStrategy::kLazy;
+  config.memory_limit_bytes =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  config.beta = std::atoll(ArgValue(argc, argv, "beta", "1").c_str());
+  const CostKind kind =
+      ArgValue(argc, argv, "cost", "cpu") == "io" ? CostKind::kIo
+                                                  : CostKind::kCpu;
+
+  MlqModel model(TraceBoundingBox(records), config);
+  const double nae = ReplayTrace(model, records, kind);
+
+  const std::vector<obs::TraceEvent> events =
+      obs::GlobalTraceRing().Snapshot();
+  size_t compress_events = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.type == obs::TraceEventType::kCompress) ++compress_events;
+  }
+
+  if (HasFlag(argc, argv, "json")) {
+    obs::MetricsRegistry::Global().RenderJson(std::cout);
+    std::cout << "\n";
+  } else {
+    std::printf("# replayed %zu records with observability on (NAE=%.4f)\n\n",
+                records.size(), nae);
+    obs::MetricsRegistry::Global().RenderPrometheus(std::cout);
+    std::printf("\nlatency summary:\n");
+    obs::MetricsRegistry::Global().RenderLatencySummary(std::cout);
+    std::printf(
+        "\ntrace ring: %zu events recorded (%zu compression passes)\n",
+        events.size(), compress_events);
+  }
+
+  const std::string trace_out = ArgValue(argc, argv, "trace-out");
+  if (!trace_out.empty() && !WriteChromeTrace(trace_out)) return 1;
   return 0;
 }
 
@@ -385,6 +514,7 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "capture") return RunCapture(argc, argv);
   if (command == "replay") return RunReplay(argc, argv);
+  if (command == "metrics") return RunMetrics(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "predict") return RunPredict(argc, argv);
   if (command == "selftest") return RunSelfTest();
