@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -77,6 +78,58 @@ RunResult RunWorkload(CostModel& model, int threads, int64_t ops_per_thread,
         } else {
           sink = sink + model.Predict(p);
         }
+      }
+      (void)sink;
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  model.Flush();
+  const double seconds = timer.ElapsedSeconds();
+
+  RunResult result;
+  const double total_ops =
+      static_cast<double>(ops_per_thread) * static_cast<double>(threads);
+  result.ops_per_sec = seconds > 0.0 ? total_ops / seconds : 0.0;
+  return result;
+}
+
+// Batched variant of RunWorkload: each worker buffers a block of points
+// and serves it with ONE PredictBatch call (observations still go one at a
+// time, as execution feedback does). Under the mutex decorator this turns
+// `batch` lock acquisitions into one; under the sharded model it becomes
+// one bucketed descent pass per shard touched.
+RunResult RunBatchWorkload(CostModel& model, int threads,
+                           int64_t ops_per_thread, double observe_fraction,
+                           int batch) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  WallTimer timer;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&model, observe_fraction, ops_per_thread, batch,
+                          t]() {
+      Rng rng(0xBA7C4 + static_cast<uint64_t>(t));
+      std::vector<Point> points;
+      points.reserve(static_cast<size_t>(batch));
+      std::vector<Prediction> out(static_cast<size_t>(batch));
+      volatile double sink = 0.0;
+      for (int64_t i = 0; i < ops_per_thread;) {
+        points.clear();
+        while (static_cast<int>(points.size()) < batch &&
+               i < ops_per_thread) {
+          Point p{rng.Uniform(kSpaceLo, kSpaceHi),
+                  rng.Uniform(kSpaceLo, kSpaceHi),
+                  rng.Uniform(kSpaceLo, kSpaceHi)};
+          if (rng.NextDouble() < observe_fraction) {
+            model.Observe(p, Surface(p));
+          } else {
+            points.push_back(p);
+          }
+          ++i;
+        }
+        if (points.empty()) continue;
+        model.PredictBatch(points,
+                           std::span<Prediction>(out.data(), points.size()));
+        sink = sink + out[0].value;
       }
       (void)sink;
     });
@@ -157,6 +210,40 @@ int Main(int argc, char** argv) {
                   std::to_string(stats.observations_dropped)});
   }
   table.Print(std::cout);
+
+  constexpr int kBatch = 64;
+  std::printf("\nBatched serving (PredictBatch, block of %d points):\n",
+              kBatch);
+  TablePrinter batch_table(
+      {"threads", "mutex batched Mops/s", "sharded batched Mops/s",
+       "speedup"});
+  for (const int threads : thread_counts) {
+    const int64_t ops_per_thread = total_ops / threads;
+
+    ConcurrentCostModel mutex_model(
+        std::make_unique<MlqModel>(space, BenchConfig(budget)));
+    const RunResult mutex_result = RunBatchWorkload(
+        mutex_model, threads, ops_per_thread, observe_fraction, kBatch);
+
+    ShardedModelOptions options;
+    options.num_shards = num_shards;
+    options.queue_capacity = 4096;
+    options.drain_batch = 256;
+    ShardedCostModel sharded_model(space, BenchConfig(budget), options);
+    const RunResult sharded_result = RunBatchWorkload(
+        sharded_model, threads, ops_per_thread, observe_fraction, kBatch);
+
+    batch_table.AddRow(
+        {std::to_string(threads),
+         TablePrinter::Num(mutex_result.ops_per_sec / 1e6, 3),
+         TablePrinter::Num(sharded_result.ops_per_sec / 1e6, 3),
+         TablePrinter::Num(sharded_result.ops_per_sec /
+                               (mutex_result.ops_per_sec > 0.0
+                                    ? mutex_result.ops_per_sec
+                                    : 1.0),
+                           2)});
+  }
+  batch_table.Print(std::cout);
 
   std::printf(
       "\nspeedup = sharded / mutex at the same thread count. The sharded\n"

@@ -45,7 +45,9 @@ void RunDistribution(const RealUdfSuite& suite, QueryDistributionKind kind,
 
 int main(int argc, char** argv) {
   std::printf("== Experiment 1 (Fig. 9): real UDFs, CPU cost, NAE ==\n");
-  std::printf("building substrates (synthetic Reuters-scale corpus + urban-area maps)...\n");
+  std::printf(
+      "building substrates (synthetic Reuters-scale corpus + urban-area "
+      "maps)...\n");
   const mlq::RealUdfSuite suite =
       mlq::MakeRealUdfSuite(mlq::SubstrateScale::kFull);
   std::printf("corpus: %d docs, vocab %d; spatial: %d rects\n",

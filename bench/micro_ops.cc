@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,6 +59,26 @@ void BM_QuadtreePredict(benchmark::State& state) {
   state.SetLabel(std::to_string(tree->num_nodes()) + " nodes");
 }
 BENCHMARK(BM_QuadtreePredict)->Arg(1800)->Arg(16384)->Arg(262144);
+
+void BM_QuadtreePredictBatch(benchmark::State& state) {
+  // The batched entry point: one call costs 256 descents with the
+  // per-call observability and dispatch overhead paid once. Reported
+  // per-point via SetItemsProcessed for comparison with BM_QuadtreePredict.
+  constexpr size_t kBatch = 256;
+  auto tree = FilledTree(state.range(0), InsertionStrategy::kEager);
+  const auto queries = RandomPoints(1024, 3);
+  std::vector<Prediction> out(kBatch);
+  size_t offset = 0;
+  for (auto _ : state) {
+    const std::span<const Point> batch(&queries[offset], kBatch);
+    tree->PredictBatch(batch, out);
+    benchmark::DoNotOptimize(out.data());
+    offset = (offset + kBatch) & 1023;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+  state.SetLabel(std::to_string(tree->num_nodes()) + " nodes");
+}
+BENCHMARK(BM_QuadtreePredictBatch)->Arg(1800)->Arg(16384)->Arg(262144);
 
 void BM_QuadtreeInsertEager(benchmark::State& state) {
   auto tree = FilledTree(state.range(0), InsertionStrategy::kEager);

@@ -36,6 +36,15 @@ class MemoryBudget {
   // Records a deallocation.
   void Release(int64_t bytes) { used_ -= bytes; }
 
+  // Sets the absolute usage. For owners that can derive their exact logical
+  // footprint from first principles (the quadtree recomputes it from the
+  // node-pool live count after every structural change), this is safer than
+  // incremental Charge/Release pairs: the accounting cannot drift.
+  void SetUsed(int64_t bytes) {
+    used_ = bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+
   // High-water mark, for reporting.
   int64_t peak() const { return peak_; }
 

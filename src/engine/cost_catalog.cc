@@ -99,6 +99,37 @@ double CostCatalog::PredictSelectivity(CostedUdf* udf,
   return std::clamp(p.value, 0.01, 1.0);
 }
 
+void CostCatalog::PredictCostMicrosBatch(CostedUdf* udf,
+                                         std::span<const Point> model_points,
+                                         std::span<double> out) {
+  assert(model_points.size() == out.size());
+  if (model_points.empty()) return;
+  Entry& entry = For(udf);
+  std::vector<Prediction> cpu(model_points.size());
+  std::vector<Prediction> io(model_points.size());
+  entry.cpu_model->PredictBatch(model_points, cpu);
+  entry.io_model->PredictBatch(model_points, io);
+  for (size_t i = 0; i < model_points.size(); ++i) {
+    out[i] = cpu[i].value * kMicrosPerWorkUnit +
+             io[i].value * kMicrosPerPageMiss;
+  }
+}
+
+void CostCatalog::PredictSelectivityBatch(CostedUdf* udf,
+                                          std::span<const Point> model_points,
+                                          std::span<double> out) {
+  assert(model_points.size() == out.size());
+  if (model_points.empty()) return;
+  Entry& entry = For(udf);
+  std::vector<Prediction> predictions(model_points.size());
+  entry.selectivity_model->PredictBatch(model_points, predictions);
+  for (size_t i = 0; i < model_points.size(); ++i) {
+    const Prediction& p = predictions[i];
+    out[i] = (!p.reliable && p.count == 0) ? 0.5
+                                           : std::clamp(p.value, 0.01, 1.0);
+  }
+}
+
 void CostCatalog::FlushFeedback() {
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "model/cost_model.h"
@@ -68,6 +69,18 @@ class CostCatalog {
   // Predicted pass probability in [0.01, 1] (clamped away from 0 so plan
   // cost formulas stay finite); 0.5 when nothing is known yet.
   double PredictSelectivity(CostedUdf* udf, const Point& model_point);
+
+  // Batched variants: out[i] corresponds to model_points[i], element-wise
+  // identical to the scalar calls. One entry lookup and one batched model
+  // call per underlying model instead of 2-3 virtual dispatches (plus, in
+  // the concurrent modes, lock round-trips) per point — the form the
+  // optimizer's stride-sampling estimators use.
+  void PredictCostMicrosBatch(CostedUdf* udf,
+                              std::span<const Point> model_points,
+                              std::span<double> out);
+  void PredictSelectivityBatch(CostedUdf* udf,
+                               std::span<const Point> model_points,
+                               std::span<double> out);
 
   // Applies any queued feedback in every model (kSharded); no-op in the
   // synchronous modes.

@@ -73,18 +73,26 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
     entry.estimated_cost_micros = plan.estimates[i].estimated_cost_micros;
     entry.estimated_selectivity = plan.estimates[i].estimated_selectivity;
 
-    double cost_sum = 0.0;
-    double selectivity_sum = 0.0;
-    int64_t samples = 0;
+    std::vector<Point> points;
+    points.reserve(static_cast<size_t>(n / stride) + 1);
     for (int64_t row = 0; row < n; row += stride) {
-      const Point point = predicate->ModelPointFor(query.table->Row(row));
-      cost_sum += catalog.PredictCostMicros(predicate->udf(), point);
-      selectivity_sum += catalog.PredictSelectivity(predicate->udf(), point);
-      ++samples;
+      points.push_back(predicate->ModelPointFor(query.table->Row(row)));
     }
-    if (samples > 0) {
-      entry.post_cost_micros = cost_sum / static_cast<double>(samples);
-      entry.post_selectivity = selectivity_sum / static_cast<double>(samples);
+    if (!points.empty()) {
+      std::vector<double> costs(points.size());
+      std::vector<double> selectivities(points.size());
+      catalog.PredictCostMicrosBatch(predicate->udf(), points, costs);
+      catalog.PredictSelectivityBatch(predicate->udf(), points,
+                                      selectivities);
+      double cost_sum = 0.0;
+      double selectivity_sum = 0.0;
+      for (size_t s = 0; s < points.size(); ++s) {
+        cost_sum += costs[s];
+        selectivity_sum += selectivities[s];
+      }
+      const double samples = static_cast<double>(points.size());
+      entry.post_cost_micros = cost_sum / samples;
+      entry.post_selectivity = selectivity_sum / samples;
     }
     audit.max_cost_drift = std::max(audit.max_cost_drift, entry.CostDrift());
     audit.predicates.push_back(std::move(entry));

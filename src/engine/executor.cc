@@ -182,6 +182,80 @@ ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog) {
   return stats;
 }
 
+ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
+                                           CostCatalog& catalog,
+                                           int block_rows) {
+  assert(query.table != nullptr);
+  assert(block_rows >= 1);
+  const bool obs_on = obs::Enabled();
+  const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
+  ExecutionStats stats;
+  stats.rows_in = query.table->num_rows();
+  stats.evaluations_per_predicate.assign(query.predicates.size(), 0);
+
+  const size_t n = query.predicates.size();
+  std::vector<int> order(n);
+  std::vector<double> rank(n);
+  // Per-predicate probe buffers, reused across blocks.
+  std::vector<std::vector<Point>> points(n);
+  std::vector<std::vector<double>> costs(n);
+  std::vector<std::vector<double>> selectivities(n);
+
+  for (int64_t block_begin = 0; block_begin < stats.rows_in;
+       block_begin += block_rows) {
+    const int64_t block_end =
+        std::min<int64_t>(stats.rows_in, block_begin + block_rows);
+    const size_t block_size = static_cast<size_t>(block_end - block_begin);
+    // Probe phase: batch the whole block's model points per predicate.
+    for (size_t i = 0; i < n; ++i) {
+      points[i].clear();
+      for (int64_t row = block_begin; row < block_end; ++row) {
+        points[i].push_back(
+            query.predicates[i]->ModelPointFor(query.table->Row(row)));
+      }
+      costs[i].resize(block_size);
+      selectivities[i].resize(block_size);
+      catalog.PredictCostMicrosBatch(query.predicates[i]->udf(), points[i],
+                                     costs[i]);
+      catalog.PredictSelectivityBatch(query.predicates[i]->udf(), points[i],
+                                      selectivities[i]);
+    }
+    // Evaluation phase: same per-row ranking and short-circuiting as
+    // ExecuteQueryAdaptive, reading the precomputed probes.
+    for (int64_t row = block_begin; row < block_end; ++row) {
+      const size_t k = static_cast<size_t>(row - block_begin);
+      const auto row_values = query.table->Row(row);
+      for (size_t i = 0; i < n; ++i) {
+        const double cost = costs[i][k];
+        rank[i] = cost > 0.0 ? (selectivities[i][k] - 1.0) / cost
+                             : -std::numeric_limits<double>::infinity();
+      }
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&rank](int a, int b) {
+        return rank[static_cast<size_t>(a)] < rank[static_cast<size_t>(b)];
+      });
+
+      bool row_passes = true;
+      for (int index : order) {
+        const UdfPredicate* predicate =
+            query.predicates[static_cast<size_t>(index)];
+        const UdfPredicate::Outcome outcome = predicate->Evaluate(row_values);
+        ++stats.evaluations_per_predicate[static_cast<size_t>(index)];
+        stats.actual_cost_micros += outcome.cost.NominalMicros();
+        catalog.RecordExecution(predicate->udf(), outcome.model_point,
+                                outcome.cost, outcome.passed);
+        if (!outcome.passed) {
+          row_passes = false;
+          break;
+        }
+      }
+      if (row_passes) ++stats.rows_out;
+    }
+  }
+  RecordExecObs(stats, obs_t0, obs_on);
+  return stats;
+}
+
 PlannedExecution PlanAndExecute(const Query& query, CostCatalog& catalog,
                                 int sample_rows) {
   PlannedExecution result;

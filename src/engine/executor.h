@@ -49,6 +49,19 @@ ExecutionStats ExecuteQueryConcurrent(const Query& query, const Plan& plan,
 // per-row ranks come from its models, and feedback flows back into them.
 ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog);
 
+// Block-batched form of ExecuteQueryAdaptive: rows are processed in blocks
+// of `block_rows`, and each block's model probes go through the catalog's
+// batched predictors (one batch call per predicate per block instead of two
+// virtual dispatches per predicate per row). A block's probes are taken
+// before its rows execute, so within a block the per-row predicate order
+// ignores that block's own feedback — the ranks can differ from
+// ExecuteQueryAdaptive's mid-block. Query RESULTS are identical regardless
+// (pass/fail depends only on the row): rows_in and rows_out always match
+// the unbatched variant; only evaluation counts and cost may drift.
+ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
+                                           CostCatalog& catalog,
+                                           int block_rows = 64);
+
 // Convenience: the full loop for one query arrival — plan, execute with
 // feedback, return both.
 struct PlannedExecution {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <unordered_map>
+#include <vector>
 
 namespace mlq {
 namespace {
@@ -21,17 +22,23 @@ PredicateEstimates EstimateOver(const UdfPredicate& predicate,
   const int64_t n = table.num_rows();
   if (n == 0) return out;
   const int64_t stride = n > sample_rows ? n / sample_rows : 1;
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n / stride) + 1);
+  for (int64_t row = 0; row < n; row += stride) {
+    points.push_back(predicate.ModelPointFor(table.Row(row)));
+  }
+  std::vector<double> costs(points.size());
+  std::vector<double> selectivities(points.size());
+  catalog.PredictCostMicrosBatch(predicate.udf(), points, costs);
+  catalog.PredictSelectivityBatch(predicate.udf(), points, selectivities);
   double cost = 0.0;
   double selectivity = 0.0;
-  int64_t samples = 0;
-  for (int64_t row = 0; row < n; row += stride) {
-    const Point point = predicate.ModelPointFor(table.Row(row));
-    cost += catalog.PredictCostMicros(predicate.udf(), point);
-    selectivity += catalog.PredictSelectivity(predicate.udf(), point);
-    ++samples;
+  for (size_t s = 0; s < points.size(); ++s) {
+    cost += costs[s];
+    selectivity += selectivities[s];
   }
-  out.cost_micros = cost / static_cast<double>(samples);
-  out.selectivity = selectivity / static_cast<double>(samples);
+  out.cost_micros = cost / static_cast<double>(points.size());
+  out.selectivity = selectivity / static_cast<double>(points.size());
   return out;
 }
 

@@ -45,24 +45,33 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
 
   const auto estimate_one = [&query, &catalog, &plan, n, stride](size_t i) {
     const UdfPredicate* predicate = query.predicates[i];
-    double cost_sum = 0.0;
-    double selectivity_sum = 0.0;
-    int64_t samples = 0;
+    // Materialize the sample's model points, then cost them in one batched
+    // catalog call per estimator: the models amortize locking and dispatch
+    // over the whole sample instead of paying them per row.
+    std::vector<Point> points;
+    points.reserve(static_cast<size_t>(n / stride) + 1);
     for (int64_t row = 0; row < n; row += stride) {
-      const Point point = predicate->ModelPointFor(query.table->Row(row));
-      cost_sum += catalog.PredictCostMicros(predicate->udf(), point);
-      selectivity_sum += catalog.PredictSelectivity(predicate->udf(), point);
-      ++samples;
+      points.push_back(predicate->ModelPointFor(query.table->Row(row)));
     }
     PlannedPredicate& planned = plan.estimates[i];
     planned.predicate = predicate;
-    if (samples > 0) {
-      planned.estimated_cost_micros = cost_sum / static_cast<double>(samples);
-      planned.estimated_selectivity =
-          selectivity_sum / static_cast<double>(samples);
-    } else {
+    if (points.empty()) {
       planned.estimated_selectivity = 0.5;
+      return;
     }
+    std::vector<double> costs(points.size());
+    std::vector<double> selectivities(points.size());
+    catalog.PredictCostMicrosBatch(predicate->udf(), points, costs);
+    catalog.PredictSelectivityBatch(predicate->udf(), points, selectivities);
+    double cost_sum = 0.0;
+    double selectivity_sum = 0.0;
+    for (size_t s = 0; s < points.size(); ++s) {
+      cost_sum += costs[s];
+      selectivity_sum += selectivities[s];
+    }
+    const double samples = static_cast<double>(points.size());
+    planned.estimated_cost_micros = cost_sum / samples;
+    planned.estimated_selectivity = selectivity_sum / samples;
   };
 
   // Concurrency-mode switch: predicates are estimated in parallel only

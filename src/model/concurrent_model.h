@@ -34,6 +34,14 @@ class ConcurrentCostModel : public CostModel {
     return inner_->PredictDetailed(point);
   }
 
+  // One lock acquisition for the whole batch: under contention this is the
+  // main benefit of batching through the decorator.
+  void PredictBatch(std::span<const Point> points,
+                    std::span<Prediction> out) const override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    inner_->PredictBatch(points, out);
+  }
+
   void Observe(const Point& point, double actual_cost) override {
     std::lock_guard<std::mutex> lock(mutex_, LockTimed());
     inner_->Observe(point, actual_cost);

@@ -2,6 +2,7 @@
 #define MLQ_MODEL_COST_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "common/geometry.h"
@@ -47,6 +48,18 @@ class CostModel {
     Prediction p;
     p.value = Predict(point);
     return p;
+  }
+
+  // Batched prediction: out[i] = PredictDetailed(points[i]), with
+  // `out.size() == points.size()`. Models that can amortize per-call costs
+  // over the batch (lock acquisition, shard dispatch, cache-resident tree
+  // descents) override this; the default is a plain loop, so batching is
+  // never worse than point-at-a-time.
+  virtual void PredictBatch(std::span<const Point> points,
+                            std::span<Prediction> out) const {
+    for (size_t i = 0; i < points.size(); ++i) {
+      out[i] = PredictDetailed(points[i]);
+    }
   }
 
   // Query feedback: the actual cost observed at `point`. Static models

@@ -26,6 +26,12 @@ class MlqModel : public CostModel {
     return tree_.Predict(point);
   }
 
+  // Batched descent straight into the pooled tree.
+  void PredictBatch(std::span<const Point> points,
+                    std::span<Prediction> out) const override {
+    tree_.PredictBatch(points, out);
+  }
+
   const MemoryLimitedQuadtree& tree() const { return tree_; }
 
  private:

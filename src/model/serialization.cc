@@ -9,7 +9,18 @@ namespace mlq {
 namespace {
 
 constexpr uint32_t kMagic = 0x4d4c5154;  // "MLQT"
-constexpr uint16_t kVersion = 1;
+// Version history:
+//   1 — recursive pre-order records, one per node:
+//       [sum f64][count i64][sum_squares f64][num_children u8]
+//       ([quadrant u8][child record])*
+//   2 — flat pooled layout: [num_nodes u32] then one record per node in
+//       pre-order: [parent_record u32][quadrant u8][sum f64][count i64]
+//       [sum_squares f64], parent_record = 0xFFFFFFFF for the root.
+//       Mirrors the in-memory arena (32-bit links, no recursion) and lets
+//       the reader Reserve() the exact node count before rebuilding.
+// Readers accept both; writers emit kVersion.
+constexpr uint16_t kVersion = 2;
+constexpr uint32_t kNoParentRecord = 0xFFFFFFFFu;
 
 // --- little write/read cursor helpers --------------------------------------
 
@@ -43,62 +54,18 @@ class Reader {
   }
 
   bool AtEnd() const { return offset_ == in_.size(); }
+  size_t Remaining() const { return in_.size() - offset_; }
 
  private:
   const std::vector<uint8_t>& in_;
   size_t offset_ = 0;
 };
 
-void WriteNode(const QuadtreeNode& node, Writer& writer) {
-  writer.Put<double>(node.summary().sum);
-  writer.Put<int64_t>(node.summary().count);
-  writer.Put<double>(node.summary().sum_squares);
-  writer.Put<uint8_t>(static_cast<uint8_t>(node.num_children()));
-  for (const auto& entry : node.children()) {
-    writer.Put<uint8_t>(entry.index);
-    WriteNode(*entry.node, writer);
-  }
-}
-
-// Reads one node into `node` (already created); creates children
-// recursively. Returns false on malformed input.
-bool ReadNode(Reader& reader, QuadtreeNode* node, int dims, int max_depth,
-              int64_t* nodes_read, std::string* error) {
-  SummaryTriple summary;
-  uint8_t num_children = 0;
-  if (!reader.Get(&summary.sum) || !reader.Get(&summary.count) ||
-      !reader.Get(&summary.sum_squares) || !reader.Get(&num_children)) {
-    *error = "truncated node";
-    return false;
-  }
-  node->mutable_summary() = summary;
-  if (num_children > (1 << dims)) {
-    *error = "child count exceeds 2^d";
-    return false;
-  }
-  if (num_children > 0 && node->depth() >= max_depth) {
-    *error = "internal node at max depth";
-    return false;
-  }
-  int previous_index = -1;
-  for (int c = 0; c < num_children; ++c) {
-    uint8_t index = 0;
-    if (!reader.Get(&index)) {
-      *error = "truncated child index";
-      return false;
-    }
-    if (index >= (1 << dims) || static_cast<int>(index) <= previous_index) {
-      *error = "child index out of range or out of order";
-      return false;
-    }
-    previous_index = index;
-    QuadtreeNode* child = node->CreateChild(index);
-    ++*nodes_read;
-    if (!ReadNode(reader, child, dims, max_depth, nodes_read, error)) {
-      return false;
-    }
-  }
-  return true;
+// v2 node body: parent/quadrant are emitted by the caller.
+void WriteSummary(const SummaryTriple& summary, Writer& writer) {
+  writer.Put<double>(summary.sum);
+  writer.Put<int64_t>(summary.count);
+  writer.Put<double>(summary.sum_squares);
 }
 
 }  // namespace
@@ -121,7 +88,24 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
   for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.lo()[d]);
   for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.hi()[d]);
   writer.Put<uint8_t>(tree.compressed_once() ? 1 : 0);
-  WriteNode(tree.root(), writer);
+
+  // Flat pooled body: pre-order records with 32-bit parent-record links.
+  // Pool slot indices are renumbered to visit order so the byte stream is
+  // independent of the free-list history of the tree being saved.
+  writer.Put<uint32_t>(static_cast<uint32_t>(tree.num_nodes()));
+  std::vector<uint32_t> record_of(tree.pool().slot_count(), kNoParentRecord);
+  uint32_t next_record = 0;
+  tree.ForEachNode([&](const NodeView& node, const Box&) {
+    record_of[node.index()] = next_record++;
+    if (node.has_parent()) {
+      writer.Put<uint32_t>(record_of[node.parent().index()]);
+      writer.Put<uint8_t>(static_cast<uint8_t>(node.index_in_parent()));
+    } else {
+      writer.Put<uint32_t>(kNoParentRecord);
+      writer.Put<uint8_t>(0);
+    }
+    WriteSummary(node.summary(), writer);
+  });
   return bytes;
 }
 
@@ -147,7 +131,7 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     *err = "bad magic";
     return nullptr;
   }
-  if (version != kVersion) {
+  if (version != 1 && version != 2) {
     *err = "unsupported version";
     return nullptr;
   }
@@ -190,18 +174,133 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
   }
 
   auto tree = std::make_unique<MemoryLimitedQuadtree>(Box(lo, hi), config);
-  int64_t nodes_read = 1;  // Root exists already.
-  if (!ReadNode(reader, tree->root_.get(), dims, config.max_depth, &nodes_read,
-                err)) {
-    return nullptr;
+  NodePool& pool = tree->pool_;
+
+  if (version == 2) {
+    // Flat pooled layout. Records are renumbered to pre-order on write, and
+    // block allocation places nodes wherever their parent's child block
+    // lives, so the reader keeps a record -> pool-slot mapping.
+    uint32_t num_nodes = 0;
+    if (!reader.Get(&num_nodes)) {
+      *err = "truncated node count";
+      return nullptr;
+    }
+    if (num_nodes < 1) {
+      *err = "node count must include the root";
+      return nullptr;
+    }
+    // Each record is at least 29 bytes; a corrupted count larger than the
+    // payload could possibly justify must not drive a giant Reserve.
+    constexpr size_t kRecordBytes =
+        sizeof(uint32_t) + sizeof(uint8_t) + 2 * sizeof(double) +
+        sizeof(int64_t);
+    if (num_nodes > reader.Remaining() / kRecordBytes) {
+      *err = "node count exceeds payload";
+      return nullptr;
+    }
+    pool.Reserve(num_nodes);
+    std::vector<NodeIndex> slot_of_record;
+    slot_of_record.reserve(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+      uint32_t parent_record = 0;
+      uint8_t quadrant = 0;
+      SummaryTriple summary;
+      if (!reader.Get(&parent_record) || !reader.Get(&quadrant) ||
+          !reader.Get(&summary.sum) || !reader.Get(&summary.count) ||
+          !reader.Get(&summary.sum_squares)) {
+        *err = "truncated node record";
+        return nullptr;
+      }
+      if (i == 0) {
+        if (parent_record != kNoParentRecord) {
+          *err = "first record is not a root";
+          return nullptr;
+        }
+        pool.node(tree->root_).summary = summary;
+        slot_of_record.push_back(tree->root_);
+        continue;
+      }
+      if (parent_record >= i) {
+        *err = "parent record out of order";
+        return nullptr;
+      }
+      const NodeIndex parent = slot_of_record[parent_record];
+      if (quadrant >= (1 << dims)) {
+        *err = "child quadrant out of range";
+        return nullptr;
+      }
+      if (pool.node(parent).depth >= config.max_depth) {
+        *err = "internal node at max depth";
+        return nullptr;
+      }
+      if (pool.Child(parent, quadrant) != kInvalidNodeIndex) {
+        *err = "duplicate child quadrant";
+        return nullptr;
+      }
+      const NodeIndex child = pool.CreateChild(parent, quadrant);
+      pool.node(child).summary = summary;
+      slot_of_record.push_back(child);
+    }
+  } else {
+    // v1: recursive pre-order with per-node child counts. Kept so catalogs
+    // saved before the pooled layout still load.
+    struct Frame {
+      NodeIndex node;
+      int children_left;
+      int previous_quadrant;
+    };
+    std::vector<Frame> stack;
+    auto read_into = [&](NodeIndex node, std::string* e) -> bool {
+      SummaryTriple summary;
+      uint8_t num_children = 0;
+      if (!reader.Get(&summary.sum) || !reader.Get(&summary.count) ||
+          !reader.Get(&summary.sum_squares) || !reader.Get(&num_children)) {
+        *e = "truncated node";
+        return false;
+      }
+      pool.node(node).summary = summary;
+      if (num_children > (1 << dims)) {
+        *e = "child count exceeds 2^d";
+        return false;
+      }
+      if (num_children > 0 && pool.node(node).depth >= config.max_depth) {
+        *e = "internal node at max depth";
+        return false;
+      }
+      stack.push_back(Frame{node, num_children, -1});
+      return true;
+    };
+    if (!read_into(tree->root_, err)) return nullptr;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.children_left == 0) {
+        stack.pop_back();
+        continue;
+      }
+      --top.children_left;
+      uint8_t quadrant = 0;
+      if (!reader.Get(&quadrant)) {
+        *err = "truncated child index";
+        return nullptr;
+      }
+      if (quadrant >= (1 << dims) ||
+          static_cast<int>(quadrant) <= top.previous_quadrant) {
+        *err = "child index out of range or out of order";
+        return nullptr;
+      }
+      top.previous_quadrant = quadrant;
+      const NodeIndex child = pool.CreateChild(top.node, quadrant);
+      // CreateChild may grow the pool; `top` could dangle — re-read nothing
+      // from it until the next loop iteration re-fetches stack.back().
+      if (!read_into(child, err)) return nullptr;
+    }
   }
+
   if (!reader.AtEnd()) {
     *err = "trailing bytes";
     return nullptr;
   }
-  // Rebuild accounting: the constructor charged the root; charge the rest.
-  tree->num_nodes_ = nodes_read;
-  tree->budget_.Charge((nodes_read - 1) * kNonRootNodeBytes);
+  tree->SyncBudget();
   if (tree->budget_.used() > tree->budget_.limit()) {
     *err = "tree larger than its own memory budget";
     return nullptr;

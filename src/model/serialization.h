@@ -15,17 +15,23 @@ namespace mlq {
 // An ORDBMS keeps its cost models in the system catalog so they survive
 // restarts; MLQ is explicitly designed so its serialized form is what the
 // memory budget is charged against. This module provides a compact,
-// versioned, byte-oriented encoding of a memory-limited quadtree:
+// versioned, byte-oriented encoding of a memory-limited quadtree (current
+// format, version 2 — a flat image of the node pool):
 //
 //   [magic u32][version u16][dims u8][strategy u8]
 //   [max_depth i32][alpha f64][gamma f64][beta i64][budget i64]
 //   [space lo f64 x dims][space hi f64 x dims]
 //   [compressed_once u8]
-//   node*: pre-order; each node is
-//     [sum f64][count i64][sum_squares f64][num_children u8]
-//     ([child_index u8] <recursive child>)*
+//   [num_nodes u32]
+//   node record x num_nodes, pre-order:
+//     [parent_record u32 (0xFFFFFFFF for the root)][quadrant u8]
+//     [sum f64][count i64][sum_squares f64]
 //
-// The encoding is self-delimiting; no pointers are stored.
+// Records reference their parent by record number, mirroring the 32-bit
+// arena indices of the in-memory NodePool; the reader reserves the exact
+// node count up front and rebuilds without recursion. Version 1 (recursive
+// per-node child counts) is still read for old catalogs; unknown versions
+// are an explicit "unsupported version" error. No pointers are stored.
 
 // Serializes the tree (structure + summaries + config) into bytes.
 std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree);

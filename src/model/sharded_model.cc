@@ -1,6 +1,7 @@
 #include "model/sharded_model.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 
 #include "obs/obs.h"
@@ -118,6 +119,39 @@ Prediction ShardedCostModel::PredictDetailed(const Point& point) const {
   if (options_.drain_on_predict) DrainLocked(shard);
   ++shard.predictions;
   return shard.model.PredictDetailed(point);
+}
+
+void ShardedCostModel::PredictBatch(std::span<const Point> points,
+                                    std::span<Prediction> out) const {
+  assert(points.size() == out.size());
+  // Bucket positions by shard so each shard is visited once. Batches are
+  // planner-sized (tens to a few hundred points); two scratch vectors per
+  // call beat taking a shard lock per point.
+  std::vector<std::vector<uint32_t>> buckets(shards_.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    buckets[static_cast<size_t>(ShardOf(points[i]))].push_back(
+        static_cast<uint32_t>(i));
+  }
+  const bool obs_on = obs::Enabled();
+  std::vector<Point> gathered;
+  std::vector<Prediction> results;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<uint32_t>& bucket = buckets[s];
+    if (bucket.empty()) continue;
+    gathered.clear();
+    gathered.reserve(bucket.size());
+    for (uint32_t i : bucket) gathered.push_back(points[i]);
+    results.resize(bucket.size());
+
+    Shard& shard = *shards_[s];
+    const int64_t wait_t0 = obs_on ? obs::NowNs() : 0;
+    std::lock_guard<std::mutex> lock(shard.model_mutex);
+    if (obs_on) obs::Core().lock_wait_ns.Record(obs::NowNs() - wait_t0);
+    if (options_.drain_on_predict) DrainLocked(shard);
+    shard.predictions += static_cast<int64_t>(bucket.size());
+    shard.model.PredictBatch(gathered, results);
+    for (size_t k = 0; k < bucket.size(); ++k) out[bucket[k]] = results[k];
+  }
 }
 
 void ShardedCostModel::Observe(const Point& point, double actual_cost) {

@@ -94,6 +94,12 @@ class ShardedCostModel : public CostModel {
   std::string_view name() const override { return name_; }
   double Predict(const Point& point) const override;
   Prediction PredictDetailed(const Point& point) const override;
+  // Buckets the batch by shard, then serves each shard's points under one
+  // lock acquisition (and one drain, when drain_on_predict is set) via the
+  // tree's batched descent. Results land at their original positions, so
+  // the output is element-wise identical to a PredictDetailed loop.
+  void PredictBatch(std::span<const Point> points,
+                    std::span<Prediction> out) const override;
   void Observe(const Point& point, double actual_cost) override;
   int64_t MemoryBytes() const override;
   bool IsSelfTuning() const override { return true; }

@@ -253,6 +253,8 @@ CoreMetrics& Core() {
   MetricsRegistry& r = MetricsRegistry::Global();
   static CoreMetrics* core = new CoreMetrics{
       r.GetCounter("mlq_predicts_total", "Quadtree point predictions served"),
+      r.GetCounter("mlq_predict_batches_total",
+                   "Batched prediction calls served"),
       r.GetCounter("mlq_inserts_total", "Cost observations inserted"),
       r.GetCounter("mlq_partitions_total", "Quadtree nodes materialized"),
       r.GetCounter("mlq_compressions_total", "Compression passes run"),
@@ -271,6 +273,8 @@ CoreMetrics& Core() {
       r.GetCounter("mlq_plan_audits_total", "LEO-style plan audits run"),
       r.GetCounter("mlq_query_execs_total", "Queries executed"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
+      r.GetHistogram("mlq_predict_batch_latency_ns",
+                     "Whole-batch predict latency"),
       r.GetHistogram("mlq_insert_latency_ns", "Insert latency"),
       r.GetHistogram("mlq_compress_latency_ns", "Compression pass latency"),
       r.GetHistogram("mlq_plan_latency_ns", "Query planning latency"),

@@ -145,6 +145,7 @@ class MetricsRegistry {
 // (docs/observability.md).
 struct CoreMetrics {
   Counter& predicts;              // mlq_predicts_total
+  Counter& predict_batches;       // mlq_predict_batches_total
   Counter& inserts;               // mlq_inserts_total
   Counter& partitions;            // mlq_partitions_total (nodes materialized)
   Counter& compressions;          // mlq_compressions_total
@@ -159,6 +160,7 @@ struct CoreMetrics {
   Counter& query_execs;           // mlq_query_execs_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
+  LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
   LatencyHistogram& insert_ns;     // mlq_insert_latency_ns
   LatencyHistogram& compress_ns;   // mlq_compress_latency_ns
   LatencyHistogram& plan_ns;       // mlq_plan_latency_ns

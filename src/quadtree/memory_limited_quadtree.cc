@@ -11,72 +11,141 @@
 namespace mlq {
 namespace {
 
-// Clamps `point` onto the closed box `space`, coordinate by coordinate.
-Point ClampToSpace(const Point& point, const Box& space) {
-  Point p = point;
+// Clamps `point` onto the closed box `space`, coordinate by coordinate,
+// writing into a raw coordinate array (the descent below works on raw
+// doubles to avoid Point/Box copies per level).
+void ClampToSpace(const Point& point, const Box& space, double* out) {
   for (int i = 0; i < space.dims(); ++i) {
-    if (p[i] < space.lo()[i]) p[i] = space.lo()[i];
-    if (p[i] > space.hi()[i]) p[i] = space.hi()[i];
+    double v = point[i];
+    if (v < space.lo()[i]) v = space.lo()[i];
+    if (v > space.hi()[i]) v = space.hi()[i];
+    out[i] = v;
   }
-  return p;
 }
 
 }  // namespace
 
 MemoryLimitedQuadtree::MemoryLimitedQuadtree(const Box& space,
                                              const MlqConfig& config)
-    : space_(space), config_(config), budget_(config.memory_limit_bytes) {
+    : space_(space),
+      config_(config),
+      budget_(config.memory_limit_bytes),
+      pool_(1 << space.dims()) {
   assert(space.dims() >= 1 && space.dims() <= kMaxDims);
   assert(config.max_depth >= 0);
   assert(config.memory_limit_bytes >= kNodeBaseBytes);
-  root_ = std::make_unique<QuadtreeNode>(nullptr, 0, 0);
-  budget_.Charge(NodeCost(/*is_root=*/true));
-  num_nodes_ = 1;
+  // Pre-size the arena for the budget ceiling. Child blocks hold vacant
+  // slots for unmaterialized quadrants, so the slot demand can exceed the
+  // live-node ceiling; reserving the node ceiling covers the common case
+  // and the vector's growth doubling absorbs the rest.
+  const int64_t max_nodes =
+      1 + (config.memory_limit_bytes - kNodeBaseBytes) / kNonRootNodeBytes;
+  pool_.Reserve(static_cast<size_t>(std::min<int64_t>(max_nodes, 1 << 20)));
+  root_ = pool_.AllocateRoot();
+  SyncBudget();
+  counters_.nodes_created = 0;  // The root is not counted as "created".
 }
 
 Prediction MemoryLimitedQuadtree::Predict(const Point& point) const {
   return PredictWithBeta(point, config_.beta);
 }
 
-Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
+Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
                                                   int64_t beta) const {
-  obs::ScopedLatency latency(obs::Core().predict_ns, obs::Core().predicts,
-                             obs::TraceEventType::kPredict);
-  const Point p = ClampToSpace(point, space_);
-  const QuadtreeNode* cn = root_.get();
+  const int dims = space_.dims();
+  double p[kMaxDims];
+  ClampToSpace(point, space_, p);
+
+  const PooledNode* nodes = pool_.raw();
+  const PooledNode* cn = &nodes[root_];
   Prediction out;
-  if (cn->summary().count < beta) {
+  if (cn->summary.count < beta) {
     // Not even the root qualifies; fall back to whatever average exists.
-    out.value = cn->summary().Avg();
-    out.stddev = cn->summary().count > 0
-                     ? std::sqrt(cn->summary().Sse() /
-                                 static_cast<double>(cn->summary().count))
+    out.value = cn->summary.Avg();
+    out.stddev = cn->summary.count > 0
+                     ? std::sqrt(cn->summary.Sse() /
+                                 static_cast<double>(cn->summary.count))
                      : 0.0;
-    out.count = cn->summary().count;
+    out.count = cn->summary.count;
     out.depth = 0;
     out.reliable = false;
-    latency.set_args(out.value, out.depth);
     return out;
   }
   // Counts shrink monotonically along a root-to-leaf path (summaries are
   // cumulative), so the lowest node with count >= beta is found by walking
-  // down until the next child is absent or under-populated.
-  Box box = space_;
-  while (true) {
-    const int ci = box.ChildIndexOf(p);
-    const QuadtreeNode* child = cn->Child(ci);
-    if (child == nullptr || child->summary().count < beta) break;
-    cn = child;
-    box = box.Child(ci);
+  // down until the next child is absent or under-populated. The block
+  // bounds are maintained in place — same arithmetic as Box::ChildIndexOf /
+  // Box::Child, without materializing a Box per level.
+  double lo[kMaxDims];
+  double hi[kMaxDims];
+  double mid[kMaxDims];
+  for (int d = 0; d < dims; ++d) {
+    lo[d] = space_.lo()[d];
+    hi[d] = space_.hi()[d];
   }
-  out.value = cn->summary().Avg();
+  while (true) {
+    int ci = 0;
+    for (int d = 0; d < dims; ++d) {
+      mid[d] = 0.5 * (lo[d] + hi[d]);
+      if (p[d] >= mid[d]) ci |= (1 << d);
+    }
+    // Block layout: the child for quadrant ci, when present, is exactly at
+    // slot first_child + ci — a single indexed load, no sibling scan.
+    const NodeIndex base = cn->first_child;
+    if (base == kInvalidNodeIndex) break;
+    const PooledNode* child = &nodes[base + static_cast<NodeIndex>(ci)];
+    if (child->index_in_parent != ci || child->summary.count < beta) break;
+    cn = child;
+    for (int d = 0; d < dims; ++d) {
+      if ((ci >> d) & 1) {
+        lo[d] = mid[d];
+      } else {
+        hi[d] = mid[d];
+      }
+    }
+  }
+  out.value = cn->summary.Avg();
   out.stddev =
-      std::sqrt(cn->summary().Sse() / static_cast<double>(cn->summary().count));
-  out.count = cn->summary().count;
-  out.depth = cn->depth();
+      std::sqrt(cn->summary.Sse() / static_cast<double>(cn->summary.count));
+  out.count = cn->summary.count;
+  out.depth = cn->depth;
   out.reliable = true;
+  return out;
+}
+
+Prediction MemoryLimitedQuadtree::PredictWithBeta(const Point& point,
+                                                  int64_t beta) const {
+  obs::ScopedLatency latency(obs::Core().predict_ns, obs::Core().predicts,
+                             obs::TraceEventType::kPredict);
+  const Prediction out = PredictInternal(point, beta);
   latency.set_args(out.value, out.depth);
   return out;
+}
+
+void MemoryLimitedQuadtree::PredictBatch(std::span<const Point> points,
+                                         std::span<Prediction> out) const {
+  PredictBatchWithBeta(points, out, config_.beta);
+}
+
+void MemoryLimitedQuadtree::PredictBatchWithBeta(std::span<const Point> points,
+                                                 std::span<Prediction> out,
+                                                 int64_t beta) const {
+  assert(points.size() == out.size());
+  const bool obs_on = obs::Enabled();
+  const int64_t t0 = obs_on ? obs::NowNs() : 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    out[i] = PredictInternal(points[i], beta);
+  }
+  if (obs_on && !points.empty()) {
+    obs::CoreMetrics& core = obs::Core();
+    core.predicts.Inc(static_cast<int64_t>(points.size()));
+    core.predict_batches.Inc();
+    const int64_t dur = obs::NowNs() - t0;
+    core.predict_batch_ns.Record(dur);
+    MLQ_TRACE_EVENT(obs::TraceEventType::kPredict, t0, dur,
+                    static_cast<double>(points.size()),
+                    out[0].value);
+  }
 }
 
 double MemoryLimitedQuadtree::CurrentSseThreshold() const {
@@ -85,7 +154,7 @@ double MemoryLimitedQuadtree::CurrentSseThreshold() const {
   // has established how much cost variation the space holds (Section 4.4);
   // before that it partitions eagerly.
   if (!compressed_once_) return 0.0;
-  return config_.alpha * root_->summary().Sse();
+  return config_.alpha * pool_.node(root_).summary.Sse();
 }
 
 void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
@@ -100,13 +169,13 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
     // the *upper* half of the doubled space; everywhere else the lower half.
     Point new_lo(space_.dims());
     Point new_hi(space_.dims());
-    int old_root_index = 0;
+    int old_root_quadrant = 0;
     for (int d = 0; d < space_.dims(); ++d) {
       const double extent = space_.Extent(d);
       if (point[d] < space_.lo()[d]) {
         new_lo[d] = space_.lo()[d] - extent;
         new_hi[d] = space_.hi()[d];
-        old_root_index |= (1 << d);
+        old_root_quadrant |= (1 << d);
       } else {
         new_lo[d] = space_.lo()[d];
         new_hi[d] = space_.hi()[d] + extent;
@@ -116,7 +185,7 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
     // A tree that has never absorbed an observation just grows its space:
     // demoting the empty root to a child slot would create a node with no
     // data points, which every non-root node must have.
-    if (root_->IsLeaf() && root_->summary().count == 0) {
+    if (pool_.node(root_).IsLeaf() && pool_.node(root_).summary.count == 0) {
       space_ = Box(new_lo, new_hi);
       ++config_.max_depth;  // Preserve the finest block resolution.
       continue;
@@ -129,15 +198,40 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
     // Even if compression could not free enough, expansion must proceed —
     // the space has to cover the data. The budget check above keeps this
     // within limits in all but pathological tiny-budget cases.
-    budget_.Charge(extra);
 
-    auto new_root = std::make_unique<QuadtreeNode>(nullptr, 0, 0);
-    new_root->mutable_summary() = root_->summary();
-    new_root->AdoptChild(old_root_index, std::move(root_));
-    root_ = std::move(new_root);
+    const NodeIndex old_root = root_;
+    const NodeIndex new_root = pool_.AllocateRoot();
+    {
+      // AllocateRoot may grow the arena: fetch references afterwards.
+      PooledNode& new_root_node = pool_.node(new_root);
+      const PooledNode& old_root_node = pool_.node(old_root);
+      new_root_node.summary = old_root_node.summary;
+      new_root_node.last_touch = old_root_node.last_touch;
+    }
+    // Move the old root into the new root's child block (this relocates it
+    // to slot first_child + quadrant and recycles its old block), then shift
+    // the whole demoted subtree one level down (iterative pre-order; the
+    // pool makes an explicit stack natural).
+    const NodeIndex demoted =
+        pool_.AdoptChild(new_root, old_root_quadrant, old_root);
+    const int fanout = pool_.fanout();
+    std::vector<NodeIndex> stack{demoted};
+    while (!stack.empty()) {
+      const NodeIndex index = stack.back();
+      stack.pop_back();
+      PooledNode& node = pool_.node(index);
+      assert(node.depth < 0xFFFF);
+      ++node.depth;
+      if (node.first_child == kInvalidNodeIndex) continue;
+      for (int q = 0; q < fanout; ++q) {
+        const NodeIndex c = node.first_child + static_cast<NodeIndex>(q);
+        if (pool_.node(c).index_in_parent == q) stack.push_back(c);
+      }
+    }
+    root_ = new_root;
     space_ = Box(new_lo, new_hi);
     ++config_.max_depth;  // Preserve the finest block resolution.
-    ++num_nodes_;
+    SyncBudget();
     ++counters_.nodes_created;
   }
 }
@@ -158,34 +252,62 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
                              obs::TraceEventType::kInsert);
 
   if (config_.auto_expand) ExpandToInclude(point);
-  const Point p = ClampToSpace(point, space_);
+  const int dims = space_.dims();
+  double p[kMaxDims];
+  ClampToSpace(point, space_, p);
   const double th_sse = CurrentSseThreshold();
 
-  std::vector<const QuadtreeNode*> path;
+  std::vector<NodeIndex> path;
   path.reserve(static_cast<size_t>(config_.max_depth) + 1);
 
-  QuadtreeNode* cn = root_.get();
-  Box box = space_;
-  cn->mutable_summary().Add(value);
-  cn->set_last_touch(counters_.insertions);
+  double lo[kMaxDims];
+  double hi[kMaxDims];
+  double mid[kMaxDims];
+  for (int d = 0; d < dims; ++d) {
+    lo[d] = space_.lo()[d];
+    hi[d] = space_.hi()[d];
+  }
+
+  NodeIndex cn = root_;
+  {
+    PooledNode& root_node = pool_.node(cn);
+    root_node.summary.Add(value);
+    root_node.last_touch = counters_.insertions;
+  }
   path.push_back(cn);
 
   // Fig. 4: descend while the current node wants partitioning (SSE above
   // threshold and below max depth) or is already internal; create missing
-  // children along the way.
-  while ((cn->summary().Sse() >= th_sse && cn->depth() < config_.max_depth) ||
-         !cn->IsLeaf()) {
-    const int ci = box.ChildIndexOf(p);
-    QuadtreeNode* child = cn->Child(ci);
-    if (child == nullptr) {
-      if (cn->depth() >= config_.max_depth) break;  // Never exceed lambda.
+  // children along the way. References into the pool are re-fetched each
+  // round: TryCreateChild can compress (freeing slots) or allocate.
+  while (true) {
+    const PooledNode& node = pool_.node(cn);
+    if (!((node.summary.Sse() >= th_sse && node.depth < config_.max_depth) ||
+          !node.IsLeaf())) {
+      break;
+    }
+    int ci = 0;
+    for (int d = 0; d < dims; ++d) {
+      mid[d] = 0.5 * (lo[d] + hi[d]);
+      if (p[d] >= mid[d]) ci |= (1 << d);
+    }
+    NodeIndex child = pool_.Child(cn, ci);
+    if (child == kInvalidNodeIndex) {
+      if (node.depth >= config_.max_depth) break;  // Never exceed lambda.
       child = TryCreateChild(cn, ci, path);
-      if (child == nullptr) break;  // Budget exhausted even after compression.
+      if (child == kInvalidNodeIndex) break;  // Budget exhausted even after compression.
     }
     cn = child;
-    box = box.Child(ci);
-    cn->mutable_summary().Add(value);
-    cn->set_last_touch(counters_.insertions);
+    for (int d = 0; d < dims; ++d) {
+      if ((ci >> d) & 1) {
+        lo[d] = mid[d];
+      } else {
+        hi[d] = mid[d];
+      }
+    }
+    PooledNode& child_node = pool_.node(cn);
+    child_node.summary.Add(value);
+    child_node.last_touch = counters_.insertions;
     path.push_back(cn);
   }
 
@@ -195,37 +317,37 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
   latency.set_args(value, static_cast<double>(path.size()));
 }
 
-QuadtreeNode* MemoryLimitedQuadtree::TryCreateChild(
-    QuadtreeNode* parent, int index,
-    const std::vector<const QuadtreeNode*>& protected_path) {
-  const int64_t cost = NodeCost(/*is_root=*/false);
+NodeIndex MemoryLimitedQuadtree::TryCreateChild(
+    NodeIndex parent, int quadrant,
+    const std::vector<NodeIndex>& protected_path) {
+  const int64_t cost = kNonRootNodeBytes;
   if (!budget_.CanCharge(cost)) {
     CompressInternal(protected_path);
-    if (!budget_.CanCharge(cost)) return nullptr;
+    if (!budget_.CanCharge(cost)) return kInvalidNodeIndex;
   }
-  budget_.Charge(cost);
-  ++num_nodes_;
+  const NodeIndex child = pool_.CreateChild(parent, quadrant);
+  SyncBudget();
   ++counters_.nodes_created;
   if (obs::Enabled()) {
     obs::Core().partitions.Inc();
     MLQ_TRACE_EVENT(obs::TraceEventType::kPartition, obs::NowNs(), 0,
-                    static_cast<double>(parent->depth() + 1),
-                    static_cast<double>(index));
+                    static_cast<double>(pool_.node(parent).depth + 1),
+                    static_cast<double>(quadrant));
   }
-  return parent->CreateChild(index);
+  return child;
 }
 
 void MemoryLimitedQuadtree::Compress() { CompressInternal({}); }
 
 void MemoryLimitedQuadtree::CompressInternal(
-    const std::vector<const QuadtreeNode*>& protected_path) {
+    const std::vector<NodeIndex>& protected_path) {
   WallTimer timer;
   const bool obs_on = obs::Enabled();
   const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
   ++counters_.compressions;
   compressed_once_ = true;
 
-  auto is_protected = [&protected_path](const QuadtreeNode* n) {
+  auto is_protected = [&protected_path](NodeIndex n) {
     return std::find(protected_path.begin(), protected_path.end(), n) !=
            protected_path.end();
   };
@@ -235,28 +357,34 @@ void MemoryLimitedQuadtree::CompressInternal(
   // node's summary intact — so entries are never stale. With the optional
   // recency extension the key is SSEG damped by the node's idle age.
   struct Entry {
-    double sseg;
-    QuadtreeNode* node;
+    double key;
+    NodeIndex node;
   };
-  auto cmp = [](const Entry& a, const Entry& b) { return a.sseg > b.sseg; };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.key > b.key; };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
 
   // The eviction key: smaller evicts first. kSseg is Eq. 9; the ablation
-  // policies replace it. Random uses a per-pass hash of the node address so
-  // the PQ machinery is identical across policies.
-  uint64_t random_salt = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(
-                             counters_.compressions);
-  auto eviction_key = [this, random_salt](const QuadtreeNode* node) {
+  // policies replace it. Random hashes the node's pool slot with a per-pass
+  // salt — slot indices are stable and reproducible across runs, so the
+  // random policy is now deterministic for a fixed insertion sequence
+  // (addresses, the old hash input, were not).
+  const uint64_t random_salt =
+      0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(counters_.compressions);
+  auto eviction_key = [this, random_salt](NodeIndex index) {
+    const PooledNode& node = pool_.node(index);
     double key = 0.0;
     switch (config_.eviction_policy) {
-      case EvictionPolicy::kSseg:
-        key = node->Sseg();
+      case EvictionPolicy::kSseg: {
+        const PooledNode& parent = pool_.node(node.parent);
+        const double diff = parent.summary.Avg() - node.summary.Avg();
+        key = static_cast<double>(node.summary.count) * diff * diff;
         break;
+      }
       case EvictionPolicy::kCountOnly:
-        key = static_cast<double>(node->summary().count);
+        key = static_cast<double>(node.summary.count);
         break;
       case EvictionPolicy::kRandom: {
-        uint64_t h = reinterpret_cast<uint64_t>(node) ^ random_salt;
+        uint64_t h = static_cast<uint64_t>(index) ^ random_salt;
         h ^= h >> 33;
         h *= 0xff51afd7ed558ccdULL;
         h ^= h >> 33;
@@ -266,22 +394,30 @@ void MemoryLimitedQuadtree::CompressInternal(
     }
     if (config_.recency_half_life > 0.0) {
       const double age =
-          static_cast<double>(counters_.insertions - node->last_touch());
+          static_cast<double>(counters_.insertions - node.last_touch);
       key *= std::exp2(-age / config_.recency_half_life);
     }
     return key;
   };
 
-  std::function<void(QuadtreeNode*)> collect = [&](QuadtreeNode* node) {
-    if (node->IsLeaf()) {
-      if (node != root_.get() && !is_protected(node)) {
-        pq.push(Entry{eviction_key(node), node});
+  // Collect all evictable leaves (iterative pre-order over the arena).
+  const int fanout = pool_.fanout();
+  std::vector<NodeIndex> stack{root_};
+  while (!stack.empty()) {
+    const NodeIndex index = stack.back();
+    stack.pop_back();
+    const PooledNode& node = pool_.node(index);
+    if (node.IsLeaf()) {
+      if (index != root_ && !is_protected(index)) {
+        pq.push(Entry{eviction_key(index), index});
       }
-      return;
+      continue;
     }
-    for (const auto& entry : node->children()) collect(entry.node.get());
-  };
-  collect(root_.get());
+    for (int q = 0; q < fanout; ++q) {
+      const NodeIndex c = node.first_child + static_cast<NodeIndex>(q);
+      if (pool_.node(c).index_in_parent == q) stack.push_back(c);
+    }
+  }
 
   // Free at least gamma * budget bytes (Fig. 6, line 2), always at least
   // one node so a triggered compression makes progress.
@@ -290,18 +426,18 @@ void MemoryLimitedQuadtree::CompressInternal(
                                            static_cast<double>(budget_.limit()))));
   int64_t freed = 0;
   while (!pq.empty() && freed < target) {
-    QuadtreeNode* leaf = pq.top().node;
+    const NodeIndex leaf = pq.top().node;
     pq.pop();
-    QuadtreeNode* parent = leaf->parent();
-    parent->RemoveChild(leaf->index_in_parent());
-    budget_.Release(NodeCost(/*is_root=*/false));
-    freed += NodeCost(/*is_root=*/false);
-    --num_nodes_;
+    const NodeIndex parent = pool_.node(leaf).parent;
+    pool_.RemoveLeafChild(parent, pool_.node(leaf).index_in_parent);
+    freed += kNonRootNodeBytes;
     ++counters_.nodes_freed;
-    if (parent != root_.get() && parent->IsLeaf() && !is_protected(parent)) {
+    if (parent != root_ && pool_.node(parent).IsLeaf() &&
+        !is_protected(parent)) {
       pq.push(Entry{eviction_key(parent), parent});
     }
   }
+  SyncBudget();
 
   counters_.compress_seconds += timer.ElapsedSeconds();
   if (obs_on) {
@@ -320,12 +456,11 @@ void MemoryLimitedQuadtree::CompressInternal(
 double MemoryLimitedQuadtree::TotalSsenc() const {
   const int full_children = 1 << space_.dims();
   double total = 0.0;
-  std::function<void(const QuadtreeNode&)> walk = [&](const QuadtreeNode& node) {
+  std::function<void(const NodeView&)> walk = [&](const NodeView& node) {
     // SSENC(b) = SSE(b) - sum_children [SSE(c) + SSEG(c)]: the squared error
     // about AVG(b) of points not summarized by any existing child.
     double ssenc = node.summary().Sse();
-    for (const auto& entry : node.children()) {
-      const QuadtreeNode& child = *entry.node;
+    for (const NodeView child : node.children()) {
       ssenc -= child.summary().Sse() + child.Sseg();
       walk(child);
     }
@@ -333,20 +468,20 @@ double MemoryLimitedQuadtree::TotalSsenc() const {
       total += std::max(0.0, ssenc);
     }
   };
-  walk(*root_);
+  walk(root());
   return total;
 }
 
 void MemoryLimitedQuadtree::ForEachNode(
-    const std::function<void(const QuadtreeNode&, const Box&)>& fn) const {
-  std::function<void(const QuadtreeNode&, const Box&)> walk =
-      [&](const QuadtreeNode& node, const Box& box) {
+    const std::function<void(const NodeView&, const Box&)>& fn) const {
+  std::function<void(const NodeView&, const Box&)> walk =
+      [&](const NodeView& node, const Box& box) {
         fn(node, box);
-        for (const auto& entry : node.children()) {
-          walk(*entry.node, box.Child(entry.index));
+        for (const NodeView child : node.children()) {
+          walk(child, box.Child(child.index_in_parent()));
         }
       };
-  walk(*root_, space_);
+  walk(root(), space_);
 }
 
 bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
@@ -357,15 +492,13 @@ bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
   char buf[256];
 
   int64_t nodes_seen = 0;
-  int64_t expected_memory = 0;
   bool ok = true;
   std::string first_error;
 
-  std::function<void(const QuadtreeNode&, const Box&)> walk =
-      [&](const QuadtreeNode& node, const Box& box) {
+  std::function<void(const NodeView&, const Box&)> walk =
+      [&](const NodeView& node, const Box& box) {
         if (!ok) return;
         ++nodes_seen;
-        expected_memory += NodeCost(node.parent() == nullptr);
         if (node.depth() > config_.max_depth) {
           std::snprintf(buf, sizeof(buf), "node at depth %d exceeds lambda %d",
                         node.depth(), config_.max_depth);
@@ -373,40 +506,46 @@ bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
           ok = false;
           return;
         }
-        if (node.parent() == nullptr && &node != root_.get()) {
+        if (!node.has_parent() && node.index() != root_) {
           first_error = "non-root node without parent";
           ok = false;
           return;
         }
         // Every node summarizes at least one data point — except the root
         // of a never-inserted-into tree.
-        if (node.summary().count <= 0 && node.parent() != nullptr) {
+        if (node.summary().count <= 0 && node.has_parent()) {
           first_error = "node with no data points at " + box.ToString();
           ok = false;
           return;
         }
         int64_t child_count_sum = 0;
+        int chain_length = 0;
         int previous_index = -1;
-        for (const auto& entry : node.children()) {
-          if (entry.index <= previous_index) {
-            first_error = "child list not sorted/unique";
+        for (const NodeView child : node.children()) {
+          ++chain_length;
+          if (child.index_in_parent() <= previous_index) {
+            first_error = "child chain not sorted/unique";
             ok = false;
             return;
           }
-          previous_index = entry.index;
-          if (entry.index >= (1 << space_.dims())) {
-            first_error = "child index out of range";
+          previous_index = child.index_in_parent();
+          if (child.index_in_parent() >= (1 << space_.dims())) {
+            first_error = "child quadrant out of range";
             ok = false;
             return;
           }
-          if (entry.node->parent() != &node ||
-              entry.node->index_in_parent() != entry.index ||
-              entry.node->depth() != node.depth() + 1) {
-            first_error = "child back-pointers inconsistent";
+          if (!child.has_parent() || child.parent().index() != node.index() ||
+              child.depth() != node.depth() + 1) {
+            first_error = "child back-links inconsistent";
             ok = false;
             return;
           }
-          child_count_sum += entry.node->summary().count;
+          child_count_sum += child.summary().count;
+        }
+        if (chain_length != node.num_children()) {
+          first_error = "num_children disagrees with sibling chain";
+          ok = false;
+          return;
         }
         if (child_count_sum > node.summary().count) {
           std::snprintf(buf, sizeof(buf),
@@ -417,23 +556,26 @@ bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
           ok = false;
           return;
         }
-        for (const auto& entry : node.children()) {
-          walk(*entry.node, box.Child(entry.index));
+        for (const NodeView child : node.children()) {
+          walk(child, box.Child(child.index_in_parent()));
         }
       };
-  walk(*root_, space_);
+  walk(root(), space_);
   if (!ok) return fail(first_error);
 
-  if (nodes_seen != num_nodes_) {
-    std::snprintf(buf, sizeof(buf), "num_nodes %lld but %lld reachable",
-                  static_cast<long long>(num_nodes_),
+  if (nodes_seen != pool_.live_count()) {
+    std::snprintf(buf, sizeof(buf), "pool live count %lld but %lld reachable",
+                  static_cast<long long>(pool_.live_count()),
                   static_cast<long long>(nodes_seen));
     return fail(buf);
   }
-  if (expected_memory != budget_.used()) {
+  if (!pool_.CheckConsistency(&first_error)) {
+    return fail("node pool inconsistent: " + first_error);
+  }
+  if (LogicalBytesFor(nodes_seen) != budget_.used()) {
     std::snprintf(buf, sizeof(buf), "memory accounting %lld != expected %lld",
                   static_cast<long long>(budget_.used()),
-                  static_cast<long long>(expected_memory));
+                  static_cast<long long>(LogicalBytesFor(nodes_seen)));
     return fail(buf);
   }
   if (budget_.used() > budget_.limit()) {

@@ -4,14 +4,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/geometry.h"
 #include "common/memory_budget.h"
 #include "common/timer.h"
+#include "quadtree/node_pool.h"
 #include "quadtree/quadtree_config.h"
-#include "quadtree/quadtree_node.h"
 
 namespace mlq {
 
@@ -48,6 +49,14 @@ struct QuadtreeCounters {
 // beta-guided prediction, eager/lazy insertion and SSEG-guided compression
 // under a strict logical memory budget.
 //
+// Nodes live in a contiguous arena (NodePool) allocated in 2^d-slot child
+// blocks: the child for quadrant q is always at slot first_child + q, so a
+// prediction descent does one indexed load per level into one
+// cache-friendly vector instead of chasing heap pointers, and compression
+// recycles whole blocks through the pool's free-list. The logical memory
+// accounting (what the budget is charged) is derived exactly from the
+// pool's live-node count.
+//
 // Thread-compatible; not thread-safe (one model instance per UDF and cost
 // kind, as the paper assumes).
 class MemoryLimitedQuadtree {
@@ -69,6 +78,16 @@ class MemoryLimitedQuadtree {
   // Same, with an explicit beta (the paper uses beta=1 for CPU and beta=10
   // for disk-IO predictions from the same tree shape).
   Prediction PredictWithBeta(const Point& point, int64_t beta) const;
+
+  // Batched prediction: out[i] = Predict(points[i]), with the per-call
+  // observability overhead amortized over the whole batch (one span, one
+  // counter bump). `out.size()` must equal `points.size()`. The pooled
+  // layout makes consecutive descents hit the same cache lines, so this is
+  // the fast path for optimizers that cost many candidate points at once.
+  void PredictBatch(std::span<const Point> points,
+                    std::span<Prediction> out) const;
+  void PredictBatchWithBeta(std::span<const Point> points,
+                            std::span<Prediction> out, int64_t beta) const;
 
   // Inserts the observed cost `value` at `point` (Fig. 4), compressing
   // first whenever materializing a new node would exceed the memory budget
@@ -96,11 +115,16 @@ class MemoryLimitedQuadtree {
 
   // --- Introspection -------------------------------------------------------
 
-  const QuadtreeNode& root() const { return *root_; }
-  int64_t num_nodes() const { return num_nodes_; }
+  NodeView root() const { return NodeView(&pool_, root_); }
+  const NodePool& pool() const { return pool_; }
+  int64_t num_nodes() const { return pool_.live_count(); }
   int64_t memory_used() const { return budget_.used(); }
   int64_t memory_limit() const { return budget_.limit(); }
   int64_t memory_peak() const { return budget_.peak(); }
+  // Bytes of process memory the node arena actually occupies (backing
+  // capacity, including free-listed slots) — the physical complement of the
+  // logical catalog-byte accounting above.
+  int64_t arena_bytes() const { return pool_.PhysicalCapacityBytes(); }
   const QuadtreeCounters& counters() const { return counters_; }
 
   // TSSENC(qt) of Eq. 6: the sum over all non-full blocks of their SSENC.
@@ -110,12 +134,14 @@ class MemoryLimitedQuadtree {
   // compression-quality ablation, not on the hot path.
   double TotalSsenc() const;
 
-  // Walks the whole tree calling `fn` on every node (pre-order).
-  void ForEachNode(const std::function<void(const QuadtreeNode&, const Box&)>& fn) const;
+  // Walks the whole tree calling `fn` on every node (pre-order, children in
+  // ascending quadrant order).
+  void ForEachNode(const std::function<void(const NodeView&, const Box&)>& fn) const;
 
   // Validates structural invariants (child counts vs parent counts, depth
-  // bounds, memory accounting, sorted child lists). Returns true when
-  // consistent; otherwise false with a description in `error`.
+  // bounds, memory accounting derived from the pool, sorted child chains,
+  // pool free-list integrity). Returns true when consistent; otherwise
+  // false with a description in `error`.
   bool CheckInvariants(std::string* error) const;
 
   // True once any compression has run (the lazy strategy keys th_SSE off
@@ -126,27 +152,36 @@ class MemoryLimitedQuadtree {
   // Catalog persistence rebuilds trees node by node (model/serialization.h).
   friend std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
       const std::vector<uint8_t>& bytes, std::string* error);
-  // Charged size of one materialized node.
-  static int64_t NodeCost(bool is_root) {
-    return is_root ? kNodeBaseBytes : kNonRootNodeBytes;
-  }
 
-  // Attempts to materialize child `index` of `parent`, compressing if the
-  // budget requires it. Returns nullptr when compression could not free
-  // enough memory (the insert then stops partitioning). `protected_path`
-  // holds the nodes on the current insertion path, which compression must
-  // not delete.
-  QuadtreeNode* TryCreateChild(QuadtreeNode* parent, int index,
-                               const std::vector<const QuadtreeNode*>& protected_path);
+  // Logical catalog bytes for `nodes` materialized nodes: one root charge
+  // plus a base + parent-slot charge per non-root node. This is exact, not
+  // incremental: it is recomputed from the pool's live count after every
+  // structural change, so the accounting can never drift.
+  static int64_t LogicalBytesFor(int64_t nodes) {
+    return kNodeBaseBytes + (nodes - 1) * kNonRootNodeBytes;
+  }
+  void SyncBudget() { budget_.SetUsed(LogicalBytesFor(pool_.live_count())); }
+
+  // Single-point descent without observability hooks; shared by Predict and
+  // PredictBatch.
+  Prediction PredictInternal(const Point& point, int64_t beta) const;
+
+  // Attempts to materialize child `quadrant` of `parent`, compressing if
+  // the budget requires it. Returns kInvalidNodeIndex when compression
+  // could not free enough memory (the insert then stops partitioning).
+  // `protected_path` holds the nodes on the current insertion path, which
+  // compression must not delete.
+  NodeIndex TryCreateChild(NodeIndex parent, int quadrant,
+                           const std::vector<NodeIndex>& protected_path);
 
   // Compression pass (Fig. 6) that never removes nodes in `protected_path`.
-  void CompressInternal(const std::vector<const QuadtreeNode*>& protected_path);
+  void CompressInternal(const std::vector<NodeIndex>& protected_path);
 
   Box space_;
   MlqConfig config_;
   MemoryBudget budget_;
-  std::unique_ptr<QuadtreeNode> root_;
-  int64_t num_nodes_ = 0;
+  NodePool pool_;  // Constructed with fanout 2^dims.
+  NodeIndex root_ = kInvalidNodeIndex;
   bool compressed_once_ = false;
   QuadtreeCounters counters_;
 };

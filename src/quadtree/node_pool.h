@@ -1,0 +1,236 @@
+#ifndef MLQ_QUADTREE_NODE_POOL_H_
+#define MLQ_QUADTREE_NODE_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mlq {
+
+// Index of a node inside a NodePool. 32 bits address four billion nodes —
+// far beyond any budget the paper (1.8 KB!) or the serving layer uses —
+// at half the footprint of a pointer, and indices stay valid when the
+// pool's backing vector reallocates or a tree is serialized.
+using NodeIndex = uint32_t;
+inline constexpr NodeIndex kInvalidNodeIndex = 0xFFFFFFFFu;
+
+// One block of the memory-limited quadtree, laid out for arena storage.
+//
+// A node stores the summary triple of the data points that map into its
+// block (Section 4.1) plus tree-structure bookkeeping. All 2^d potential
+// children of a node live in ONE contiguous, 2^d-aligned group of pool
+// slots ("child block"): the child for quadrant q, when present, is slot
+// `first_child + q`. Child lookup on the predict/insert descent is a
+// single indexed load — no pointer chase, no sibling scan.
+struct PooledNode {
+  SummaryTriple summary;                      // 24 bytes
+  int64_t last_touch = 0;                     // Insertion tick, recency ext.
+  NodeIndex parent = kInvalidNodeIndex;
+  NodeIndex first_child = kInvalidNodeIndex;  // Child-block base; free link.
+  uint8_t index_in_parent = 0;                // Quadrant in the parent.
+  uint8_t num_children = 0;
+  uint16_t depth = 0;                         // 0 = root.
+  uint32_t reserved = 0;                      // Padding, kept deterministic.
+
+  bool IsLeaf() const { return num_children == 0; }
+};
+static_assert(sizeof(PooledNode) == 48, "keep the hot-path node packed");
+
+// Contiguous arena of quadtree nodes, allocated in child blocks.
+//
+// The pool is constructed for a fixed fanout (2^d). Slots come in
+// fanout-sized, fanout-aligned blocks; within an allocated block a slot is
+// either a live node or vacant (quadrant not materialized — the common
+// case in sparse data). Fully vacated blocks go onto a LIFO free-list and
+// are recycled by the next allocation, so compression (Fig. 6) recycles
+// arena slots instead of freeing heap memory, and a tree oscillating
+// around its budget churns the same cache-resident slots.
+//
+// Trade-off: the arena holds fanout slots per partitioned node even when
+// few quadrants are materialized, buying O(1) child lookup with physical
+// (not logical/budgeted) bytes. At the paper's d <= 4 this is at most
+// 768 B per internal node; PhysicalCapacityBytes() reports the honest
+// total.
+//
+// Indices are stable across vector growth; raw PooledNode references are
+// not (they are invalidated by any allocation), so mutation paths re-fetch
+// references after allocating.
+class NodePool {
+ public:
+  // `fanout` is 2^d: the number of slots per child block.
+  explicit NodePool(int fanout);
+
+  // Pre-sizes the arena to `slots` total slots (callers typically pass a
+  // multiple of the fanout).
+  void Reserve(size_t slots) { nodes_.reserve(slots); }
+
+  int fanout() const { return fanout_; }
+
+  // Allocates a block and makes its slot 0 a live root node (depth 0, no
+  // parent). Called once per tree.
+  NodeIndex AllocateRoot();
+
+  PooledNode& node(NodeIndex index) { return nodes_[index]; }
+  const PooledNode& node(NodeIndex index) const { return nodes_[index]; }
+
+  // Raw base pointer for read-only hot loops (prediction descents). Never
+  // hold it across an allocation.
+  const PooledNode* raw() const { return nodes_.data(); }
+
+  int64_t live_count() const { return live_count_; }
+  // Slots currently parked on the block free-list.
+  int64_t free_count() const { return free_count_; }
+  // Total slots ever materialized (live + vacant + free-listed).
+  size_t slot_count() const { return nodes_.size(); }
+  // Exact bytes of backing storage the arena holds right now.
+  int64_t PhysicalCapacityBytes() const {
+    return static_cast<int64_t>(nodes_.capacity() * sizeof(PooledNode));
+  }
+
+  // Child with the given quadrant index, or kInvalidNodeIndex when that
+  // block is empty. O(1).
+  NodeIndex Child(NodeIndex parent, int quadrant) const {
+    const NodeIndex base = nodes_[parent].first_child;
+    if (base == kInvalidNodeIndex) return kInvalidNodeIndex;
+    const NodeIndex slot = base + static_cast<NodeIndex>(quadrant);
+    return nodes_[slot].index_in_parent == quadrant ? slot : kInvalidNodeIndex;
+  }
+
+  // Materializes the child for `quadrant` (must not already exist),
+  // allocating the parent's child block first if this is its first child.
+  // May grow the arena: re-fetch node references afterwards. Memory
+  // accounting is the tree's job, not the pool's.
+  NodeIndex CreateChild(NodeIndex parent, int quadrant);
+
+  // Vacates the child with the given quadrant (must exist and be a leaf).
+  // Returns the whole child block to the free-list when this was the
+  // parent's last child.
+  void RemoveLeafChild(NodeIndex parent, int quadrant);
+
+  // Moves the existing subtree root `child` (currently detached from any
+  // parent slot — i.e. the tree root) into `parent`'s child block at
+  // `quadrant`, re-parenting its children and recycling its old block if
+  // emptied. Returns the subtree root's NEW index. Depths are NOT
+  // adjusted; callers that re-root a subtree (model-space expansion) shift
+  // depths themselves.
+  NodeIndex AdoptChild(NodeIndex parent, int quadrant, NodeIndex child);
+
+  // Structural self-check of the arena: block alignment, vacant/live slot
+  // markers, the free-list reaching exactly the freed blocks, and the
+  // live/free counters adding up. Returns false with a description in
+  // `error` on corruption.
+  bool CheckConsistency(std::string* error) const;
+
+ private:
+  NodeIndex AllocateBlock();
+
+  std::vector<PooledNode> nodes_;
+  int fanout_;
+  NodeIndex free_head_ = kInvalidNodeIndex;  // Block bases, LIFO.
+  int64_t live_count_ = 0;
+  int64_t free_count_ = 0;
+};
+
+// Lightweight read-only handle onto one pool node: (pool, index), cheap to
+// copy, invalid when the block is absent. This is the traversal currency of
+// ForEachNode, tree stats, serialization and the tests — it keeps the
+// index-based arena an implementation detail of the hot path.
+class NodeView {
+ public:
+  NodeView() = default;
+  NodeView(const NodePool* pool, NodeIndex index) : pool_(pool), index_(index) {}
+
+  bool valid() const { return pool_ != nullptr && index_ != kInvalidNodeIndex; }
+  explicit operator bool() const { return valid(); }
+
+  NodeIndex index() const { return index_; }
+  const SummaryTriple& summary() const { return n().summary; }
+  int depth() const { return n().depth; }
+  int num_children() const { return n().num_children; }
+  bool IsLeaf() const { return n().IsLeaf(); }
+  int index_in_parent() const { return n().index_in_parent; }
+  int64_t last_touch() const { return n().last_touch; }
+
+  bool has_parent() const { return valid() && n().parent != kInvalidNodeIndex; }
+  NodeView parent() const { return NodeView(pool_, n().parent); }
+
+  // Child with the given quadrant index; invalid view when absent.
+  NodeView Child(int quadrant) const {
+    return NodeView(pool_, pool_->Child(index_, quadrant));
+  }
+
+  // SSEG(b) = C(b) * (AVG(parent) - AVG(b))^2 (Eq. 9): the increase in the
+  // tree's total expected prediction error if this node is discarded.
+  // Requires a parent.
+  double Sseg() const;
+
+  // Iteration over present children in ascending quadrant order:
+  //   for (NodeView child : node.children()) ...
+  // The iterator walks the parent's child block, skipping vacant slots.
+  // (It stores raw pool/slot state: NodeView is incomplete inside its own
+  // nested classes.)
+  class ChildIterator {
+   public:
+    ChildIterator(const NodePool* pool, NodeIndex base, int quadrant)
+        : pool_(pool), base_(base), quadrant_(quadrant) {
+      SkipVacant();
+    }
+    NodeView operator*() const {
+      return NodeView(pool_, base_ + static_cast<NodeIndex>(quadrant_));
+    }
+    ChildIterator& operator++() {
+      ++quadrant_;
+      SkipVacant();
+      return *this;
+    }
+    bool operator!=(const ChildIterator& other) const {
+      return quadrant_ != other.quadrant_;
+    }
+
+   private:
+    void SkipVacant() {
+      if (base_ == kInvalidNodeIndex) return;
+      while (quadrant_ < pool_->fanout() &&
+             pool_->node(base_ + static_cast<NodeIndex>(quadrant_))
+                     .index_in_parent != quadrant_) {
+        ++quadrant_;
+      }
+    }
+
+    const NodePool* pool_;
+    NodeIndex base_;
+    int quadrant_;
+  };
+  class ChildRange {
+   public:
+    ChildRange(const NodePool* pool, NodeIndex base) : pool_(pool), base_(base) {}
+    ChildIterator begin() const {
+      return ChildIterator(pool_, base_,
+                           base_ == kInvalidNodeIndex ? pool_->fanout() : 0);
+    }
+    ChildIterator end() const {
+      return ChildIterator(pool_, kInvalidNodeIndex, pool_->fanout());
+    }
+
+   private:
+    const NodePool* pool_;
+    NodeIndex base_;
+  };
+  ChildRange children() const { return ChildRange(pool_, n().first_child); }
+
+  friend bool operator==(const NodeView& a, const NodeView& b) {
+    return a.pool_ == b.pool_ && a.index_ == b.index_;
+  }
+
+ private:
+  const PooledNode& n() const { return pool_->node(index_); }
+
+  const NodePool* pool_ = nullptr;
+  NodeIndex index_ = kInvalidNodeIndex;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_QUADTREE_NODE_POOL_H_

@@ -12,7 +12,7 @@ TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree) {
   int64_t redundant = 0;
   int64_t leaf_depth_sum = 0;
 
-  tree.ForEachNode([&](const QuadtreeNode& node, const Box&) {
+  tree.ForEachNode([&](const NodeView& node, const Box&) {
     ++stats.num_nodes;
     const int depth = node.depth();
     if (depth > stats.max_depth_present) stats.max_depth_present = depth;
@@ -26,8 +26,8 @@ TreeStats ComputeTreeStats(const MemoryLimitedQuadtree& tree) {
       ++stats.num_leaves;
       leaf_depth_sum += depth;
     }
-    if (node.parent() != nullptr &&
-        std::abs(node.summary().Avg() - node.parent()->summary().Avg()) <
+    if (node.has_parent() &&
+        std::abs(node.summary().Avg() - node.parent().summary().Avg()) <
             redundancy_threshold) {
       ++redundant;
     }
@@ -116,7 +116,7 @@ std::string DumpTree(const MemoryLimitedQuadtree& tree, int max_nodes) {
   std::string out;
   char buf[256];
   int emitted = 0;
-  tree.ForEachNode([&](const QuadtreeNode& node, const Box& box) {
+  tree.ForEachNode([&](const NodeView& node, const Box& box) {
     if (emitted >= max_nodes) return;
     ++emitted;
     std::snprintf(buf, sizeof(buf), "%*s%s: n=%lld avg=%.4g sse=%.4g%s\n",

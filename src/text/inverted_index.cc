@@ -20,8 +20,8 @@ InvertedIndex::InvertedIndex(const CorpusConfig& config) : config_(config) {
 
   // Log-normal document lengths with the requested mean: if X ~ N(mu,
   // sigma^2) then E[e^X] = e^{mu + sigma^2/2}, so mu = ln(mean) - sigma^2/2.
-  const double mu =
-      std::log(config.mean_doc_length) - 0.5 * config.doc_length_sigma * config.doc_length_sigma;
+  const double mu = std::log(config.mean_doc_length) -
+                    0.5 * config.doc_length_sigma * config.doc_length_sigma;
 
   for (int32_t doc = 0; doc < config.num_docs; ++doc) {
     const double raw = std::exp(rng.Gaussian(mu, config.doc_length_sigma));

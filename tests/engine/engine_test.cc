@@ -271,6 +271,84 @@ TEST_F(EngineTest, AdaptiveExecutionMatchesResultSet) {
   EXPECT_EQ(adaptive.rows_in, table_.num_rows());
 }
 
+TEST_F(EngineTest, BatchedAdaptiveExecutionMatchesAdaptiveResultSet) {
+  // The block-batched adaptive executor must produce the same result set as
+  // the per-row adaptive executor: pass/fail depends only on the row, so
+  // rows_in/rows_out are invariant to how the model probes are batched.
+  auto prox = MakeProxPredicate();
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {prox.get(), win.get()};
+
+  // Separate catalogs so each executor trains from the same blank state.
+  CostCatalog catalog_a(1800);
+  PlanAndExecute(query, catalog_a);
+  const ExecutionStats adaptive = ExecuteQueryAdaptive(query, catalog_a);
+
+  CostCatalog catalog_b(1800);
+  PlanAndExecute(query, catalog_b);
+  const ExecutionStats batched =
+      ExecuteQueryAdaptiveBatched(query, catalog_b, /*block_rows=*/64);
+
+  EXPECT_EQ(batched.rows_in, adaptive.rows_in);
+  EXPECT_EQ(batched.rows_out, adaptive.rows_out);
+  // Every row must be evaluated by at least one predicate in both modes.
+  int64_t adaptive_evals = 0;
+  int64_t batched_evals = 0;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    adaptive_evals += adaptive.evaluations_per_predicate[i];
+    batched_evals += batched.evaluations_per_predicate[i];
+  }
+  EXPECT_GE(adaptive_evals, adaptive.rows_in);
+  EXPECT_GE(batched_evals, batched.rows_in);
+}
+
+TEST_F(EngineTest, BatchedAdaptiveHandlesOddBlockSizes) {
+  // 300 rows with block_rows=7 exercises the final partial block.
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {win.get()};
+  CostCatalog catalog(1800);
+  const ExecutionStats batched =
+      ExecuteQueryAdaptiveBatched(query, catalog, /*block_rows=*/7);
+  int64_t expected_out = 0;
+  for (int64_t row = 0; row < table_.num_rows(); ++row) {
+    if (win->Evaluate(table_.Row(row)).passed) ++expected_out;
+  }
+  EXPECT_EQ(batched.rows_out, expected_out);
+  EXPECT_EQ(batched.evaluations_per_predicate[0], table_.num_rows());
+}
+
+TEST_F(EngineTest, CatalogBatchPredictionsMatchScalarCalls) {
+  // The batched catalog predictors must be element-wise identical to the
+  // scalar entry points on a trained catalog.
+  auto win = MakeWinPredicate();
+  Query query;
+  query.table = &table_;
+  query.predicates = {win.get()};
+  CostCatalog catalog(1800);
+  PlanAndExecute(query, catalog);
+
+  std::vector<Point> points;
+  for (int64_t row = 0; row < 50; ++row) {
+    points.push_back(win->ModelPointFor(table_.Row(row)));
+  }
+  std::vector<double> batch_cost(points.size());
+  std::vector<double> batch_sel(points.size());
+  catalog.PredictCostMicrosBatch(win->udf(), points, batch_cost);
+  catalog.PredictSelectivityBatch(win->udf(), points, batch_sel);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch_cost[i],
+                     catalog.PredictCostMicros(win->udf(), points[i]))
+        << "row " << i;
+    EXPECT_DOUBLE_EQ(batch_sel[i],
+                     catalog.PredictSelectivity(win->udf(), points[i]))
+        << "row " << i;
+  }
+}
+
 TEST_F(EngineTest, AdaptiveExecutionNoWorseThanStaticOnTrainedCatalog) {
   // Per-row ordering uses per-row predictions; on a workload where PROX's
   // cost varies by orders of magnitude across rows (Zipf term ranks) it

@@ -1,6 +1,7 @@
 #include "model/serialization.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -127,6 +128,87 @@ TEST(SerializationTest, RejectsTrailingGarbage) {
 TEST(SerializationTest, RejectsEmptyInput) {
   std::string error;
   EXPECT_EQ(DeserializeQuadtree({}, &error), nullptr);
+}
+
+// Byte-level builder mirroring the v1 wire format, so the v1 read-compat
+// path is exercised against a blob the current writer can no longer emit.
+class BlobBuilder {
+ public:
+  template <typename T>
+  BlobBuilder& Put(T value) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+    return *this;
+  }
+  std::vector<uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+BlobBuilder V1Header(uint16_t version = 1) {
+  BlobBuilder b;
+  b.Put<uint32_t>(0x4d4c5154)  // "MLQT"
+      .Put<uint16_t>(version)
+      .Put<uint8_t>(1)   // dims
+      .Put<uint8_t>(0)   // strategy = eager
+      .Put<int32_t>(4)   // max_depth
+      .Put<double>(0.1)  // alpha
+      .Put<double>(0.01)  // gamma
+      .Put<int64_t>(1)    // beta
+      .Put<int64_t>(1800)  // memory_limit_bytes
+      .Put<double>(0.0)    // lo
+      .Put<double>(100.0)  // hi
+      .Put<uint8_t>(0);    // compressed_once
+  return b;
+}
+
+TEST(SerializationTest, ReadsVersionOneBlobs) {
+  // v1 body: recursive pre-order, each node is
+  // [sum f64][count i64][sum_squares f64][num_children u8]
+  // followed by ([quadrant u8][child record])* in ascending quadrant order.
+  BlobBuilder b = V1Header();
+  // Root: {sum 30, count 3, ssq 350}, two children.
+  b.Put<double>(30.0).Put<int64_t>(3).Put<double>(350.0).Put<uint8_t>(2);
+  // Child quadrant 0 (leaf): one point, value 9.
+  b.Put<uint8_t>(0);
+  b.Put<double>(9.0).Put<int64_t>(1).Put<double>(81.0).Put<uint8_t>(0);
+  // Child quadrant 1 (leaf): two points summing to 21.
+  b.Put<uint8_t>(1);
+  b.Put<double>(21.0).Put<int64_t>(2).Put<double>(269.0).Put<uint8_t>(0);
+
+  std::string error;
+  auto tree = DeserializeQuadtree(b.bytes(), &error);
+  ASSERT_NE(tree, nullptr) << error;
+  EXPECT_EQ(tree->num_nodes(), 3);
+  EXPECT_EQ(tree->root().summary().count, 3);
+  // Lower half [0, 50): value 9; upper half [50, 100]: average 10.5.
+  EXPECT_DOUBLE_EQ(tree->Predict(Point{10.0}).value, 9.0);
+  EXPECT_DOUBLE_EQ(tree->Predict(Point{90.0}).value, 10.5);
+  EXPECT_TRUE(tree->CheckInvariants(&error)) << error;
+  // Re-serializing writes the current (v2) format, which round-trips.
+  auto reloaded = DeserializeQuadtree(SerializeQuadtree(*tree), &error);
+  ASSERT_NE(reloaded, nullptr) << error;
+  EXPECT_EQ(reloaded->num_nodes(), 3);
+}
+
+TEST(SerializationTest, RejectsUnknownFutureVersion) {
+  BlobBuilder b = V1Header(/*version=*/99);
+  b.Put<double>(0.0).Put<int64_t>(0).Put<double>(0.0).Put<uint8_t>(0);
+  std::string error;
+  EXPECT_EQ(DeserializeQuadtree(b.bytes(), &error), nullptr);
+  EXPECT_EQ(error, "unsupported version");
+}
+
+TEST(SerializationTest, CurrentFormatIsVersionTwo) {
+  // Pin the on-disk version so a format change is a conscious decision.
+  auto tree = MakeTrainedTree(InsertionStrategy::kEager, 2, 1800, 10, 11);
+  const auto bytes = SerializeQuadtree(*tree);
+  ASSERT_GE(bytes.size(), 6u);
+  uint16_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, 2);
 }
 
 TEST(SerializationTest, FileRoundTrip) {

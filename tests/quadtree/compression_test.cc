@@ -67,10 +67,10 @@ TEST(CompressionTest, RemovesSmallestSsegLeafFirst) {
   // Averages: root = 62.5. SSEG(leaf0) = 1 * 12.5^2; SSEG(leaf1) =
   // 2 * 37.5^2; SSEG(leaf2) = 1 * 62.5^2. Leaf0 must go first.
   tree.Compress();
-  const QuadtreeNode& root = tree.root();
-  EXPECT_EQ(root.Child(0), nullptr) << "smallest-SSEG leaf should be removed";
-  EXPECT_NE(root.Child(1), nullptr);
-  EXPECT_NE(root.Child(2), nullptr);
+  const NodeView root = tree.root();
+  EXPECT_FALSE(root.Child(0).valid()) << "smallest-SSEG leaf should be removed";
+  EXPECT_TRUE(root.Child(1).valid());
+  EXPECT_TRUE(root.Child(2).valid());
 }
 
 TEST(CompressionTest, ParentBecomesLeafAndIsReconsidered) {
@@ -116,10 +116,10 @@ TEST(CompressionTest, PredictionsFallBackToParentAfterCompression) {
 // SSENC(b) from the stored summaries: SSE(b) minus every existing child's
 // (SSE + SSEG) contribution — the quantity TotalSsenc sums over non-full
 // blocks.
-double NodeSsenc(const QuadtreeNode& node) {
+double NodeSsenc(const NodeView& node) {
   double ssenc = node.summary().Sse();
-  for (const auto& entry : node.children()) {
-    ssenc -= entry.node->summary().Sse() + entry.node->Sseg();
+  for (const NodeView child : node.children()) {
+    ssenc -= child.summary().Sse() + child.Sseg();
   }
   return std::max(0.0, ssenc);
 }
@@ -141,20 +141,20 @@ TEST(CompressionTest, SsegEqualsTssencIncrease) {
   for (int round = 0; round < 8; ++round) {
     const double tssenc_before = tree.TotalSsenc();
     // Find the minimum-SSEG leaf (what compression will remove next).
-    const QuadtreeNode* victim = nullptr;
-    tree.ForEachNode([&](const QuadtreeNode& node, const Box&) {
-      if (node.IsLeaf() && node.parent() != nullptr) {
-        if (victim == nullptr || node.Sseg() < victim->Sseg()) victim = &node;
+    NodeView victim;
+    tree.ForEachNode([&](const NodeView& node, const Box&) {
+      if (node.IsLeaf() && node.has_parent()) {
+        if (!victim.valid() || node.Sseg() < victim.Sseg()) victim = node;
       }
     });
-    if (victim == nullptr) break;  // Only the root remains.
-    const double sseg = victim->Sseg();
+    if (!victim.valid()) break;  // Only the root remains.
+    const double sseg = victim.Sseg();
     const bool parent_was_full =
-        victim->parent()->num_children() == full_children;
+        victim.parent().num_children() == full_children;
     // Expected delta: SSEG(b), plus — if the parent was full — the parent's
     // previously hidden SSENC (it joins the non-full set of Eq. 6).
     const double expected_delta =
-        parent_was_full ? NodeSsenc(*victim->parent()) + sseg : sseg;
+        parent_was_full ? NodeSsenc(victim.parent()) + sseg : sseg;
     tree.Compress();  // gamma ~ 0: removes exactly one leaf.
     const double tssenc_after = tree.TotalSsenc();
     EXPECT_NEAR(tssenc_after - tssenc_before, expected_delta,
@@ -215,8 +215,8 @@ TEST(CompressionTest, SingleChildBudgetRecyclesTheChild) {
   EXPECT_EQ(tree.num_nodes(), 2);
   tree.Insert(Point{7.0}, 90.0);  // Evicts the left child, creates the right.
   EXPECT_EQ(tree.num_nodes(), 2);
-  EXPECT_EQ(tree.root().Child(0), nullptr);
-  ASSERT_NE(tree.root().Child(1), nullptr);
+  EXPECT_FALSE(tree.root().Child(0).valid());
+  ASSERT_TRUE(tree.root().Child(1).valid());
   EXPECT_DOUBLE_EQ(tree.Predict(Point{7.0}).value, 90.0);
   // The left region falls back to the root, which remembers both points.
   EXPECT_DOUBLE_EQ(tree.Predict(Point{1.0}).value, 50.0);

@@ -43,10 +43,10 @@ TEST(ExpansionTest, OldRootBecomesCorrectChild) {
   // Space is now [-100, 100]; the old [0, 100] block is the upper child.
   EXPECT_EQ(tree.space(), Box::Cube(1, -100.0, 100.0));
   EXPECT_EQ(tree.num_nodes(), nodes_before + 1);
-  const QuadtreeNode& root = tree.root();
-  ASSERT_NE(root.Child(1), nullptr);
-  EXPECT_EQ(root.Child(0), nullptr);
-  EXPECT_EQ(root.Child(1)->summary().count, 1);
+  const NodeView root = tree.root();
+  ASSERT_TRUE(root.Child(1).valid());
+  EXPECT_FALSE(root.Child(0).valid());
+  EXPECT_EQ(root.Child(1).summary().count, 1);
   std::string error;
   EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
 }

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -99,16 +101,16 @@ TEST(InsertTest, SummariesAccumulateAlongPath) {
                              BigBudgetConfig(InsertionStrategy::kEager, 2));
   tree.Insert(Point{1.0, 1.0}, 10.0);  // Child 0 everywhere.
   tree.Insert(Point{7.0, 7.0}, 20.0);  // Child 3 at the top.
-  const QuadtreeNode& root = tree.root();
+  const NodeView root = tree.root();
   EXPECT_EQ(root.summary().count, 2);
   EXPECT_DOUBLE_EQ(root.summary().sum, 30.0);
-  const QuadtreeNode* lower_left = root.Child(0);
-  ASSERT_NE(lower_left, nullptr);
-  EXPECT_EQ(lower_left->summary().count, 1);
-  EXPECT_DOUBLE_EQ(lower_left->summary().sum, 10.0);
-  const QuadtreeNode* upper_right = root.Child(3);
-  ASSERT_NE(upper_right, nullptr);
-  EXPECT_DOUBLE_EQ(upper_right->summary().sum, 20.0);
+  const NodeView lower_left = root.Child(0);
+  ASSERT_TRUE(lower_left.valid());
+  EXPECT_EQ(lower_left.summary().count, 1);
+  EXPECT_DOUBLE_EQ(lower_left.summary().sum, 10.0);
+  const NodeView upper_right = root.Child(3);
+  ASSERT_TRUE(upper_right.valid());
+  EXPECT_DOUBLE_EQ(upper_right.summary().sum, 20.0);
 }
 
 TEST(InsertTest, PredictionIsBlockAverage) {
@@ -257,6 +259,98 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4),
                        ::testing::Values(InsertionStrategy::kEager,
                                          InsertionStrategy::kLazy)));
+
+TEST(InsertTest, ArenaGrowsAcrossBudgetBoundaryUnderCompressionChurn) {
+  // A tight budget forces the tree to oscillate: partition to the limit,
+  // compress, repartition elsewhere. The pool must keep recycling blocks
+  // (bounded arena) while the logical accounting never crosses the budget.
+  MlqConfig config;
+  config.strategy = InsertionStrategy::kEager;
+  config.max_depth = 6;
+  config.memory_limit_bytes = 1800;
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 1000.0), config);
+  Rng rng(99);
+  size_t max_slots = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Shift the hot region every 500 inserts so old structure gets evicted
+    // and new blocks are demanded at full budget.
+    const double center = 100.0 + 800.0 * ((i / 500) % 2);
+    Point p{rng.Gaussian(center, 50.0), rng.Gaussian(center, 50.0)};
+    tree.Insert(p, rng.Uniform(0.0, 10000.0));
+    ASSERT_LE(tree.memory_used(), config.memory_limit_bytes);
+    max_slots = std::max(max_slots, tree.pool().slot_count());
+  }
+  EXPECT_GT(tree.counters().compressions, 0);
+  EXPECT_GT(tree.counters().nodes_freed, 0);
+  // The arena's physical slot count stays within a small factor of the
+  // budget's node ceiling: recycling works, growth is bounded.
+  const int64_t max_nodes =
+      1 + (config.memory_limit_bytes - kNodeBaseBytes) / kNonRootNodeBytes;
+  const int fanout = tree.pool().fanout();
+  EXPECT_LE(max_slots, static_cast<size_t>(max_nodes * fanout));
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+}
+
+TEST(PredictBatchTest, MatchesPerPointPredictions) {
+  // The batched entry point must be element-wise identical to the scalar
+  // path: same descent, same summaries, same reliability flags.
+  for (const int dims : {1, 3}) {
+    MlqConfig config = BigBudgetConfig(InsertionStrategy::kEager);
+    MemoryLimitedQuadtree tree(Box::Cube(dims, 0.0, 1000.0), config);
+    Rng rng(1234);
+    for (int i = 0; i < 2000; ++i) {
+      Point p(dims);
+      for (int d = 0; d < dims; ++d) p[d] = rng.Uniform(0.0, 1000.0);
+      tree.Insert(p, rng.Uniform(0.0, 10000.0));
+    }
+    std::vector<Point> queries;
+    for (int i = 0; i < 300; ++i) {
+      Point q(dims);
+      // Include out-of-space points: clamping must match too.
+      for (int d = 0; d < dims; ++d) q[d] = rng.Uniform(-200.0, 1200.0);
+      queries.push_back(q);
+    }
+    std::vector<Prediction> batch(queries.size());
+    tree.PredictBatch(queries, batch);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Prediction scalar = tree.Predict(queries[i]);
+      ASSERT_DOUBLE_EQ(batch[i].value, scalar.value) << "dims " << dims;
+      ASSERT_DOUBLE_EQ(batch[i].stddev, scalar.stddev);
+      ASSERT_EQ(batch[i].depth, scalar.depth);
+      ASSERT_EQ(batch[i].count, scalar.count);
+      ASSERT_EQ(batch[i].reliable, scalar.reliable);
+    }
+  }
+}
+
+TEST(PredictBatchTest, ExplicitBetaVariant) {
+  MlqConfig config = BigBudgetConfig(InsertionStrategy::kEager);
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 1000.0), config);
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    tree.Insert(p, rng.Uniform(0.0, 100.0));
+  }
+  std::vector<Point> queries;
+  for (int i = 0; i < 50; ++i) {
+    queries.push_back(Point{rng.Uniform(0.0, 1000.0),
+                            rng.Uniform(0.0, 1000.0)});
+  }
+  std::vector<Prediction> batch(queries.size());
+  tree.PredictBatchWithBeta(queries, batch, /*beta=*/10);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Prediction scalar = tree.PredictWithBeta(queries[i], 10);
+    ASSERT_DOUBLE_EQ(batch[i].value, scalar.value);
+    ASSERT_GE(batch[i].count, 10);
+  }
+}
+
+TEST(PredictBatchTest, EmptyBatchIsANoOp) {
+  MlqConfig config = BigBudgetConfig(InsertionStrategy::kEager);
+  MemoryLimitedQuadtree tree(Box::Cube(2, 0.0, 1000.0), config);
+  tree.PredictBatch({}, {});
+}
 
 }  // namespace
 }  // namespace mlq

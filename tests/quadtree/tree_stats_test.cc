@@ -58,7 +58,7 @@ TEST(TreeStatsTest, CountsMatchTreeAccounting) {
   EXPECT_EQ(stats.num_nodes, tree.num_nodes());
   EXPECT_EQ(stats.points_per_depth[0], 300);  // Root summarizes everything.
   int64_t leaves = 0;
-  tree.ForEachNode([&](const QuadtreeNode& n, const Box&) {
+  tree.ForEachNode([&](const NodeView& n, const Box&) {
     if (n.IsLeaf()) ++leaves;
   });
   EXPECT_EQ(stats.num_leaves, leaves);
@@ -103,8 +103,8 @@ TEST(EvictionPolicyTest, CountOnlyEvictsLowestCountLeaf) {
   tree.Insert(Point{6.0}, 50.0);
   tree.Compress();
   // SSEG policy would evict the left leaf; count policy evicts the right.
-  EXPECT_NE(tree.root().Child(0), nullptr);
-  EXPECT_EQ(tree.root().Child(1), nullptr);
+  EXPECT_TRUE(tree.root().Child(0).valid());
+  EXPECT_FALSE(tree.root().Child(1).valid());
 }
 
 TEST(EvictionPolicyTest, SsegIsTheDefaultAndPrefersRedundantLeaves) {
@@ -119,8 +119,8 @@ TEST(EvictionPolicyTest, SsegIsTheDefaultAndPrefersRedundantLeaves) {
   tree.Compress();
   // Left leaf's average (50) is closer to the root's (162.5): its SSEG
   // (3 * 112.5^2 ~ 38k) is below the right's ((162.5-500)^2 ~ 114k).
-  EXPECT_EQ(tree.root().Child(0), nullptr);
-  EXPECT_NE(tree.root().Child(1), nullptr);
+  EXPECT_FALSE(tree.root().Child(0).valid());
+  EXPECT_TRUE(tree.root().Child(1).valid());
 }
 
 TEST(EvictionPolicyTest, RandomRespectsBudgetAndInvariants) {

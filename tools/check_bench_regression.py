@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the CI bench workflow.
+
+Consumes the JSON emitted by the bench binaries' `--json <path>` switch and
+compares throughput metrics against an in-repo baseline:
+
+  # Record a baseline from one or more runs (median across runs per metric):
+  tools/check_bench_regression.py seed --out BENCH_BASELINE.json run1.json run2.json ...
+
+  # Gate: exit 1 when any metric's median regresses by more than --threshold:
+  tools/check_bench_regression.py check --baseline BENCH_BASELINE.json \
+      --threshold 0.15 run1.json run2.json ...
+
+Two input shapes are understood:
+
+  * google-benchmark output (micro_ops): every entry with an
+    `items_per_second` field becomes a higher-is-better metric.
+  * the repo's TablePrinter dump ({"bench", "tables": [{columns, rows}]}):
+    columns matching `ops/s` are higher-is-better throughputs, columns
+    matching `ns/op` are lower-is-better latencies; other columns (deltas,
+    ratios, counters) are ignored. Rows are keyed by their first column.
+
+Run files for the SAME bench are grouped and reduced to a per-metric median
+before comparison, so the recommended CI setup is three interleaved runs of
+each bench — the median shrugs off one noisy neighbor. Metrics present in
+the baseline but missing from the runs fail the gate (a silently vanished
+benchmark must not pass); new metrics are reported and skipped (seed the
+baseline again to start tracking them).
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+# Metric direction by name: throughputs regress downward, latencies upward.
+_HIGHER_IS_BETTER = re.compile(r"(ops/s|items_per_second)", re.IGNORECASE)
+_LOWER_IS_BETTER = re.compile(r"ns/op", re.IGNORECASE)
+
+
+def _slug(text):
+    return re.sub(r"[^A-Za-z0-9_./-]+", "_", str(text).strip())
+
+
+def extract_metrics(doc):
+    """Returns {metric_key: (value, direction)} for one bench run document.
+
+    direction is +1 for higher-is-better, -1 for lower-is-better.
+    """
+    metrics = {}
+    if "benchmarks" in doc:  # google-benchmark format.
+        bench = doc.get("context", {}).get("executable", "micro_ops")
+        bench = _slug(bench.rsplit("/", 1)[-1])
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            value = entry.get("items_per_second")
+            if value is None:
+                continue
+            metrics[f"{bench}/{_slug(entry['name'])}"] = (float(value), +1)
+        return metrics
+
+    bench = _slug(doc.get("bench", "unknown"))
+    for t_index, table in enumerate(doc.get("tables", [])):
+        columns = table.get("columns", [])
+        for row in table.get("rows", []):
+            if not row:
+                continue
+            row_key = _slug(row[0])
+            for column, cell in zip(columns[1:], row[1:]):
+                if _HIGHER_IS_BETTER.search(column):
+                    direction = +1
+                elif _LOWER_IS_BETTER.search(column):
+                    direction = -1
+                else:
+                    continue
+                try:
+                    value = float(cell)
+                except (TypeError, ValueError):
+                    continue
+                key = f"{bench}/t{t_index}/{row_key}/{_slug(column)}"
+                metrics[key] = (value, direction)
+    return metrics
+
+
+def load_runs(paths):
+    """Loads run files and reduces same-key metrics to their median."""
+    samples = {}  # key -> (direction, [values])
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        for key, (value, direction) in extract_metrics(doc).items():
+            entry = samples.setdefault(key, (direction, []))
+            entry[1].append(value)
+    return {
+        key: (statistics.median(values), direction)
+        for key, (direction, values) in samples.items()
+    }
+
+
+def cmd_seed(args):
+    metrics = load_runs(args.runs)
+    if not metrics:
+        print("error: no metrics found in the given run files", file=sys.stderr)
+        return 1
+    baseline = {
+        "comment": "Bench baseline for tools/check_bench_regression.py. "
+        "Reseed with: tools/check_bench_regression.py seed --out "
+        "BENCH_BASELINE.json <runs...>",
+        "metrics": {
+            key: {"value": value, "direction": direction}
+            for key, (value, direction) in sorted(metrics.items())
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(metrics)} baseline metrics to {args.out}")
+    return 0
+
+
+def cmd_check(args):
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)["metrics"]
+    current = load_runs(args.runs)
+
+    failures = []
+    checked = 0
+    for key, spec in sorted(baseline.items()):
+        base_value = float(spec["value"])
+        direction = int(spec.get("direction", +1))
+        if key not in current:
+            failures.append(f"{key}: present in baseline but missing from runs")
+            continue
+        value, _ = current[key]
+        checked += 1
+        if base_value == 0:
+            continue
+        if direction > 0:
+            change = (value - base_value) / base_value
+            regressed = change < -args.threshold
+        else:
+            change = (base_value - value) / base_value  # Positive = faster.
+            regressed = change < -args.threshold
+        status = "FAIL" if regressed else "ok"
+        print(f"{status:4} {key}: baseline {base_value:.4g} -> {value:.4g} "
+              f"({change:+.1%})")
+        if regressed:
+            failures.append(
+                f"{key}: {change:+.1%} vs baseline {base_value:.4g} "
+                f"(threshold -{args.threshold:.0%})")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"new  {key}: {current[key][0]:.4g} (not in baseline, skipped)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} baseline metrics within {args.threshold:.0%}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    seed = sub.add_parser("seed", help="record a baseline from run files")
+    seed.add_argument("--out", required=True)
+    seed.add_argument("runs", nargs="+")
+    seed.set_defaults(func=cmd_seed)
+
+    check = sub.add_parser("check", help="gate run files against a baseline")
+    check.add_argument("--baseline", required=True)
+    check.add_argument("--threshold", type=float, default=0.15,
+                       help="max allowed fractional regression (default 0.15)")
+    check.add_argument("runs", nargs="+")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

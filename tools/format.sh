@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Formats (or, with --check, verifies) every C++ source in the repo with
+# clang-format, using the .clang-format at the repo root.
+#
+#   tools/format.sh            # rewrite files in place
+#   tools/format.sh --check    # exit 1 and list files that need formatting
+#
+# The CI lint job runs the --check form; run the in-place form locally
+# before pushing.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Prefer a bare clang-format, fall back to versioned binaries (newest
+# first) so the script works across distro packagings.
+find_clang_format() {
+  if command -v clang-format >/dev/null 2>&1; then
+    echo clang-format
+    return
+  fi
+  local version
+  for version in 20 19 18 17 16 15 14; do
+    if command -v "clang-format-${version}" >/dev/null 2>&1; then
+      echo "clang-format-${version}"
+      return
+    fi
+  done
+  echo "error: clang-format not found on PATH" >&2
+  exit 2
+}
+
+CLANG_FORMAT="$(find_clang_format)"
+
+mapfile -t FILES < <(find src tests bench examples tools \
+  \( -name '*.cc' -o -name '*.h' \) -type f | sort)
+
+if [[ "${1:-}" == "--check" ]]; then
+  STATUS=0
+  for file in "${FILES[@]}"; do
+    if ! "${CLANG_FORMAT}" --dry-run -Werror "${file}" >/dev/null 2>&1; then
+      echo "needs formatting: ${file}"
+      STATUS=1
+    fi
+  done
+  if [[ "${STATUS}" -ne 0 ]]; then
+    echo "run tools/format.sh to fix" >&2
+  fi
+  exit "${STATUS}"
+fi
+
+"${CLANG_FORMAT}" -i "${FILES[@]}"
+echo "formatted ${#FILES[@]} files with ${CLANG_FORMAT}"
