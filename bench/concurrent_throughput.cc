@@ -13,6 +13,7 @@
 // from contention); on one core the win reduces to cheaper queuing on the
 // Observe path.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -145,6 +146,83 @@ RunResult RunBatchWorkload(CostModel& model, int threads,
   return result;
 }
 
+// Pure-feedback workload: each worker delivers `ops_per_thread`
+// observations, in blocks of `batch` through ObserveBatch (batch == 1 is
+// the scalar Observe baseline). Under the mutex decorator a block costs
+// one lock acquisition instead of `batch`; under the sharded model it is
+// one queue-lock per shard touched plus batched drains; and the tree
+// underneath pays its per-call timer/scratch setup once per block.
+// Paired single-producer comparison of scalar Observe vs ObserveBatch on
+// ONE model: the stream is delivered in alternating chunks (even chunks
+// item-wise, odd chunks in `batch`-sized blocks), timing each mode
+// separately. Because batched delivery is bit-identical to scalar delivery,
+// the tree evolves the same way regardless of which mode a chunk uses —
+// the two timers measure identical work, milliseconds apart, so scheduler
+// noise on a shared box cancels out of the ratio almost entirely.
+struct PairedObserveResult {
+  double scalar_ops_per_sec = 0.0;
+  double batch_ops_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+PairedObserveResult RunObservePaired(CostModel& model, int64_t total_ops,
+                                     int batch) {
+  Rng rng(0xFEED5);
+  std::vector<Observation> stream;
+  stream.reserve(static_cast<size_t>(total_ops));
+  for (int64_t i = 0; i < total_ops; ++i) {
+    Point p{rng.Uniform(kSpaceLo, kSpaceHi), rng.Uniform(kSpaceLo, kSpaceHi),
+            rng.Uniform(kSpaceLo, kSpaceHi)};
+    stream.push_back({p, Surface(p)});
+  }
+  // Chunks must hold a whole number of blocks so the batched chunks never
+  // deliver a runt block.
+  const size_t chunk =
+      static_cast<size_t>(std::max(batch, 1)) *
+      std::max<size_t>(1, 8192 / static_cast<size_t>(std::max(batch, 1)));
+  double scalar_seconds = 0.0;
+  double batch_seconds = 0.0;
+  int64_t scalar_ops = 0;
+  int64_t batch_ops = 0;
+  bool scalar_turn = true;
+  const size_t n = stream.size();
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    WallTimer timer;
+    if (scalar_turn) {
+      for (size_t i = begin; i < end; ++i) {
+        model.Observe(stream[i].point, stream[i].value);
+      }
+      scalar_seconds += timer.ElapsedSeconds();
+      scalar_ops += static_cast<int64_t>(end - begin);
+    } else {
+      for (size_t i = begin; i < end;) {
+        const size_t block = std::min(end, i + static_cast<size_t>(batch));
+        model.ObserveBatch(
+            std::span<const Observation>(stream.data() + i, block - i));
+        i = block;
+      }
+      batch_seconds += timer.ElapsedSeconds();
+      batch_ops += static_cast<int64_t>(end - begin);
+    }
+    scalar_turn = !scalar_turn;
+  }
+  model.Flush();
+
+  PairedObserveResult result;
+  if (scalar_seconds > 0.0) {
+    result.scalar_ops_per_sec =
+        static_cast<double>(scalar_ops) / scalar_seconds;
+  }
+  if (batch_seconds > 0.0) {
+    result.batch_ops_per_sec = static_cast<double>(batch_ops) / batch_seconds;
+  }
+  if (result.scalar_ops_per_sec > 0.0 && result.batch_ops_per_sec > 0.0) {
+    result.speedup = result.batch_ops_per_sec / result.scalar_ops_per_sec;
+  }
+  return result;
+}
+
 std::vector<int> ParseThreadList(const std::string& text) {
   std::vector<int> threads;
   std::istringstream stream(text);
@@ -244,6 +322,68 @@ int Main(int argc, char** argv) {
                            2)});
   }
   batch_table.Print(std::cout);
+
+  // Feedback-side batching: scalar Observe vs ObserveBatch at growing
+  // block sizes, single-threaded so the delta is pure per-point overhead
+  // amortization (lock round-trips, dispatch, the tree's per-call setup),
+  // not contention relief. The batch=1 row IS the scalar baseline.
+  std::printf("\nBatched feedback (ObserveBatch, single producer):\n");
+  TablePrinter observe_table({"batch", "mutex observe Mops/s",
+                              "sharded observe Mops/s", "mutex speedup",
+                              "sharded speedup"});
+  // Each cell interleaves scalar and batched delivery chunks against ONE
+  // model (see RunObservePaired), takes the median speedup over
+  // kObservePairs independent runs, and reports the best observed batched
+  // rate (interference on a shared box only ever slows a run down, so the
+  // max estimates the machine's actual rate).
+  constexpr int kObservePairs = 3;
+  // Feedback delivery is fast enough that `total_ops` alone makes a
+  // millisecond-scale run; stretch it so each measurement outlives a
+  // scheduler quantum.
+  const int64_t observe_ops = total_ops * 4;
+  const auto make_mutex = [&]() {
+    return std::make_unique<ConcurrentCostModel>(
+        std::make_unique<MlqModel>(space, BenchConfig(budget)));
+  };
+  const auto make_sharded = [&]() {
+    ShardedModelOptions options;
+    options.num_shards = num_shards;
+    options.queue_capacity = 4096;
+    options.drain_batch = 256;
+    return std::make_unique<ShardedCostModel>(space, BenchConfig(budget),
+                                              options);
+  };
+  struct ObserveCell {
+    double best_mops = 0.0;
+    double speedup = 1.0;
+  };
+  const auto measure = [&](const auto& make_model, int batch) {
+    ObserveCell cell;
+    std::vector<double> ratios;
+    for (int r = 0; r < kObservePairs; ++r) {
+      auto model = make_model();
+      const PairedObserveResult paired =
+          RunObservePaired(*model, observe_ops, batch);
+      cell.best_mops = std::max(cell.best_mops, batch == 1
+                                                    ? paired.scalar_ops_per_sec
+                                                    : paired.batch_ops_per_sec);
+      ratios.push_back(batch == 1 ? 1.0 : paired.speedup);
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    cell.speedup = ratios[ratios.size() / 2];
+    return cell;
+  };
+  for (const int batch : {1, 8, 64, 512}) {
+    const ObserveCell mutex_cell = measure(make_mutex, batch);
+    const ObserveCell sharded_cell = measure(make_sharded, batch);
+    observe_table.AddRow({std::to_string(batch),
+                          TablePrinter::Num(mutex_cell.best_mops / 1e6, 3),
+                          TablePrinter::Num(sharded_cell.best_mops / 1e6, 3),
+                          TablePrinter::Num(mutex_cell.speedup, 2),
+                          TablePrinter::Num(sharded_cell.speedup, 2)});
+  }
+  observe_table.Print(std::cout);
 
   std::printf(
       "\nspeedup = sharded / mutex at the same thread count. The sharded\n"

@@ -102,6 +102,33 @@ void BM_QuadtreeInsertLazy(benchmark::State& state) {
 }
 BENCHMARK(BM_QuadtreeInsertLazy)->Arg(1800)->Arg(16384)->Arg(262144);
 
+void BM_QuadtreeInsertBatch(benchmark::State& state) {
+  // The batched feedback entry point at block sizes 1..512 on a
+  // budget-filled lazy tree (constant compression churn, the serving
+  // steady state). Reported per-point via SetItemsProcessed so the rows
+  // are comparable with each other and with BM_QuadtreeInsertLazy: the
+  // spread across rows is the per-call overhead InsertBatch amortizes.
+  const auto batch = static_cast<size_t>(state.range(0));
+  auto tree = FilledTree(16384, InsertionStrategy::kLazy);
+  const auto points = RandomPoints(1024, 6);
+  Rng rng(7);
+  std::vector<Observation> feed;
+  feed.reserve(points.size() + 512);
+  for (const Point& p : points) {
+    feed.push_back({p, rng.Uniform(0.0, 10000.0)});
+  }
+  // Pad with the head so a block starting anywhere in [0, 1024) fits.
+  for (size_t k = 0; k < 512; ++k) feed.push_back(feed[k]);
+  size_t offset = 0;
+  for (auto _ : state) {
+    tree->InsertBatch(std::span<const Observation>(&feed[offset], batch));
+    offset = (offset + batch) & 1023;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_QuadtreeInsertBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_QuadtreeCompress(benchmark::State& state) {
   // Measures one full compression pass (PQ build + gamma eviction) on a
   // freshly refilled tree each iteration. The rebuild dominates wall time,

@@ -1,9 +1,11 @@
 #ifndef MLQ_COMMON_FEEDBACK_QUEUE_H_
 #define MLQ_COMMON_FEEDBACK_QUEUE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -45,7 +47,31 @@ class BoundedFeedbackQueue {
     }
     ring_[(head_ + count_) % ring_.size()] = std::move(item);
     ++count_;
+    approx_count_.store(count_, std::memory_order_release);
     return true;
+  }
+
+  // Enqueues every item in order under ONE mutex acquisition — the batched
+  // feedback path's amortization of Push. Overflow semantics are identical
+  // to item-wise Push (drop-oldest per enqueued item). Returns how many
+  // older items were dropped to make room.
+  size_t PushBatch(std::span<const T> items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t newly_dropped = 0;
+    for (const T& item : items) {
+      ++pushed_;
+      if (count_ == ring_.size()) {
+        ring_[head_] = item;
+        head_ = (head_ + 1) % ring_.size();
+        ++dropped_;
+        ++newly_dropped;
+        continue;
+      }
+      ring_[(head_ + count_) % ring_.size()] = item;
+      ++count_;
+    }
+    approx_count_.store(count_, std::memory_order_release);
+    return newly_dropped;
   }
 
   // Appends up to `max_items` pending items (0 = everything) to `out` in
@@ -59,7 +85,17 @@ class BoundedFeedbackQueue {
       head_ = (head_ + 1) % ring_.size();
     }
     count_ -= n;
+    approx_count_.store(count_, std::memory_order_release);
     return n;
+  }
+
+  // Lock-free emptiness hint for consumers deciding whether a drain is
+  // worth its lock round-trip. Exact for a thread's own pushes (a thread
+  // always observes its own enqueues); another producer's in-flight item
+  // may be missed momentarily, which only defers it to the next drain
+  // trigger — never loses it.
+  bool AppearsEmpty() const {
+    return approx_count_.load(std::memory_order_acquire) == 0;
   }
 
   size_t size() const {
@@ -84,6 +120,8 @@ class BoundedFeedbackQueue {
   std::vector<T> ring_;
   size_t head_ = 0;   // Index of the oldest pending item.
   size_t count_ = 0;  // Pending items.
+  // Mirror of count_ for the lock-free AppearsEmpty hint.
+  std::atomic<size_t> approx_count_{0};
   int64_t pushed_ = 0;
   int64_t dropped_ = 0;
 };

@@ -35,21 +35,36 @@ CostCatalog::CostCatalog(int64_t memory_limit_bytes,
       num_shards_(std::max(num_shards, 1)) {}
 
 std::unique_ptr<CostModel> CostCatalog::MakeModel(const Box& space,
-                                                  int64_t beta) const {
+                                                  int64_t beta) {
   const MlqConfig config = CatalogModelConfig(memory_limit_bytes_, beta);
+  std::shared_ptr<SharedNodeArena> arena = ArenaForDimsLocked(space.dims());
   switch (concurrency_) {
     case CatalogConcurrency::kSingleThread:
-      return std::make_unique<MlqModel>(space, config);
+      return std::make_unique<MlqModel>(space, config, std::move(arena));
     case CatalogConcurrency::kGlobalMutex:
       return std::make_unique<ConcurrentCostModel>(
-          std::make_unique<MlqModel>(space, config));
+          std::make_unique<MlqModel>(space, config, std::move(arena)));
     case CatalogConcurrency::kSharded: {
       ShardedModelOptions options;
       options.num_shards = num_shards_;
+      options.arena = std::move(arena);
       return std::make_unique<ShardedCostModel>(space, config, options);
     }
   }
   return nullptr;  // Unreachable.
+}
+
+std::shared_ptr<SharedNodeArena>& CostCatalog::ArenaForDimsLocked(int dims) {
+  const int fanout = 1 << dims;
+  std::shared_ptr<SharedNodeArena>& arena = arenas_[fanout];
+  if (arena == nullptr) arena = std::make_shared<SharedNodeArena>(fanout);
+  return arena;
+}
+
+std::shared_ptr<SharedNodeArena> CostCatalog::ArenaForDims(int dims) {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  return ArenaForDimsLocked(dims);
 }
 
 CostCatalog::Entry& CostCatalog::For(CostedUdf* udf) {
@@ -82,6 +97,31 @@ void CostCatalog::RecordExecution(CostedUdf* udf, const Point& model_point,
   entry.io_model->Observe(model_point, cost.io_pages);
   entry.selectivity_model->Observe(model_point, passed ? 1.0 : 0.0);
   if (obs::Enabled()) obs::Core().catalog_feedback.Inc();
+}
+
+void CostCatalog::RecordExecutionBatch(
+    CostedUdf* udf, std::span<const ExecutionRecord> records) {
+  if (records.empty()) return;
+  Entry& entry = For(udf);
+  // Three parallel observation vectors, one per model; insert order within
+  // each model matches a RecordExecution loop exactly.
+  std::vector<Observation> cpu;
+  std::vector<Observation> io;
+  std::vector<Observation> selectivity;
+  cpu.reserve(records.size());
+  io.reserve(records.size());
+  selectivity.reserve(records.size());
+  for (const ExecutionRecord& r : records) {
+    cpu.push_back({r.model_point, r.cost.cpu_work});
+    io.push_back({r.model_point, r.cost.io_pages});
+    selectivity.push_back({r.model_point, r.passed ? 1.0 : 0.0});
+  }
+  entry.cpu_model->ObserveBatch(cpu);
+  entry.io_model->ObserveBatch(io);
+  entry.selectivity_model->ObserveBatch(selectivity);
+  if (obs::Enabled()) {
+    obs::Core().catalog_feedback.Inc(static_cast<int64_t>(records.size()));
+  }
 }
 
 double CostCatalog::PredictCostMicros(CostedUdf* udf,
@@ -138,6 +178,51 @@ void CostCatalog::FlushFeedback() {
     entry->io_model->Flush();
     entry->selectivity_model->Flush();
   }
+}
+
+CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenas() {
+  ArenaMaintenanceStats stats;
+  // The whole epoch runs under entries_mutex_ so no new models (or arenas)
+  // can appear mid-compaction. Per-entry feedback is flushed inline — NOT
+  // via FlushFeedback(), which would re-take this mutex — so the trees are
+  // quiescent before their node blocks move.
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  for (auto& entry : entries_) {
+    entry->cpu_model->Flush();
+    entry->io_model->Flush();
+    entry->selectivity_model->Flush();
+  }
+  // Take every model's maintenance lock(s) so no prediction or drain can
+  // observe a node mid-move. Locks release together when `locks` dies.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  for (auto& entry : entries_) {
+    for (auto* model :
+         {entry->cpu_model.get(), entry->io_model.get(),
+          entry->selectivity_model.get()}) {
+      auto model_locks = model->LockForMaintenance();
+      for (auto& l : model_locks) locks.push_back(std::move(l));
+    }
+  }
+  for (auto& [fanout, arena] : arenas_) {
+    const SharedNodeArena::CompactionStats c = arena->Compact();
+    stats.physical_bytes_before += c.physical_bytes_before;
+    stats.physical_bytes_after += c.physical_bytes_after;
+    stats.bytes_reclaimed += c.bytes_reclaimed;
+    stats.blocks_moved += c.blocks_moved;
+    ++stats.arenas_compacted;
+  }
+  return stats;
+}
+
+int64_t CostCatalog::ArenaPhysicalBytes() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  int64_t total = 0;
+  for (const auto& [fanout, arena] : arenas_) {
+    total += arena->PhysicalCapacityBytes();
+  }
+  return total;
 }
 
 int CostCatalog::size() const {

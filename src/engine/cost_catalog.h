@@ -2,12 +2,14 @@
 #define MLQ_ENGINE_COST_CATALOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "model/cost_model.h"
+#include "quadtree/shared_node_arena.h"
 #include "udf/costed_udf.h"
 
 namespace mlq {
@@ -44,6 +46,24 @@ class CostCatalog {
     std::unique_ptr<CostModel> selectivity_model;
   };
 
+  // One execution outcome, buffered by the batched executor path and
+  // delivered through RecordExecutionBatch.
+  struct ExecutionRecord {
+    Point model_point;
+    UdfCost cost;
+    bool passed = false;
+  };
+
+  // Result of one CompactArenas maintenance epoch, summed over all of the
+  // catalog's shared arenas.
+  struct ArenaMaintenanceStats {
+    int64_t physical_bytes_before = 0;
+    int64_t physical_bytes_after = 0;
+    int64_t bytes_reclaimed = 0;
+    int64_t blocks_moved = 0;
+    int arenas_compacted = 0;
+  };
+
   // `memory_limit_bytes` is the per-model budget (the paper's 1.8 KB each).
   // `num_shards` only applies to CatalogConcurrency::kSharded.
   explicit CostCatalog(
@@ -62,6 +82,14 @@ class CostCatalog {
   // Records one execution outcome for the UDF at the given model point.
   void RecordExecution(CostedUdf* udf, const Point& model_point,
                        const UdfCost& cost, bool passed);
+
+  // Batched feedback: applies every record to the UDF's three models with
+  // one ObserveBatch call each (one lock round-trip per model in the
+  // concurrent modes) instead of three virtual dispatches per record. The
+  // per-model insert sequences — hence the trees — are identical to calling
+  // RecordExecution in a loop.
+  void RecordExecutionBatch(CostedUdf* udf,
+                            std::span<const ExecutionRecord> records);
 
   // Predicted per-call cost in nominal microseconds (CPU + IO combined).
   double PredictCostMicros(CostedUdf* udf, const Point& model_point);
@@ -86,21 +114,45 @@ class CostCatalog {
   // synchronous modes.
   void FlushFeedback();
 
+  // The shared arena all models over a `dims`-dimensional space allocate
+  // from (fanout 2^dims). Lazily created; stable for the catalog's life.
+  // Exposed so callers can hand the same slabs to models they build
+  // outside the catalog (e.g. PartitionedCostModel sub-models).
+  std::shared_ptr<SharedNodeArena> ArenaForDims(int dims);
+
+  // Explicit maintenance epoch: flush all queued feedback, take every
+  // model's maintenance lock, and compact every shared arena — rewriting
+  // live node blocks contiguously and returning high-water slab memory.
+  // Blocks all predictions and feedback for the (short) duration; no
+  // prediction changes. Returns what was reclaimed.
+  ArenaMaintenanceStats CompactArenas();
+
+  // Current physical footprint of the catalog's shared arenas (slab bytes
+  // actually allocated — distinct from the per-model logical budgets).
+  int64_t ArenaPhysicalBytes() const;
+
   int size() const;
   int64_t memory_limit_bytes() const { return memory_limit_bytes_; }
   CatalogConcurrency concurrency() const { return concurrency_; }
 
  private:
   // Wraps a freshly configured MLQ model according to concurrency_.
-  std::unique_ptr<CostModel> MakeModel(const Box& space, int64_t beta) const;
+  std::unique_ptr<CostModel> MakeModel(const Box& space, int64_t beta);
+
+  // ArenaForDims body with entries_mutex_ already held (concurrent modes).
+  std::shared_ptr<SharedNodeArena>& ArenaForDimsLocked(int dims);
 
   int64_t memory_limit_bytes_;
   CatalogConcurrency concurrency_;
   int num_shards_;
-  // Guards entries_ (lookup + lazy creation) in the concurrent modes; the
-  // models themselves carry their own synchronization.
+  // Guards entries_ and arenas_ (lookup + lazy creation) in the concurrent
+  // modes; the models themselves carry their own synchronization.
   mutable std::mutex entries_mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
+  // One shared arena per node fanout (= 2^dims): every model whose space
+  // has the same dimensionality draws physical slabs from the same arena,
+  // while each tree keeps its own logical byte budget.
+  std::map<int, std::shared_ptr<SharedNodeArena>> arenas_;
 };
 
 }  // namespace mlq

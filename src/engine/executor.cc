@@ -200,6 +200,12 @@ ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
   std::vector<std::vector<Point>> points(n);
   std::vector<std::vector<double>> costs(n);
   std::vector<std::vector<double>> selectivities(n);
+  // Per-predicate feedback buffers, flushed once per block through
+  // RecordExecutionBatch. Deferring feedback to block end cannot change
+  // any decision: the block's probes are precomputed above, and each
+  // model's insert sequence is untouched (records stay in row order per
+  // predicate, and a model only ever receives its own UDF's feedback).
+  std::vector<std::vector<CostCatalog::ExecutionRecord>> feedback(n);
 
   for (int64_t block_begin = 0; block_begin < stats.rows_in;
        block_begin += block_rows) {
@@ -242,14 +248,19 @@ ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
         const UdfPredicate::Outcome outcome = predicate->Evaluate(row_values);
         ++stats.evaluations_per_predicate[static_cast<size_t>(index)];
         stats.actual_cost_micros += outcome.cost.NominalMicros();
-        catalog.RecordExecution(predicate->udf(), outcome.model_point,
-                                outcome.cost, outcome.passed);
+        feedback[static_cast<size_t>(index)].push_back(
+            {outcome.model_point, outcome.cost, outcome.passed});
         if (!outcome.passed) {
           row_passes = false;
           break;
         }
       }
       if (row_passes) ++stats.rows_out;
+    }
+    // Feedback phase: one batched delivery per predicate for the block.
+    for (size_t i = 0; i < n; ++i) {
+      catalog.RecordExecutionBatch(query.predicates[i]->udf(), feedback[i]);
+      feedback[i].clear();
     }
   }
   RecordExecObs(stats, obs_t0, obs_on);

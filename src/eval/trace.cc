@@ -1,5 +1,6 @@
 #include "eval/trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <istream>
@@ -98,6 +99,55 @@ double ReplayTrace(CostModel& model, std::span<const TraceRecord> records,
     model.Observe(record.point, actual);
   }
   return nae.Nae();
+}
+
+double ReplayTraceBatched(CostModel& model,
+                          std::span<const TraceRecord> records,
+                          CostKind cost_kind, int block_size) {
+  assert(block_size >= 1);
+  NaeAccumulator nae;
+  std::vector<Point> points;
+  std::vector<Prediction> predictions;
+  std::vector<Observation> feedback;
+  for (size_t begin = 0; begin < records.size();
+       begin += static_cast<size_t>(block_size)) {
+    const size_t end =
+        std::min(records.size(), begin + static_cast<size_t>(block_size));
+    points.clear();
+    feedback.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const double actual = cost_kind == CostKind::kCpu ? records[i].cpu_cost
+                                                        : records[i].io_cost;
+      points.push_back(records[i].point);
+      feedback.push_back({records[i].point, actual});
+    }
+    predictions.resize(points.size());
+    model.PredictBatch(points, predictions);
+    for (size_t k = 0; k < predictions.size(); ++k) {
+      nae.Add(predictions[k].value, feedback[k].value);
+    }
+    model.ObserveBatch(feedback);
+  }
+  return nae.Nae();
+}
+
+void IngestTrace(CostModel& model, std::span<const TraceRecord> records,
+                 CostKind cost_kind, int chunk_size) {
+  assert(chunk_size >= 1);
+  std::vector<Observation> chunk;
+  chunk.reserve(static_cast<size_t>(chunk_size));
+  for (size_t begin = 0; begin < records.size();
+       begin += static_cast<size_t>(chunk_size)) {
+    const size_t end =
+        std::min(records.size(), begin + static_cast<size_t>(chunk_size));
+    chunk.clear();
+    for (size_t i = begin; i < end; ++i) {
+      chunk.push_back({records[i].point, cost_kind == CostKind::kCpu
+                                             ? records[i].cpu_cost
+                                             : records[i].io_cost});
+    }
+    model.ObserveBatch(chunk);
+  }
 }
 
 }  // namespace mlq

@@ -46,6 +46,21 @@ std::vector<TraceRecord> CaptureTrace(CostedUdf& udf,
 double ReplayTrace(CostModel& model, std::span<const TraceRecord> records,
                    CostKind cost_kind);
 
+// Block-batched replay: per block of `block_size` records, one PredictBatch
+// (all predictions made *before* any of the block's feedback lands, as a
+// batching executor would) followed by one ObserveBatch. The model's final
+// insert sequence is identical to ReplayTrace; the NAE can differ slightly
+// because within-block predictions no longer see earlier rows of the same
+// block. Returns the NAE.
+double ReplayTraceBatched(CostModel& model,
+                          std::span<const TraceRecord> records,
+                          CostKind cost_kind, int block_size);
+
+// Bulk-loads a trace into a model as feedback only (no predictions): one
+// ObserveBatch per chunk. The warm-start path for eval drivers and tools.
+void IngestTrace(CostModel& model, std::span<const TraceRecord> records,
+                 CostKind cost_kind, int chunk_size = 512);
+
 }  // namespace mlq
 
 #endif  // MLQ_EVAL_TRACE_H_

@@ -47,6 +47,18 @@ class ConcurrentCostModel : public CostModel {
     inner_->Observe(point, actual_cost);
   }
 
+  // The feedback twin of PredictBatch: one lock acquisition per batch.
+  void ObserveBatch(std::span<const Observation> batch) override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    inner_->ObserveBatch(batch);
+  }
+
+  std::vector<std::unique_lock<std::mutex>> LockForMaintenance() override {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.emplace_back(mutex_);
+    return locks;
+  }
+
   int64_t MemoryBytes() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->MemoryBytes();

@@ -2,8 +2,10 @@
 #define MLQ_MODEL_COST_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/geometry.h"
 #include "quadtree/memory_limited_quadtree.h"
@@ -65,6 +67,25 @@ class CostModel {
   // Query feedback: the actual cost observed at `point`. Static models
   // ignore this.
   virtual void Observe(const Point& point, double actual_cost) = 0;
+
+  // Batched feedback: applies the observations in order, semantically
+  // identical to calling Observe per element. Models that can amortize
+  // per-call costs (one lock per batch, one shard dispatch per batch, one
+  // timed tree entry per batch) override this; the default is a plain
+  // loop, so every model — static histograms included — takes batches
+  // unmodified.
+  virtual void ObserveBatch(std::span<const Observation> batch) {
+    for (const Observation& o : batch) Observe(o.point, o.value);
+  }
+
+  // Locks that quiesce this model for stop-the-world maintenance (shared
+  // arena compaction): once every returned lock is held, no thread can be
+  // inside the model holding node indices. Models without internal locking
+  // return nothing — their owner is responsible for exclusivity, as with
+  // any other call on a thread-compatible model.
+  virtual std::vector<std::unique_lock<std::mutex>> LockForMaintenance() {
+    return {};
+  }
 
   // Forces any internally buffered feedback to be applied (models that
   // queue observations, e.g. ShardedCostModel). Default: feedback is

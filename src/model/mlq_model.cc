@@ -3,7 +3,11 @@
 namespace mlq {
 
 MlqModel::MlqModel(const Box& space, const MlqConfig& config)
-    : tree_(space, config),
+    : MlqModel(space, config, nullptr) {}
+
+MlqModel::MlqModel(const Box& space, const MlqConfig& config,
+                   std::shared_ptr<SharedNodeArena> arena)
+    : tree_(space, config, std::move(arena)),
       name_(config.strategy == InsertionStrategy::kEager ? "MLQ-E" : "MLQ-L") {}
 
 double MlqModel::Predict(const Point& point) const {

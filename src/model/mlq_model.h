@@ -14,9 +14,23 @@ class MlqModel : public CostModel {
  public:
   MlqModel(const Box& space, const MlqConfig& config);
 
+  // Same, drawing nodes from a shared catalog arena (may be null).
+  MlqModel(const Box& space, const MlqConfig& config,
+           std::shared_ptr<SharedNodeArena> arena);
+
   std::string_view name() const override { return name_; }
   double Predict(const Point& point) const override;
   void Observe(const Point& point, double actual_cost) override;
+  void ObserveBatch(std::span<const Observation> batch) override {
+    tree_.InsertBatch(batch);
+  }
+  // Gather form of ObserveBatch: applies all[indices[...]] in index order
+  // without copying the selected observations (see the tree's gather
+  // InsertBatch overload).
+  void ObserveGather(std::span<const Observation> all,
+                     std::span<const uint32_t> indices) {
+    tree_.InsertBatch(all, indices);
+  }
   int64_t MemoryBytes() const override { return tree_.memory_used(); }
   bool IsSelfTuning() const override { return true; }
   ModelUpdateBreakdown update_breakdown() const override;

@@ -1,8 +1,22 @@
 #include "model/partitioned_model.h"
 
 #include <cassert>
+#include <utility>
+
+#include "model/mlq_model.h"
 
 namespace mlq {
+
+PartitionedCostModel::ModelFactory MakeSharedArenaMlqFactory(
+    const Box& space, const MlqConfig& base_config,
+    std::shared_ptr<SharedNodeArena> arena) {
+  return [space, base_config,
+          arena = std::move(arena)](int64_t budget_bytes) {
+    MlqConfig config = base_config;
+    config.memory_limit_bytes = budget_bytes;
+    return std::make_unique<MlqModel>(space, config, arena);
+  };
+}
 
 PartitionedCostModel::PartitionedCostModel(ModelFactory factory,
                                            int max_partitions,

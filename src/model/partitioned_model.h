@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "model/cost_model.h"
+#include "quadtree/quadtree_config.h"
+#include "quadtree/shared_node_arena.h"
 
 namespace mlq {
 
@@ -66,6 +68,16 @@ class PartitionedCostModel {
   std::vector<Partition> partitions_;        // Private per-key models.
   std::unique_ptr<CostModel> overflow_;      // Shared by all other keys.
 };
+
+// A ModelFactory whose sub-models are MLQ trees drawing physical node
+// blocks from `arena` (typically the owning catalog's, via ArenaForDims).
+// Without this, every FindOrCreate growth step would spin up a private
+// arena — hundreds of nominal keys each paying their own slab high-water —
+// instead of reusing the catalog slab that Compact() keeps tight. Each
+// sub-model still gets its own *logical* budget_bytes cap.
+PartitionedCostModel::ModelFactory MakeSharedArenaMlqFactory(
+    const Box& space, const MlqConfig& base_config,
+    std::shared_ptr<SharedNodeArena> arena);
 
 }  // namespace mlq
 

@@ -111,6 +111,12 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
 
 std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     const std::vector<uint8_t>& bytes, std::string* error) {
+  return DeserializeQuadtree(bytes, nullptr, error);
+}
+
+std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
+    const std::vector<uint8_t>& bytes, std::shared_ptr<SharedNodeArena> arena,
+    std::string* error) {
   std::string local_error;
   std::string* err = error != nullptr ? error : &local_error;
   Reader reader(bytes);
@@ -173,7 +179,12 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     return nullptr;
   }
 
-  auto tree = std::make_unique<MemoryLimitedQuadtree>(Box(lo, hi), config);
+  if (arena != nullptr && arena->fanout() != (1 << dims)) {
+    *err = "arena fanout does not match serialized dims";
+    return nullptr;
+  }
+  auto tree = std::make_unique<MemoryLimitedQuadtree>(Box(lo, hi), config,
+                                                      std::move(arena));
   NodePool& pool = tree->pool_;
 
   if (version == 2) {

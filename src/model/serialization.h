@@ -43,6 +43,15 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree);
 std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     const std::vector<uint8_t>& bytes, std::string* error = nullptr);
 
+// Same, rebuilding the tree on a shared node arena (fanout must match the
+// serialized dimensionality). Records are renumbered to pre-order visit
+// order on write, so the byte image is independent of arena layout:
+// serialize → deserialize round-trips bit-identically between private and
+// shared arenas.
+std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
+    const std::vector<uint8_t>& bytes, std::shared_ptr<SharedNodeArena> arena,
+    std::string* error = nullptr);
+
 // Convenience file I/O. Returns false on filesystem errors.
 bool SaveQuadtreeToFile(const MemoryLimitedQuadtree& tree,
                         const std::string& path);

@@ -40,8 +40,8 @@ ShardedCostModel::ShardedCostModel(const Box& space, const MlqConfig& config,
   const MlqConfig shard_config = ShardConfig(config, options_.num_shards);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(space, shard_config, options_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(
+        space, shard_config, options_.queue_capacity, options_.arena));
   }
   name_ = "MLQ-Sx" + std::to_string(options_.num_shards);
 
@@ -91,12 +91,16 @@ int ShardedCostModel::ShardOf(const Point& point) const {
 }
 
 void ShardedCostModel::DrainLocked(Shard& shard) const {
+  // The hint is exact for the calling thread's own pushes, so skipping the
+  // queue-lock round-trip here never reorders a producer against itself.
+  if (shard.queue.AppearsEmpty()) return;
   shard.drain_buffer.clear();
   shard.queue.PopBatch(&shard.drain_buffer);
-  for (const Observation& obs : shard.drain_buffer) {
-    shard.model.Observe(obs.point, obs.value);
-    ++shard.applied;
-  }
+  // One batched tree entry for the whole backlog: every drain trigger
+  // (predict-side, opportunistic, Flush, background) rides the amortized
+  // path. Insert order — hence the tree — is unchanged.
+  shard.model.ObserveBatch(shard.drain_buffer);
+  shard.applied += static_cast<int64_t>(shard.drain_buffer.size());
   const auto applied = static_cast<int64_t>(shard.drain_buffer.size());
   if (applied > 0 && obs::Enabled()) {
     obs::Core().feedback_applied.Inc(applied);
@@ -174,6 +178,76 @@ void ShardedCostModel::Observe(const Point& point, double actual_cost) {
   }
 }
 
+void ShardedCostModel::ObserveBatch(std::span<const Observation> batch) {
+  if (batch.empty()) return;
+  // Partition by shard hash into index runs (an Observation copy would
+  // heap-allocate its Point, so the runs carry indices only). The counting
+  // sort is stable, so each shard's relative order is preserved: a
+  // single-threaded caller produces exactly the per-shard insert sequences
+  // of a scalar Observe loop.
+  const size_t n = batch.size();
+  std::vector<uint32_t> shard_of(n);
+  std::vector<uint32_t> start(shards_.size() + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<uint32_t>(ShardOf(batch[i].point));
+    shard_of[i] = s;
+    ++start[s + 1];
+  }
+  for (size_t s = 1; s < start.size(); ++s) start[s] += start[s - 1];
+  std::vector<uint32_t> order(n);
+  std::vector<uint32_t> cursor(start.begin(), start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    order[cursor[shard_of[i]]++] = static_cast<uint32_t>(i);
+  }
+  const bool obs_on = obs::Enabled();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::span<const uint32_t> run(order.data() + start[s],
+                                        start[s + 1] - start[s]);
+    if (run.empty()) continue;
+    Shard& shard = *shards_[s];
+    // Fast path: when the shard is idle, skip the queue round-trip (ring
+    // copy, pop, drain-buffer copy) and gather-apply the run straight to
+    // the tree. Draining the backlog first keeps this-producer FIFO order,
+    // so a single-threaded caller still builds the exact scalar-loop tree.
+    {
+      std::unique_lock<std::mutex> lock(shard.model_mutex, std::try_to_lock);
+      if (lock.owns_lock()) {
+        DrainLocked(shard);
+        shard.model.ObserveGather(batch, run);
+        const auto applied = static_cast<int64_t>(run.size());
+        shard.applied += applied;
+        shard.direct_submitted += applied;
+        if (obs_on) obs::Core().feedback_applied.Inc(applied);
+        continue;
+      }
+    }
+    // Slow path: the shard is busy serving — materialize the run and
+    // enqueue it with exactly the scalar Observe's drop-oldest overflow
+    // semantics, one queue-lock acquisition for the whole run.
+    std::vector<Observation> bucket;
+    bucket.reserve(run.size());
+    for (const uint32_t i : run) bucket.push_back(batch[i]);
+    const size_t dropped = shard.queue.PushBatch(bucket);
+    if (obs_on) {
+      obs::CoreMetrics& core = obs::Core();
+      core.feedback_enqueued.Inc(static_cast<int64_t>(bucket.size()));
+      if (dropped > 0) {
+        core.feedback_dropped.Inc(static_cast<int64_t>(dropped));
+        MLQ_TRACE_EVENT(obs::TraceEventType::kFeedbackDrop, obs::NowNs(), 0,
+                        static_cast<double>(shard.queue.size()), 0.0);
+      }
+    }
+  }
+}
+
+std::vector<std::unique_lock<std::mutex>>
+ShardedCostModel::LockForMaintenance() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->model_mutex);
+  return locks;
+}
+
 void ShardedCostModel::Flush() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->model_mutex);
@@ -211,8 +285,11 @@ ShardedModelStats ShardedCostModel::shard_stats(int shard_index) const {
     stats.predictions = shard.predictions;
     stats.observations_applied = shard.applied;
     stats.compressions = shard.model.tree().counters().compressions;
+    // Submitted = everything that went through the queue plus everything
+    // ObserveBatch applied directly past it.
+    stats.observations_submitted = shard.direct_submitted;
   }
-  stats.observations_submitted = shard.queue.pushed();
+  stats.observations_submitted += shard.queue.pushed();
   stats.observations_dropped = shard.queue.dropped();
   stats.pending = static_cast<int64_t>(shard.queue.size());
   return stats;

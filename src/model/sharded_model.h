@@ -22,6 +22,10 @@ struct ShardedModelOptions {
   // the full model space under memory_limit_bytes / num_shards.
   int num_shards = 4;
 
+  // When set, every shard tree allocates from this arena instead of a
+  // private one (catalog-shared physical slabs; logical budgets unchanged).
+  std::shared_ptr<SharedNodeArena> arena;
+
   // Bounded per-shard feedback queue capacity (drop-oldest on overflow).
   size_t queue_capacity = 1024;
 
@@ -101,9 +105,24 @@ class ShardedCostModel : public CostModel {
   void PredictBatch(std::span<const Point> points,
                     std::span<Prediction> out) const override;
   void Observe(const Point& point, double actual_cost) override;
+  // Partitions the batch by shard hash (preserving each shard's relative
+  // order), then per shard: if the shard's model lock is free, drains the
+  // queued backlog and applies the whole run directly via the tree's
+  // batched insert — skipping the queue round-trip entirely; if the shard
+  // is busy, enqueues the run with ONE queue-lock acquisition under the
+  // scalar path's drop-oldest overflow semantics. A single-threaded caller
+  // always takes the direct path, so its per-shard insert sequence matches
+  // a scalar Observe loop exactly; see docs/concurrency.md for how burst
+  // enqueueing interacts with the bounded queue.
+  void ObserveBatch(std::span<const Observation> batch) override;
   int64_t MemoryBytes() const override;
   bool IsSelfTuning() const override { return true; }
   ModelUpdateBreakdown update_breakdown() const override;
+
+  // Takes every shard's model mutex (in shard order). Queued feedback may
+  // remain pending — queues hold Points, not node indices, so arena
+  // compaction does not invalidate them.
+  std::vector<std::unique_lock<std::mutex>> LockForMaintenance() override;
 
   // Applies every queued observation to its shard tree (blocking: takes
   // each shard's model lock in turn). After Flush returns — with no
@@ -132,14 +151,10 @@ class ShardedCostModel : public CostModel {
   QuadtreeCounters AggregateTreeCounters() const;
 
  private:
-  struct Observation {
-    Point point;
-    double value = 0.0;
-  };
-
   struct Shard {
-    Shard(const Box& space, const MlqConfig& config, size_t queue_capacity)
-        : model(space, config), queue(queue_capacity) {}
+    Shard(const Box& space, const MlqConfig& config, size_t queue_capacity,
+          std::shared_ptr<SharedNodeArena> arena)
+        : model(space, config, std::move(arena)), queue(queue_capacity) {}
 
     // Lock order: model_mutex before queue's internal mutex (Predict and
     // drains hold model_mutex while popping); Observe takes only the
@@ -150,6 +165,9 @@ class ShardedCostModel : public CostModel {
     // Guarded by model_mutex:
     int64_t predictions = 0;
     int64_t applied = 0;
+    // Observations ObserveBatch applied directly, bypassing the queue
+    // (counted into observations_submitted alongside queue.pushed()).
+    int64_t direct_submitted = 0;
     // Reused drain scratch buffer, guarded by model_mutex.
     std::vector<Observation> drain_buffer;
   };

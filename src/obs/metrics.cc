@@ -272,6 +272,11 @@ CoreMetrics& Core() {
       r.GetCounter("mlq_plans_total", "Queries planned"),
       r.GetCounter("mlq_plan_audits_total", "LEO-style plan audits run"),
       r.GetCounter("mlq_query_execs_total", "Queries executed"),
+      r.GetCounter("mlq_observe_batches_total", "Batched feedback calls applied"),
+      r.GetCounter("mlq_arena_compactions_total",
+                   "Shared node-arena compaction passes"),
+      r.GetCounter("mlq_arena_compact_bytes_reclaimed_total",
+                   "Physical bytes reclaimed by arena compaction"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
       r.GetHistogram("mlq_predict_batch_latency_ns",
                      "Whole-batch predict latency"),
@@ -281,6 +286,12 @@ CoreMetrics& Core() {
       r.GetHistogram("mlq_query_exec_latency_ns", "Query execution latency"),
       r.GetHistogram("mlq_model_lock_wait_ns",
                      "Wait for a model/shard mutex on the serving path"),
+      r.GetHistogram("mlq_observe_batch_latency_ns",
+                     "Whole-batch feedback latency"),
+      r.GetHistogram("mlq_observe_batch_points",
+                     "Observations per feedback batch (log2 buckets)"),
+      r.GetHistogram("mlq_arena_compact_latency_ns",
+                     "Shared node-arena compaction pass latency"),
       r.GetGauge("mlq_model_max_cost_drift",
                  "Max multiplicative cost-estimate drift from the last audit"),
       r.GetGauge("mlq_model_max_selectivity_drift",

@@ -158,6 +158,9 @@ struct CoreMetrics {
   Counter& plans;                 // mlq_plans_total
   Counter& plan_audits;           // mlq_plan_audits_total
   Counter& query_execs;           // mlq_query_execs_total
+  Counter& observe_batches;       // mlq_observe_batches_total
+  Counter& arena_compactions;     // mlq_arena_compactions_total
+  Counter& arena_compact_bytes_reclaimed;  // mlq_arena_compact_bytes_reclaimed_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
   LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
@@ -166,6 +169,11 @@ struct CoreMetrics {
   LatencyHistogram& plan_ns;       // mlq_plan_latency_ns
   LatencyHistogram& exec_ns;       // mlq_query_exec_latency_ns
   LatencyHistogram& lock_wait_ns;  // mlq_model_lock_wait_ns
+  LatencyHistogram& observe_batch_ns;  // mlq_observe_batch_latency_ns
+  // Batch SIZES, not latencies: the log2 bucketing doubles as a cheap
+  // power-of-two size histogram.
+  LatencyHistogram& observe_batch_points;  // mlq_observe_batch_points
+  LatencyHistogram& arena_compact_ns;  // mlq_arena_compact_latency_ns
 
   Gauge& max_cost_drift;         // mlq_model_max_cost_drift
   Gauge& max_selectivity_drift;  // mlq_model_max_selectivity_drift

@@ -27,10 +27,15 @@ void ClampToSpace(const Point& point, const Box& space, double* out) {
 
 MemoryLimitedQuadtree::MemoryLimitedQuadtree(const Box& space,
                                              const MlqConfig& config)
+    : MemoryLimitedQuadtree(space, config, nullptr) {}
+
+MemoryLimitedQuadtree::MemoryLimitedQuadtree(
+    const Box& space, const MlqConfig& config,
+    std::shared_ptr<SharedNodeArena> arena)
     : space_(space),
       config_(config),
       budget_(config.memory_limit_bytes),
-      pool_(1 << space.dims()) {
+      pool_(1 << space.dims(), std::move(arena)) {
   assert(space.dims() >= 1 && space.dims() <= kMaxDims);
   assert(config.max_depth >= 0);
   assert(config.memory_limit_bytes >= kNodeBaseBytes);
@@ -44,6 +49,18 @@ MemoryLimitedQuadtree::MemoryLimitedQuadtree(const Box& space,
   root_ = pool_.AllocateRoot();
   SyncBudget();
   counters_.nodes_created = 0;  // The root is not counted as "created".
+  // On a shared arena, Compact() relocates blocks and must patch this
+  // tree's root index in place.
+  if (pool_.shares_arena()) pool_.arena().RegisterRoot(&root_);
+}
+
+MemoryLimitedQuadtree::~MemoryLimitedQuadtree() {
+  // A private arena simply dies with the pool; a shared one outlives this
+  // tree, so hand every block back to the communal free-list.
+  if (pool_.shares_arena()) {
+    pool_.arena().UnregisterRoot(&root_);
+    pool_.ReleaseTree(root_);
+  }
 }
 
 Prediction MemoryLimitedQuadtree::Predict(const Point& point) const {
@@ -56,8 +73,10 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
   double p[kMaxDims];
   ClampToSpace(point, space_, p);
 
-  const PooledNode* nodes = pool_.raw();
-  const PooledNode* cn = &nodes[root_];
+  // Node addresses are slab-stable, so holding references across the
+  // (read-only) descent is safe even while sibling trees grow the arena.
+  const SharedNodeArena& arena = pool_.arena();
+  const PooledNode* cn = &arena.node(root_);
   Prediction out;
   if (cn->summary.count < beta) {
     // Not even the root qualifies; fall back to whatever average exists.
@@ -93,7 +112,7 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
     // slot first_child + ci — a single indexed load, no sibling scan.
     const NodeIndex base = cn->first_child;
     if (base == kInvalidNodeIndex) break;
-    const PooledNode* child = &nodes[base + static_cast<NodeIndex>(ci)];
+    const PooledNode* child = &arena.node(base + static_cast<NodeIndex>(ci));
     if (child->index_in_parent != ci || child->summary.count < beta) break;
     cn = child;
     for (int d = 0; d < dims; ++d) {
@@ -223,9 +242,11 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
       assert(node.depth < 0xFFFF);
       ++node.depth;
       if (node.first_child == kInvalidNodeIndex) continue;
+      const PooledNode* block = pool_.block(node.first_child);
       for (int q = 0; q < fanout; ++q) {
-        const NodeIndex c = node.first_child + static_cast<NodeIndex>(q);
-        if (pool_.node(c).index_in_parent == q) stack.push_back(c);
+        if (block[q].index_in_parent == q) {
+          stack.push_back(node.first_child + static_cast<NodeIndex>(q));
+        }
       }
     }
     root_ = new_root;
@@ -236,20 +257,116 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
   }
 }
 
-void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
-  // Non-finite feedback would permanently poison the summary triples (a
-  // single NaN makes every ancestor average NaN); drop such observations,
-  // as a production system would drop a garbled measurement.
-  if (!std::isfinite(value)) return;
+namespace {
+
+// Non-finite feedback would permanently poison the summary triples (a
+// single NaN makes every ancestor average NaN); drop such observations,
+// as a production system would drop a garbled measurement.
+bool IsFiniteObservation(const Point& point, double value) {
+  if (!std::isfinite(value)) return false;
   for (int d = 0; d < point.dims(); ++d) {
-    if (!std::isfinite(point[d])) return;
+    if (!std::isfinite(point[d])) return false;
   }
+  return true;
+}
+
+}  // namespace
+
+void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
+  if (!IsFiniteObservation(point, value)) return;
 
   WallTimer timer;
   const double compress_seconds_before = counters_.compress_seconds;
-  ++counters_.insertions;
   obs::ScopedLatency latency(obs::Core().insert_ns, obs::Core().inserts,
                              obs::TraceEventType::kInsert);
+
+  std::vector<NodeIndex> path;
+  path.reserve(static_cast<size_t>(config_.max_depth) + 1);
+  InsertOne(point, value, path);
+
+  const double compress_delta =
+      counters_.compress_seconds - compress_seconds_before;
+  counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
+  latency.set_args(value, static_cast<double>(path.size()));
+}
+
+void MemoryLimitedQuadtree::InsertBatch(std::span<const Observation> batch) {
+  if (batch.empty()) return;
+
+  WallTimer timer;
+  const double compress_seconds_before = counters_.compress_seconds;
+  const bool obs_on = obs::Enabled();
+  const int64_t t0 = obs_on ? obs::NowNs() : 0;
+
+  // One path scratch vector for the whole batch — and, being thread_local,
+  // for every batch this thread ever delivers, so the allocation happens
+  // once per thread, not once per call. The per-insert descent is
+  // identical to Insert's (per-point th_SSE, per-point compression
+  // triggers — required for bit-identical trees), only the per-call
+  // overhead is amortized.
+  static thread_local std::vector<NodeIndex> path;
+  path.reserve(static_cast<size_t>(config_.max_depth) + 1);
+  int64_t accepted = 0;
+  for (const Observation& o : batch) {
+    if (!IsFiniteObservation(o.point, o.value)) continue;
+    InsertOne(o.point, o.value, path);
+    ++accepted;
+  }
+
+  const double compress_delta =
+      counters_.compress_seconds - compress_seconds_before;
+  counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
+  if (obs_on) {
+    obs::CoreMetrics& core = obs::Core();
+    core.inserts.Inc(accepted);
+    core.observe_batches.Inc();
+    const int64_t dur = obs::NowNs() - t0;
+    core.observe_batch_ns.Record(dur);
+    core.observe_batch_points.Record(static_cast<int64_t>(batch.size()));
+    MLQ_TRACE_EVENT(obs::TraceEventType::kInsert, t0, dur,
+                    static_cast<double>(batch.size()), batch[0].value);
+  }
+}
+
+void MemoryLimitedQuadtree::InsertBatch(std::span<const Observation> all,
+                                        std::span<const uint32_t> indices) {
+  if (indices.empty()) return;
+
+  WallTimer timer;
+  const double compress_seconds_before = counters_.compress_seconds;
+  const bool obs_on = obs::Enabled();
+  const int64_t t0 = obs_on ? obs::NowNs() : 0;
+
+  // Same thread_local scratch reuse as the span overload.
+  static thread_local std::vector<NodeIndex> path;
+  path.reserve(static_cast<size_t>(config_.max_depth) + 1);
+  int64_t accepted = 0;
+  for (const uint32_t i : indices) {
+    const Observation& o = all[i];
+    if (!IsFiniteObservation(o.point, o.value)) continue;
+    InsertOne(o.point, o.value, path);
+    ++accepted;
+  }
+
+  const double compress_delta =
+      counters_.compress_seconds - compress_seconds_before;
+  counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
+  if (obs_on) {
+    obs::CoreMetrics& core = obs::Core();
+    core.inserts.Inc(accepted);
+    core.observe_batches.Inc();
+    const int64_t dur = obs::NowNs() - t0;
+    core.observe_batch_ns.Record(dur);
+    core.observe_batch_points.Record(static_cast<int64_t>(indices.size()));
+    MLQ_TRACE_EVENT(obs::TraceEventType::kInsert, t0, dur,
+                    static_cast<double>(indices.size()),
+                    all[indices[0]].value);
+  }
+}
+
+void MemoryLimitedQuadtree::InsertOne(const Point& point, double value,
+                                      std::vector<NodeIndex>& path) {
+  ++counters_.insertions;
 
   if (config_.auto_expand) ExpandToInclude(point);
   const int dims = space_.dims();
@@ -257,8 +374,7 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
   ClampToSpace(point, space_, p);
   const double th_sse = CurrentSseThreshold();
 
-  std::vector<NodeIndex> path;
-  path.reserve(static_cast<size_t>(config_.max_depth) + 1);
+  path.clear();
 
   double lo[kMaxDims];
   double hi[kMaxDims];
@@ -310,11 +426,6 @@ void MemoryLimitedQuadtree::Insert(const Point& point, double value) {
     child_node.last_touch = counters_.insertions;
     path.push_back(cn);
   }
-
-  const double compress_delta =
-      counters_.compress_seconds - compress_seconds_before;
-  counters_.insert_seconds += timer.ElapsedSeconds() - compress_delta;
-  latency.set_args(value, static_cast<double>(path.size()));
 }
 
 NodeIndex MemoryLimitedQuadtree::TryCreateChild(
@@ -361,7 +472,10 @@ void MemoryLimitedQuadtree::CompressInternal(
     NodeIndex node;
   };
   auto cmp = [](const Entry& a, const Entry& b) { return a.key > b.key; };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
+  std::vector<Entry> pq_storage;
+  pq_storage.reserve(static_cast<size_t>(pool_.live_count()));
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(
+      cmp, std::move(pq_storage));
 
   // The eviction key: smaller evicts first. kSseg is Eq. 9; the ablation
   // policies replace it. Random hashes the node's pool slot with a per-pass
@@ -413,9 +527,13 @@ void MemoryLimitedQuadtree::CompressInternal(
       }
       continue;
     }
+    // One slab resolution for the whole child block: this scan visits
+    // every node times fanout and dominates the pass on large trees.
+    const PooledNode* block = pool_.block(node.first_child);
     for (int q = 0; q < fanout; ++q) {
-      const NodeIndex c = node.first_child + static_cast<NodeIndex>(q);
-      if (pool_.node(c).index_in_parent == q) stack.push_back(c);
+      if (block[q].index_in_parent == q) {
+        stack.push_back(node.first_child + static_cast<NodeIndex>(q));
+      }
     }
   }
 

@@ -16,6 +16,15 @@
 
 namespace mlq {
 
+// One feedback sample: a model point and the cost observed there. The
+// currency of the batched feedback pipeline (tree InsertBatch → model
+// ObserveBatch → catalog RecordExecutionBatch) and of the sharded feedback
+// queues.
+struct Observation {
+  Point point;
+  double value = 0.0;
+};
+
 // Result of a point prediction (Fig. 3 of the paper).
 struct Prediction {
   // Predicted cost: the average stored in the chosen node.
@@ -65,6 +74,16 @@ class MemoryLimitedQuadtree {
   // dimensionality fixes d; 2^d children per node.
   MemoryLimitedQuadtree(const Box& space, const MlqConfig& config);
 
+  // Same, allocating nodes from a shared arena (fanout must equal 2^d)
+  // instead of a private one. The tree registers its root with the arena so
+  // SharedNodeArena::Compact() can relocate it, and releases its blocks
+  // back to the shared free-list on destruction. Logical budgeting is
+  // unchanged — only the physical slabs are shared.
+  MemoryLimitedQuadtree(const Box& space, const MlqConfig& config,
+                        std::shared_ptr<SharedNodeArena> arena);
+
+  ~MemoryLimitedQuadtree();
+
   MemoryLimitedQuadtree(const MemoryLimitedQuadtree&) = delete;
   MemoryLimitedQuadtree& operator=(const MemoryLimitedQuadtree&) = delete;
 
@@ -96,6 +115,21 @@ class MemoryLimitedQuadtree {
   // unless config.auto_expand is set, in which case the space grows to
   // cover the point first (see ExpandToInclude).
   void Insert(const Point& point, double value);
+
+  // Batched insertion: semantically identical to calling Insert per
+  // observation in order — same descents, same per-point compression
+  // triggers, bit-identical tree — but the per-call overhead (wall timers,
+  // observability hooks, the path scratch vector) is paid once per batch.
+  // The serving-side amortization lever that PredictBatch is for reads.
+  void InsertBatch(std::span<const Observation> batch);
+
+  // Gather form: inserts all[indices[0]], all[indices[1]], ... in that
+  // order without materializing a contiguous copy of the selected
+  // observations (an Observation copy heap-allocates its Point). Same
+  // bit-identity guarantee as InsertBatch. The sharded model uses this to
+  // apply one caller batch as per-shard index runs.
+  void InsertBatch(std::span<const Observation> all,
+                   std::span<const uint32_t> indices);
 
   // Grows the model space until it covers `point` by repeatedly doubling
   // the root block toward the point: a new root is created whose children
@@ -151,7 +185,8 @@ class MemoryLimitedQuadtree {
  private:
   // Catalog persistence rebuilds trees node by node (model/serialization.h).
   friend std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
-      const std::vector<uint8_t>& bytes, std::string* error);
+      const std::vector<uint8_t>& bytes,
+      std::shared_ptr<SharedNodeArena> arena, std::string* error);
 
   // Logical catalog bytes for `nodes` materialized nodes: one root charge
   // plus a base + parent-slot charge per non-root node. This is exact, not
@@ -165,6 +200,13 @@ class MemoryLimitedQuadtree {
   // Single-point descent without observability hooks; shared by Predict and
   // PredictBatch.
   Prediction PredictInternal(const Point& point, int64_t beta) const;
+
+  // One insertion descent without timers or observability hooks; shared by
+  // Insert and InsertBatch. `path` is caller-provided scratch for the
+  // compression-protected insertion path. The point/value must already have
+  // passed the finiteness screen.
+  void InsertOne(const Point& point, double value,
+                 std::vector<NodeIndex>& path);
 
   // Attempts to materialize child `quadrant` of `parent`, compressing if
   // the budget requires it. Returns kInvalidNodeIndex when compression

@@ -1,113 +1,82 @@
 #include "quadtree/node_pool.h"
 
 #include <cassert>
-#include <unordered_set>
 
 namespace mlq {
-namespace {
 
-// index_in_parent value marking a slot that belongs to an allocated block
-// but holds no node: the quadrant is not materialized, or the whole block
-// sits on the free-list. The marker exceeds any real quadrant (fanout is
-// at most 256 with quadrants 0..255 never all used at d = 8 in practice;
-// we cap fanout below so 0xFF stays unreachable), which makes the O(1)
-// quadrant comparison in NodePool::Child reject vacant slots for free.
-constexpr uint8_t kVacantSlot = 0xFF;
-
-void MarkVacant(PooledNode& n) {
-  n.summary = SummaryTriple{};
-  n.last_touch = 0;
-  n.parent = kInvalidNodeIndex;
-  n.first_child = kInvalidNodeIndex;
-  n.index_in_parent = kVacantSlot;
-  n.num_children = 0;
-  n.depth = 0;
-}
-
-}  // namespace
-
-NodePool::NodePool(int fanout) : fanout_(fanout) {
+NodePool::NodePool(int fanout, std::shared_ptr<SharedNodeArena> arena)
+    : arena_(std::move(arena)), fanout_(fanout), shared_(arena_ != nullptr) {
   // 2 <= fanout <= 128 keeps every quadrant strictly below kVacantSlot.
   assert(fanout_ >= 2 && fanout_ <= 128);
-}
-
-NodeIndex NodePool::AllocateBlock() {
-  if (free_head_ != kInvalidNodeIndex) {
-    const NodeIndex base = free_head_;
-    free_head_ = nodes_[base].first_child;
-    nodes_[base].first_child = kInvalidNodeIndex;
-    free_count_ -= fanout_;
-    return base;
+  if (arena_ == nullptr) {
+    arena_ = std::make_shared<SharedNodeArena>(fanout_);
+  } else {
+    assert(arena_->fanout() == fanout_ && "arena fanout must match the tree");
   }
-  assert(nodes_.size() + static_cast<size_t>(fanout_) < kInvalidNodeIndex);
-  const NodeIndex base = static_cast<NodeIndex>(nodes_.size());
-  nodes_.resize(nodes_.size() + static_cast<size_t>(fanout_));
-  for (int q = 0; q < fanout_; ++q) MarkVacant(nodes_[base + q]);
-  return base;
 }
 
 NodeIndex NodePool::AllocateRoot() {
-  const NodeIndex base = AllocateBlock();
-  nodes_[base].index_in_parent = 0;
+  const NodeIndex base = arena_->AllocateBlock();
+  arena_->node(base).index_in_parent = 0;
   ++live_count_;
+  arena_->NoteLiveDelta(1);
   return base;
 }
 
 NodeIndex NodePool::CreateChild(NodeIndex parent, int quadrant) {
   assert(Child(parent, quadrant) == kInvalidNodeIndex);
-  NodeIndex base = nodes_[parent].first_child;
+  NodeIndex base = arena_->node(parent).first_child;
   if (base == kInvalidNodeIndex) {
-    base = AllocateBlock();  // May grow the arena: index `parent` afterwards.
-    nodes_[parent].first_child = base;
+    base = arena_->AllocateBlock();
+    arena_->node(parent).first_child = base;
   }
   const NodeIndex slot = base + static_cast<NodeIndex>(quadrant);
-  PooledNode& child = nodes_[slot];
+  PooledNode& child = arena_->node(slot);
   child.parent = parent;
   child.index_in_parent = static_cast<uint8_t>(quadrant);
-  child.depth = static_cast<uint16_t>(nodes_[parent].depth + 1);
-  ++nodes_[parent].num_children;
+  child.depth = static_cast<uint16_t>(arena_->node(parent).depth + 1);
+  ++arena_->node(parent).num_children;
   ++live_count_;
+  arena_->NoteLiveDelta(1);
   return slot;
 }
 
 void NodePool::RemoveLeafChild(NodeIndex parent, int quadrant) {
-  const NodeIndex base = nodes_[parent].first_child;
+  const NodeIndex base = arena_->node(parent).first_child;
   assert(base != kInvalidNodeIndex);
   const NodeIndex slot = base + static_cast<NodeIndex>(quadrant);
-  assert(nodes_[slot].index_in_parent == quadrant);
-  assert(nodes_[slot].IsLeaf());
-  MarkVacant(nodes_[slot]);
-  --nodes_[parent].num_children;
+  assert(arena_->node(slot).index_in_parent == quadrant);
+  assert(arena_->node(slot).IsLeaf());
+  MarkVacantSlot(arena_->node(slot));
+  --arena_->node(parent).num_children;
   --live_count_;
-  if (nodes_[parent].num_children == 0) {
-    nodes_[parent].first_child = kInvalidNodeIndex;
-    nodes_[base].first_child = free_head_;
-    free_head_ = base;
-    free_count_ += fanout_;
+  arena_->NoteLiveDelta(-1);
+  if (arena_->node(parent).num_children == 0) {
+    arena_->node(parent).first_child = kInvalidNodeIndex;
+    arena_->ReleaseBlock(base);
   }
 }
 
 NodeIndex NodePool::AdoptChild(NodeIndex parent, int quadrant,
                                NodeIndex child) {
-  assert(nodes_[child].parent == kInvalidNodeIndex);
+  assert(arena_->node(child).parent == kInvalidNodeIndex);
   assert(Child(parent, quadrant) == kInvalidNodeIndex);
-  NodeIndex base = nodes_[parent].first_child;
+  NodeIndex base = arena_->node(parent).first_child;
   if (base == kInvalidNodeIndex) {
-    base = AllocateBlock();
-    nodes_[parent].first_child = base;
+    base = arena_->AllocateBlock();
+    arena_->node(parent).first_child = base;
   }
   const NodeIndex slot = base + static_cast<NodeIndex>(quadrant);
-  PooledNode& moved = nodes_[slot];
-  moved = nodes_[child];
+  PooledNode& moved = arena_->node(slot);
+  moved = arena_->node(child);
   moved.parent = parent;
   moved.index_in_parent = static_cast<uint8_t>(quadrant);
-  ++nodes_[parent].num_children;
-  ++live_count_;
+  ++arena_->node(parent).num_children;
   // Re-parent the moved node's children onto its new slot.
   if (moved.first_child != kInvalidNodeIndex) {
     const NodeIndex child_base = moved.first_child;
     for (int q = 0; q < fanout_; ++q) {
-      PooledNode& grandchild = nodes_[child_base + q];
+      PooledNode& grandchild = arena_->node(child_base + q);
       if (grandchild.index_in_parent == q) grandchild.parent = slot;
     }
   }
@@ -115,102 +84,38 @@ NodeIndex NodePool::AdoptChild(NodeIndex parent, int quadrant,
   // detached root sits at its block's slot 0; siblings may not exist, but
   // scan defensively.
   const NodeIndex old_base =
-      child - static_cast<NodeIndex>(nodes_[child].index_in_parent);
-  MarkVacant(nodes_[child]);
-  --live_count_;
+      child - static_cast<NodeIndex>(arena_->node(child).index_in_parent);
+  MarkVacantSlot(arena_->node(child));
   bool block_empty = true;
   for (int q = 0; q < fanout_; ++q) {
-    if (nodes_[old_base + q].index_in_parent == q) {
+    if (arena_->node(old_base + q).index_in_parent == q) {
       block_empty = false;
       break;
     }
   }
-  if (block_empty) {
-    nodes_[old_base].first_child = free_head_;
-    free_head_ = old_base;
-    free_count_ += fanout_;
-  }
+  if (block_empty) arena_->ReleaseBlock(old_base);
   return slot;
 }
 
+void NodePool::ReleaseTree(NodeIndex root) {
+  const int64_t released = arena_->ReleaseTree(root);
+  live_count_ -= released;
+  assert(live_count_ == 0 && "ReleaseTree must cover the whole tree");
+}
+
 bool NodePool::CheckConsistency(std::string* error) const {
-  auto fail = [error](const std::string& message) {
-    if (error != nullptr) *error = message;
+  if (!arena_->CheckConsistency(error)) return false;
+  if (!shared_ && live_count_ != arena_->live_count()) {
+    if (error != nullptr) {
+      *error = "pool live count does not match its private arena";
+    }
     return false;
-  };
-  if (nodes_.size() % static_cast<size_t>(fanout_) != 0) {
-    return fail("arena size is not a multiple of the fanout");
   }
-  // Collect free-listed block bases, guarding against cycles.
-  std::unordered_set<NodeIndex> free_blocks;
-  const size_t max_blocks = nodes_.size() / static_cast<size_t>(fanout_);
-  for (NodeIndex base = free_head_; base != kInvalidNodeIndex;
-       base = nodes_[base].first_child) {
-    if (base >= nodes_.size() || base % fanout_ != 0) {
-      return fail("free-list entry is not a valid block base");
+  if (shared_ && live_count_ > arena_->live_count()) {
+    if (error != nullptr) {
+      *error = "pool live count exceeds the shared arena total";
     }
-    if (!free_blocks.insert(base).second || free_blocks.size() > max_blocks) {
-      return fail("free-list cycle detected");
-    }
-  }
-  if (free_count_ != static_cast<int64_t>(free_blocks.size()) * fanout_) {
-    return fail("free_count does not match the free-list");
-  }
-  int64_t live_seen = 0;
-  for (size_t block = 0; block < nodes_.size();
-       block += static_cast<size_t>(fanout_)) {
-    const NodeIndex base = static_cast<NodeIndex>(block);
-    const bool in_free_list = free_blocks.count(base) > 0;
-    for (int q = 0; q < fanout_; ++q) {
-      const NodeIndex slot = base + static_cast<NodeIndex>(q);
-      const PooledNode& n = nodes_[slot];
-      if (n.index_in_parent == kVacantSlot) {
-        if (n.summary.count != 0 || n.num_children != 0) {
-          return fail("vacant slot holds node state");
-        }
-        if (!(q == 0 && in_free_list) && n.first_child != kInvalidNodeIndex) {
-          return fail("vacant slot has a dangling child link");
-        }
-        continue;
-      }
-      if (in_free_list) return fail("free-listed block holds a live node");
-      if (n.index_in_parent != q) {
-        return fail("slot quadrant does not match its block offset");
-      }
-      ++live_seen;
-      if (n.parent != kInvalidNodeIndex) {
-        const PooledNode& p = nodes_[n.parent];
-        if (p.first_child != base) {
-          return fail("child slot not reachable from its parent");
-        }
-        if (n.depth != p.depth + 1) {
-          return fail("child depth is not parent depth + 1");
-        }
-      }
-      if (n.first_child != kInvalidNodeIndex) {
-        if (n.first_child % fanout_ != 0 ||
-            static_cast<size_t>(n.first_child) >= nodes_.size()) {
-          return fail("child-block base is not block-aligned");
-        }
-        int present = 0;
-        for (int cq = 0; cq < fanout_; ++cq) {
-          const PooledNode& c = nodes_[n.first_child + cq];
-          if (c.index_in_parent == cq) {
-            if (c.parent != slot) return fail("child has a stale parent link");
-            ++present;
-          }
-        }
-        if (present != n.num_children) {
-          return fail("num_children does not match the child block");
-        }
-        if (present == 0) return fail("empty child block was not recycled");
-      } else if (n.num_children != 0) {
-        return fail("leaf node reports children");
-      }
-    }
-  }
-  if (live_seen != live_count_) {
-    return fail("live_count does not match the arena contents");
+    return false;
   }
   return true;
 }

@@ -2,105 +2,94 @@
 #define MLQ_QUADTREE_NODE_POOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "quadtree/shared_node_arena.h"
 
 namespace mlq {
 
-// Index of a node inside a NodePool. 32 bits address four billion nodes —
-// far beyond any budget the paper (1.8 KB!) or the serving layer uses —
-// at half the footprint of a pointer, and indices stay valid when the
-// pool's backing vector reallocates or a tree is serialized.
-using NodeIndex = uint32_t;
-inline constexpr NodeIndex kInvalidNodeIndex = 0xFFFFFFFFu;
-
-// One block of the memory-limited quadtree, laid out for arena storage.
+// One tree's view onto a node arena, allocated in child blocks.
 //
-// A node stores the summary triple of the data points that map into its
-// block (Section 4.1) plus tree-structure bookkeeping. All 2^d potential
-// children of a node live in ONE contiguous, 2^d-aligned group of pool
-// slots ("child block"): the child for quadrant q, when present, is slot
-// `first_child + q`. Child lookup on the predict/insert descent is a
-// single indexed load — no pointer chase, no sibling scan.
-struct PooledNode {
-  SummaryTriple summary;                      // 24 bytes
-  int64_t last_touch = 0;                     // Insertion tick, recency ext.
-  NodeIndex parent = kInvalidNodeIndex;
-  NodeIndex first_child = kInvalidNodeIndex;  // Child-block base; free link.
-  uint8_t index_in_parent = 0;                // Quadrant in the parent.
-  uint8_t num_children = 0;
-  uint16_t depth = 0;                         // 0 = root.
-  uint32_t reserved = 0;                      // Padding, kept deterministic.
-
-  bool IsLeaf() const { return num_children == 0; }
-};
-static_assert(sizeof(PooledNode) == 48, "keep the hot-path node packed");
-
-// Contiguous arena of quadtree nodes, allocated in child blocks.
-//
-// The pool is constructed for a fixed fanout (2^d). Slots come in
-// fanout-sized, fanout-aligned blocks; within an allocated block a slot is
-// either a live node or vacant (quadrant not materialized — the common
-// case in sparse data). Fully vacated blocks go onto a LIFO free-list and
-// are recycled by the next allocation, so compression (Fig. 6) recycles
-// arena slots instead of freeing heap memory, and a tree oscillating
-// around its budget churns the same cache-resident slots.
+// The pool is constructed for a fixed fanout (2^d). By default it owns a
+// PRIVATE SharedNodeArena; a catalog serving hundreds of per-UDF models
+// instead passes one arena to many pools so physical slabs (and the block
+// free-list) are shared while each tree keeps its own logical budget.
+// Slots come in fanout-sized, fanout-aligned blocks; within an allocated
+// block a slot is either a live node or vacant (quadrant not materialized —
+// the common case in sparse data). Fully vacated blocks go onto a LIFO
+// free-list and are recycled by the next allocation, so compression
+// (Fig. 6) recycles arena slots instead of freeing heap memory, and a tree
+// oscillating around its budget churns the same cache-resident slots.
 //
 // Trade-off: the arena holds fanout slots per partitioned node even when
 // few quadrants are materialized, buying O(1) child lookup with physical
 // (not logical/budgeted) bytes. At the paper's d <= 4 this is at most
 // 768 B per internal node; PhysicalCapacityBytes() reports the honest
-// total.
+// total — arena-wide when the arena is shared.
 //
-// Indices are stable across vector growth; raw PooledNode references are
-// not (they are invalidated by any allocation), so mutation paths re-fetch
-// references after allocating.
+// Node addresses are slab-stable: indices AND references stay valid across
+// arena growth (only SharedNodeArena::Compact() moves nodes).
 class NodePool {
  public:
-  // `fanout` is 2^d: the number of slots per child block.
-  explicit NodePool(int fanout);
+  // `fanout` is 2^d: the number of slots per child block. When `arena` is
+  // null the pool creates a private arena; otherwise it allocates from the
+  // shared one (whose fanout must match).
+  explicit NodePool(int fanout,
+                    std::shared_ptr<SharedNodeArena> arena = nullptr);
 
   // Pre-sizes the arena to `slots` total slots (callers typically pass a
   // multiple of the fanout).
-  void Reserve(size_t slots) { nodes_.reserve(slots); }
+  void Reserve(size_t slots) { arena_->Reserve(slots); }
 
   int fanout() const { return fanout_; }
+
+  // True when this pool draws from an arena owned by someone else.
+  bool shares_arena() const { return shared_; }
+  SharedNodeArena& arena() { return *arena_; }
+  const SharedNodeArena& arena() const { return *arena_; }
+  const std::shared_ptr<SharedNodeArena>& arena_handle() const {
+    return arena_;
+  }
 
   // Allocates a block and makes its slot 0 a live root node (depth 0, no
   // parent). Called once per tree.
   NodeIndex AllocateRoot();
 
-  PooledNode& node(NodeIndex index) { return nodes_[index]; }
-  const PooledNode& node(NodeIndex index) const { return nodes_[index]; }
+  PooledNode& node(NodeIndex index) { return arena_->node(index); }
+  const PooledNode& node(NodeIndex index) const { return arena_->node(index); }
 
-  // Raw base pointer for read-only hot loops (prediction descents). Never
-  // hold it across an allocation.
-  const PooledNode* raw() const { return nodes_.data(); }
+  // One slab resolution for a whole child block (see SharedNodeArena::block).
+  PooledNode* block(NodeIndex base) { return arena_->block(base); }
+  const PooledNode* block(NodeIndex base) const { return arena_->block(base); }
 
+  // Live nodes belonging to THIS tree (the budgeted quantity).
   int64_t live_count() const { return live_count_; }
-  // Slots currently parked on the block free-list.
-  int64_t free_count() const { return free_count_; }
-  // Total slots ever materialized (live + vacant + free-listed).
-  size_t slot_count() const { return nodes_.size(); }
-  // Exact bytes of backing storage the arena holds right now.
+  // Slots currently parked on the block free-list (arena-wide when shared).
+  int64_t free_count() const { return arena_->free_count(); }
+  // Total slots ever materialized (arena-wide when shared).
+  size_t slot_count() const { return arena_->slot_count(); }
+  // Exact bytes of backing storage the arena holds right now (arena-wide
+  // when shared — physical slabs have no per-tree owner).
   int64_t PhysicalCapacityBytes() const {
-    return static_cast<int64_t>(nodes_.capacity() * sizeof(PooledNode));
+    return arena_->PhysicalCapacityBytes();
   }
 
   // Child with the given quadrant index, or kInvalidNodeIndex when that
   // block is empty. O(1).
   NodeIndex Child(NodeIndex parent, int quadrant) const {
-    const NodeIndex base = nodes_[parent].first_child;
+    const NodeIndex base = arena_->node(parent).first_child;
     if (base == kInvalidNodeIndex) return kInvalidNodeIndex;
     const NodeIndex slot = base + static_cast<NodeIndex>(quadrant);
-    return nodes_[slot].index_in_parent == quadrant ? slot : kInvalidNodeIndex;
+    return arena_->node(slot).index_in_parent == quadrant ? slot
+                                                          : kInvalidNodeIndex;
   }
 
   // Materializes the child for `quadrant` (must not already exist),
   // allocating the parent's child block first if this is its first child.
-  // May grow the arena: re-fetch node references afterwards. Memory
+  // May grow the arena; indices and references remain stable. Memory
   // accounting is the tree's job, not the pool's.
   NodeIndex CreateChild(NodeIndex parent, int quadrant);
 
@@ -117,20 +106,22 @@ class NodePool {
   // depths themselves.
   NodeIndex AdoptChild(NodeIndex parent, int quadrant, NodeIndex child);
 
-  // Structural self-check of the arena: block alignment, vacant/live slot
-  // markers, the free-list reaching exactly the freed blocks, and the
-  // live/free counters adding up. Returns false with a description in
-  // `error` on corruption.
+  // Returns every block of the subtree rooted at `root` to the free-list
+  // and debits this pool's live count. Used by tree teardown on shared
+  // arenas (a private arena just dies with the pool).
+  void ReleaseTree(NodeIndex root);
+
+  // Structural self-check: delegates the arena-wide scan (block alignment,
+  // vacant/live markers, free-list, global live total) to the arena, then
+  // checks this pool's own live count against it. Returns false with a
+  // description in `error` on corruption.
   bool CheckConsistency(std::string* error) const;
 
  private:
-  NodeIndex AllocateBlock();
-
-  std::vector<PooledNode> nodes_;
+  std::shared_ptr<SharedNodeArena> arena_;
   int fanout_;
-  NodeIndex free_head_ = kInvalidNodeIndex;  // Block bases, LIFO.
+  bool shared_;
   int64_t live_count_ = 0;
-  int64_t free_count_ = 0;
 };
 
 // Lightweight read-only handle onto one pool node: (pool, index), cheap to
@@ -174,7 +165,12 @@ class NodeView {
   class ChildIterator {
    public:
     ChildIterator(const NodePool* pool, NodeIndex base, int quadrant)
-        : pool_(pool), base_(base), quadrant_(quadrant) {
+        : pool_(pool),
+          base_(base),
+          // Resolve the block's slab pointer once for the whole scan.
+          block_(base == kInvalidNodeIndex ? nullptr : pool->block(base)),
+          fanout_(pool->fanout()),
+          quadrant_(quadrant) {
       SkipVacant();
     }
     NodeView operator*() const {
@@ -191,16 +187,17 @@ class NodeView {
 
    private:
     void SkipVacant() {
-      if (base_ == kInvalidNodeIndex) return;
-      while (quadrant_ < pool_->fanout() &&
-             pool_->node(base_ + static_cast<NodeIndex>(quadrant_))
-                     .index_in_parent != quadrant_) {
+      if (block_ == nullptr) return;
+      while (quadrant_ < fanout_ &&
+             block_[quadrant_].index_in_parent != quadrant_) {
         ++quadrant_;
       }
     }
 
     const NodePool* pool_;
     NodeIndex base_;
+    const PooledNode* block_;
+    int fanout_;
     int quadrant_;
   };
   class ChildRange {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench trend page generator for the CI bench workflow.
+
+Appends one history record per invocation (the per-metric MEDIAN across the
+given run files, same reduction as the regression gate) to a JSONL file and
+regenerates a dependency-free static HTML page with an inline SVG sparkline
+per metric. The CI bench job runs this on main-branch pushes against a
+gh-pages checkout, so the page accumulates one point per landed commit:
+
+  tools/bench_trend.py --out-dir gh-pages/bench --sha "$GITHUB_SHA" \
+      bench-results/*.json
+
+Stdlib only. History lives in <out-dir>/history.jsonl (one JSON object per
+line: sha, utc timestamp, {metric: value}); the page is <out-dir>/index.html.
+Records are idempotent per sha: re-running for an already-recorded sha
+replaces that sha's record instead of duplicating it.
+"""
+
+import argparse
+import datetime
+import html
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as gate  # noqa: E402  (sibling tool)
+
+_MAX_POINTS = 200  # Sparkline window; history.jsonl keeps everything.
+
+
+def load_history(path):
+    records = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def append_record(history_path, sha, metrics):
+    records = [r for r in load_history(history_path) if r.get("sha") != sha]
+    records.append({
+        "sha": sha,
+        "time": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "metrics": {key: value for key, (value, _) in sorted(metrics.items())},
+    })
+    with open(history_path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return records
+
+
+def _sparkline(values, width=420, height=48, pad=4):
+    """An SVG polyline over `values`, scaled to the series' own range."""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / max(1, n - 1))
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline fill="none" stroke="#2b6cb0" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+def render_page(records):
+    series = {}  # metric -> [value per record that has it]
+    for record in records[-_MAX_POINTS:]:
+        for key, value in record.get("metrics", {}).items():
+            series.setdefault(key, []).append(float(value))
+    latest = records[-1] if records else {}
+    rows = []
+    for key in sorted(series):
+        values = series[key]
+        first, last = values[0], values[-1]
+        change = (last - first) / first if first else 0.0
+        rows.append(
+            "<tr><td><code>{key}</code></td><td>{spark}</td>"
+            "<td>{last:.4g}</td><td>{change:+.1%}</td></tr>".format(
+                key=html.escape(key), spark=_sparkline(values), last=last,
+                change=change))
+    return """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Bench trend</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem; }}
+table {{ border-collapse: collapse; }}
+td, th {{ padding: 0.3rem 0.8rem; border-bottom: 1px solid #ddd; }}
+code {{ font-size: 12px; }}
+</style></head><body>
+<h1>Bench trend</h1>
+<p>{count} runs recorded; latest {sha} at {time}. One point per main-branch
+push; each value is the median across that push's bench rounds.</p>
+<table>
+<tr><th>metric</th><th>trend (last {window})</th><th>latest</th>
+<th>change over window</th></tr>
+{rows}
+</table></body></html>
+""".format(count=len(records), sha=html.escape(str(latest.get("sha", "?"))[:12]),
+           time=html.escape(str(latest.get("time", "?"))),
+           window=min(len(records), _MAX_POINTS), rows="\n".join(rows))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", required=True,
+                        help="directory for history.jsonl and index.html")
+    parser.add_argument("--sha", default=os.environ.get("GITHUB_SHA", "local"),
+                        help="commit sha to record (default: $GITHUB_SHA)")
+    parser.add_argument("runs", nargs="+", help="bench --json run files")
+    args = parser.parse_args(argv)
+
+    metrics = gate.load_runs(args.runs)
+    if not metrics:
+        print("error: no metrics found in the given run files",
+              file=sys.stderr)
+        return 1
+    os.makedirs(args.out_dir, exist_ok=True)
+    history_path = os.path.join(args.out_dir, "history.jsonl")
+    records = append_record(history_path, args.sha, metrics)
+    page_path = os.path.join(args.out_dir, "index.html")
+    with open(page_path, "w", encoding="utf-8") as handle:
+        handle.write(render_page(records))
+    print(f"recorded {len(metrics)} metrics for {args.sha}; "
+          f"{len(records)} total runs -> {page_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

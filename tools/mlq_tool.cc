@@ -4,7 +4,7 @@
 //                     [--seed=42] [--scale=small] [--peaks=50]
 //   mlq_tool replay   --trace=trace.txt [--strategy=lazy] [--budget=1800]
 //                     [--beta=1] [--cost=cpu] [--model-out=model.bin]
-//                     [--threads=1] [--shards=1] [--metrics]
+//                     [--threads=1] [--shards=1] [--batch=1] [--metrics]
 //                     [--trace-out=events.json]
 //   mlq_tool metrics  [--trace=trace.txt] [--json] [--n=2000] [--seed=42]
 //                     [--strategy=lazy] [--budget=1800] [--beta=1]
@@ -54,7 +54,8 @@ int Usage() {
                " [--peaks=50]\n"
                "  replay   --trace=FILE [--strategy=eager|lazy] "
                "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]"
-               " [--threads=1] [--shards=1] [--metrics] [--trace-out=FILE]\n"
+               " [--threads=1] [--shards=1] [--batch=1] [--metrics] "
+               "[--trace-out=FILE]\n"
                "  metrics  [--trace=FILE] [--json] [--n=2000] [--seed=42] "
                "[--strategy=eager|lazy] [--budget=1800] [--beta=1] "
                "[--cost=cpu|io] [--trace-out=FILE]\n"
@@ -273,7 +274,13 @@ int RunReplay(int argc, char** argv) {
   }
 
   MlqModel model(space, config);
-  const double nae = ReplayTrace(model, records, kind);
+  // --batch=N replays through the batched pipeline (one PredictBatch +
+  // one ObserveBatch per block of N records); the resulting tree is
+  // identical to the scalar replay, only the driving path differs.
+  const int batch = std::atoi(ArgValue(argc, argv, "batch", "1").c_str());
+  const double nae = batch > 1
+                         ? ReplayTraceBatched(model, records, kind, batch)
+                         : ReplayTrace(model, records, kind);
   std::printf("replayed %zu records: NAE=%.4f, %lld nodes, %lld bytes, "
               "%lld compressions\n",
               records.size(), nae,
