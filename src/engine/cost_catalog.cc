@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/timer.h"
+#include "engine/maintenance_scheduler.h"
 #include "model/concurrent_model.h"
 #include "model/mlq_model.h"
 #include "model/sharded_model.h"
@@ -28,6 +29,24 @@ MlqConfig CatalogModelConfig(int64_t memory_limit_bytes, int64_t beta) {
 
 }  // namespace
 
+// RAII marker for "a maintenance epoch or feedback flush is running".
+// MaintenanceTick() checks the counter and backs off, which (a) prevents a
+// sharded model's post-drain hook — fired while an epoch's flush drains its
+// queues — from re-entering entries_mutex_, and (b) keeps other threads'
+// ticks from piling onto an epoch already in flight.
+class CostCatalog::BusyScope {
+ public:
+  explicit BusyScope(CostCatalog& catalog) : catalog_(catalog) {
+    catalog_.maintenance_busy_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~BusyScope() {
+    catalog_.maintenance_busy_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  CostCatalog& catalog_;
+};
+
 CostCatalog::CostCatalog(int64_t memory_limit_bytes,
                          CatalogConcurrency concurrency, int num_shards)
     : memory_limit_bytes_(memory_limit_bytes),
@@ -48,6 +67,13 @@ std::unique_ptr<CostModel> CostCatalog::MakeModel(const Box& space,
       ShardedModelOptions options;
       options.num_shards = num_shards_;
       options.arena = std::move(arena);
+      // Every completed feedback drain is a safe point for autonomous
+      // arena maintenance. The hook fires with no shard lock held and
+      // never from Flush(), so epochs (which flush) cannot recurse; it is
+      // safe for the catalog's whole life because ~ShardedCostModel only
+      // flushes. MaintenanceTick additionally backs off while an epoch or
+      // FlushFeedback is already on the stack.
+      options.post_drain_hook = [this] { MaintenanceTick(); };
       return std::make_unique<ShardedCostModel>(space, config, options);
     }
   }
@@ -170,17 +196,21 @@ void CostCatalog::PredictSelectivityBatch(CostedUdf* udf,
   }
 }
 
+void CostCatalog::FlushEntry(Entry& entry) {
+  entry.cpu_model->Flush();
+  entry.io_model->Flush();
+  entry.selectivity_model->Flush();
+}
+
 void CostCatalog::FlushFeedback() {
+  BusyScope busy(*this);
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
-  for (auto& entry : entries_) {
-    entry->cpu_model->Flush();
-    entry->io_model->Flush();
-    entry->selectivity_model->Flush();
-  }
+  for (auto& entry : entries_) FlushEntry(*entry);
 }
 
 CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenas() {
+  BusyScope busy(*this);
   ArenaMaintenanceStats stats;
   // The whole epoch runs under entries_mutex_ so no new models (or arenas)
   // can appear mid-compaction. Per-entry feedback is flushed inline — NOT
@@ -188,31 +218,125 @@ CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenas() {
   // quiescent before their node blocks move.
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
-  for (auto& entry : entries_) {
-    entry->cpu_model->Flush();
-    entry->io_model->Flush();
-    entry->selectivity_model->Flush();
-  }
+  for (auto& entry : entries_) FlushEntry(*entry);
   // Take every model's maintenance lock(s) so no prediction or drain can
   // observe a node mid-move. Locks release together when `locks` dies.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  for (auto& entry : entries_) {
-    for (auto* model :
-         {entry->cpu_model.get(), entry->io_model.get(),
-          entry->selectivity_model.get()}) {
-      auto model_locks = model->LockForMaintenance();
-      for (auto& l : model_locks) locks.push_back(std::move(l));
+  WallTimer pause;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    for (auto& entry : entries_) {
+      for (auto* model :
+           {entry->cpu_model.get(), entry->io_model.get(),
+            entry->selectivity_model.get()}) {
+        auto model_locks = model->LockForMaintenance();
+        for (auto& l : model_locks) locks.push_back(std::move(l));
+      }
+    }
+    for (auto& [fanout, arena] : arenas_) {
+      const SharedNodeArena::CompactionStats c = arena->Compact();
+      stats.physical_bytes_before += c.physical_bytes_before;
+      stats.physical_bytes_after += c.physical_bytes_after;
+      stats.bytes_reclaimed += c.bytes_reclaimed;
+      stats.blocks_moved += c.blocks_moved;
+      ++stats.arenas_compacted;
     }
   }
-  for (auto& [fanout, arena] : arenas_) {
-    const SharedNodeArena::CompactionStats c = arena->Compact();
-    stats.physical_bytes_before += c.physical_bytes_before;
-    stats.physical_bytes_after += c.physical_bytes_after;
-    stats.bytes_reclaimed += c.bytes_reclaimed;
-    stats.blocks_moved += c.blocks_moved;
-    ++stats.arenas_compacted;
+  const auto pause_us = static_cast<int64_t>(pause.ElapsedMicros());
+  stats.steps = 1;
+  stats.max_pause_us = pause_us;
+  stats.total_pause_us = pause_us;
+  if (obs::Enabled()) {
+    obs::Core().maintenance_epochs.Inc();
+    obs::Core().maintenance_steps.Inc();
+    obs::Core().maintenance_pause_ns.Record(pause_us * 1000);
+    double max_frag = 0.0;
+    for (auto& [fanout, arena] : arenas_) {
+      max_frag = std::max(max_frag, arena->FragmentationRatio());
+    }
+    obs::Core().arena_fragmentation.Set(max_frag);
   }
   return stats;
+}
+
+bool CostCatalog::CompactArenasStep(int64_t budget_slots,
+                                    ArenaMaintenanceStats* stats) {
+  BusyScope busy(*this);
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  // Flush before quiescing: queued feedback holds Points, not node
+  // indices, but applying it now keeps the trees identical to what a
+  // stop-the-world epoch would have produced at this instant.
+  for (auto& entry : entries_) FlushEntry(*entry);
+  WallTimer pause;
+  bool all_done = true;
+  double max_frag = 0.0;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    for (auto& entry : entries_) {
+      for (auto* model :
+           {entry->cpu_model.get(), entry->io_model.get(),
+            entry->selectivity_model.get()}) {
+        auto model_locks = model->LockForMaintenance();
+        for (auto& l : model_locks) locks.push_back(std::move(l));
+      }
+    }
+    for (auto& [fanout, arena] : arenas_) {
+      const SharedNodeArena::CompactStepStats c =
+          arena->CompactStep(budget_slots);
+      stats->blocks_moved += c.blocks_moved;
+      stats->bytes_reclaimed += c.bytes_reclaimed;
+      all_done = all_done && c.done;
+      max_frag = std::max(max_frag, arena->FragmentationRatio());
+    }
+    stats->arenas_compacted = static_cast<int>(arenas_.size());
+  }
+  const auto pause_us = static_cast<int64_t>(pause.ElapsedMicros());
+  ++stats->steps;
+  stats->max_pause_us = std::max(stats->max_pause_us, pause_us);
+  stats->total_pause_us += pause_us;
+  if (obs::Enabled()) {
+    obs::Core().maintenance_steps.Inc();
+    obs::Core().maintenance_pause_ns.Record(pause_us * 1000);
+    obs::Core().arena_fragmentation.Set(max_frag);
+  }
+  return all_done;
+}
+
+CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenasIncremental(
+    int64_t budget_slots) {
+  ArenaMaintenanceStats stats;
+  stats.physical_bytes_before = ArenaPhysicalBytes();
+  // Every lock (entries_mutex_ and all model locks) is released between
+  // steps, so predictions and feedback interleave with the epoch.
+  while (!CompactArenasStep(budget_slots, &stats)) {
+  }
+  stats.physical_bytes_after = ArenaPhysicalBytes();
+  if (obs::Enabled()) obs::Core().maintenance_epochs.Inc();
+  return stats;
+}
+
+CostCatalog::ArenaSignals CostCatalog::ReadArenaSignals() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  ArenaSignals signals;
+  for (const auto& [fanout, arena] : arenas_) {
+    signals.tree_compressions += arena->tree_compressions();
+    signals.max_fragmentation =
+        std::max(signals.max_fragmentation, arena->FragmentationRatio());
+    signals.live_nodes +=
+        static_cast<int64_t>(arena->slot_count()) - arena->free_count();
+  }
+  return signals;
+}
+
+void CostCatalog::MaintenanceTick() {
+  if (maintenance_busy_.load(std::memory_order_relaxed) > 0) return;
+  MaintenanceScheduler* scheduler = scheduler_.load(std::memory_order_acquire);
+  if (scheduler != nullptr) scheduler->Tick();
+}
+
+void CostCatalog::SetMaintenanceScheduler(MaintenanceScheduler* scheduler) {
+  scheduler_.store(scheduler, std::memory_order_release);
 }
 
 int64_t CostCatalog::ArenaPhysicalBytes() const {

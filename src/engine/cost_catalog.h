@@ -1,6 +1,7 @@
 #ifndef MLQ_ENGINE_COST_CATALOG_H_
 #define MLQ_ENGINE_COST_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -13,6 +14,8 @@
 #include "udf/costed_udf.h"
 
 namespace mlq {
+
+class MaintenanceScheduler;
 
 // How the catalog's models are protected against concurrent access.
 enum class CatalogConcurrency {
@@ -54,7 +57,8 @@ class CostCatalog {
     bool passed = false;
   };
 
-  // Result of one CompactArenas maintenance epoch, summed over all of the
+  // Result of one maintenance epoch (stop-the-world CompactArenas or a
+  // CompactArenasIncremental run of bounded steps), summed over all of the
   // catalog's shared arenas.
   struct ArenaMaintenanceStats {
     int64_t physical_bytes_before = 0;
@@ -62,6 +66,24 @@ class CostCatalog {
     int64_t bytes_reclaimed = 0;
     int64_t blocks_moved = 0;
     int arenas_compacted = 0;
+    // Quiesce windows taken: 1 for stop-the-world, >= 1 for incremental.
+    int steps = 0;
+    // Longest / cumulative single quiesce window (locks held) in micros —
+    // the serving pause the epoch imposed.
+    int64_t max_pause_us = 0;
+    int64_t total_pause_us = 0;
+  };
+
+  // Observable maintenance signals aggregated over the catalog's arenas;
+  // what a MaintenanceScheduler policy decides from.
+  struct ArenaSignals {
+    // Tree compressions recorded by any model in any shared arena since the
+    // catalog was created (monotonic).
+    int64_t tree_compressions = 0;
+    // Worst (highest) reclaimable slot fraction across arenas, in [0, 1].
+    double max_fragmentation = 0.0;
+    // Live (occupied) node slots across arenas; a cheap change detector.
+    int64_t live_nodes = 0;
   };
 
   // `memory_limit_bytes` is the per-model budget (the paper's 1.8 KB each).
@@ -127,6 +149,38 @@ class CostCatalog {
   // prediction changes. Returns what was reclaimed.
   ArenaMaintenanceStats CompactArenas();
 
+  // One bounded incremental compaction step: flush feedback, quiesce every
+  // model, and relocate at most `budget_slots` node slots per arena toward
+  // the dense layout, then release all locks. Serving proceeds between
+  // steps. Accumulates into *stats (steps, pauses, blocks moved, bytes
+  // reclaimed). Returns true once every arena is fully dense — at which
+  // point the physical footprint equals what stop-the-world CompactArenas
+  // would have produced, and predictions / serialized trees are identical.
+  bool CompactArenasStep(int64_t budget_slots, ArenaMaintenanceStats* stats);
+
+  // A full incremental epoch: loops CompactArenasStep until convergence,
+  // releasing every lock between steps so traffic interleaves with
+  // maintenance. Equivalent end state to CompactArenas() with the
+  // stop-the-world pause replaced by many bounded pauses.
+  ArenaMaintenanceStats CompactArenasIncremental(int64_t budget_slots);
+
+  // Snapshot of the scheduler-facing maintenance signals.
+  ArenaSignals ReadArenaSignals() const;
+
+  // Safe point for autonomous maintenance: forwards to the registered
+  // scheduler's Tick(), unless a maintenance epoch (or feedback flush) is
+  // already running on this thread or another — then it returns
+  // immediately (skipping a tick is always safe; re-entering would
+  // deadlock on entries_mutex_). Called by the batched executor at block
+  // boundaries and by ShardedCostModel's post-drain hook.
+  void MaintenanceTick();
+
+  // Registers (or, with nullptr, unregisters) the scheduler MaintenanceTick
+  // forwards to. The scheduler must outlive all ticks: unregister (or
+  // destroy the scheduler, which unregisters itself) only after serving
+  // traffic has quiesced.
+  void SetMaintenanceScheduler(MaintenanceScheduler* scheduler);
+
   // Current physical footprint of the catalog's shared arenas (slab bytes
   // actually allocated — distinct from the per-model logical budgets).
   int64_t ArenaPhysicalBytes() const;
@@ -142,6 +196,14 @@ class CostCatalog {
   // ArenaForDims body with entries_mutex_ already held (concurrent modes).
   std::shared_ptr<SharedNodeArena>& ArenaForDimsLocked(int dims);
 
+  // Flushes one entry's three models (any queued feedback applied inline).
+  static void FlushEntry(Entry& entry);
+
+  // Marks a maintenance epoch / feedback flush as running for the guarded
+  // scope so MaintenanceTick() backs off instead of re-entering
+  // entries_mutex_ from inside one.
+  class BusyScope;
+
   int64_t memory_limit_bytes_;
   CatalogConcurrency concurrency_;
   int num_shards_;
@@ -153,6 +215,11 @@ class CostCatalog {
   // has the same dimensionality draws physical slabs from the same arena,
   // while each tree keeps its own logical byte budget.
   std::map<int, std::shared_ptr<SharedNodeArena>> arenas_;
+  // Scheduler MaintenanceTick() forwards to; nullptr when none registered.
+  std::atomic<MaintenanceScheduler*> scheduler_{nullptr};
+  // > 0 while a maintenance epoch or feedback flush is in flight anywhere;
+  // MaintenanceTick() treats that as "not a safe point" and returns.
+  std::atomic<int> maintenance_busy_{0};
 };
 
 }  // namespace mlq

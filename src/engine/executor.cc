@@ -262,6 +262,11 @@ ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
       catalog.RecordExecutionBatch(query.predicates[i]->udf(), feedback[i]);
       feedback[i].clear();
     }
+    // Block boundary: no model lock is held and this thread owns no
+    // half-applied feedback, so it is a safe point for the catalog's
+    // self-driving arena maintenance. No-op unless a scheduler is
+    // registered and its policy fires.
+    catalog.MaintenanceTick();
   }
   RecordExecObs(stats, obs_t0, obs_on);
   return stats;

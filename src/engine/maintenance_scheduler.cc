@@ -1,0 +1,102 @@
+#include "engine/maintenance_scheduler.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace mlq {
+
+MaintenanceScheduler::MaintenanceScheduler(CostCatalog* catalog,
+                                           const MaintenancePolicy& policy)
+    : catalog_(catalog), policy_(policy) {
+  catalog_->SetMaintenanceScheduler(this);
+}
+
+MaintenanceScheduler::~MaintenanceScheduler() {
+  catalog_->SetMaintenanceScheduler(nullptr);
+}
+
+void MaintenanceScheduler::Tick() {
+  // Snapshot the signals before taking mutex_: ReadArenaSignals takes the
+  // catalog's entries_mutex_, and holding both at once would order this
+  // mutex after the catalog's — while RunEpochLocked orders it before.
+  const CostCatalog::ArenaSignals signals = catalog_->ReadArenaSignals();
+  if (obs::Enabled()) {
+    obs::Core().arena_fragmentation.Set(signals.max_fragmentation);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++ticks_;
+  ++stats_.ticks;
+  const bool idle = signals.tree_compressions == last_compressions_ &&
+                    signals.live_nodes == last_live_nodes_;
+  idle_ticks_ = idle ? idle_ticks_ + 1 : 0;
+  last_compressions_ = signals.tree_compressions;
+  last_live_nodes_ = signals.live_nodes;
+
+  // An epoch is already in flight on another thread; its quiesce windows
+  // will absorb this tick's churn.
+  if (running_) return;
+  if (ticks_ - ticks_at_last_epoch_ < policy_.min_ticks_between_epochs) {
+    return;
+  }
+
+  const int64_t compressions_since =
+      signals.tree_compressions - compressions_at_last_epoch_;
+  bool trigger = false;
+  if (policy_.compression_trigger > 0 &&
+      compressions_since >= policy_.compression_trigger) {
+    trigger = true;
+  }
+  if (policy_.fragmentation_trigger > 0 &&
+      signals.max_fragmentation >= policy_.fragmentation_trigger) {
+    trigger = true;
+  }
+  // Idle trigger only fires when there is actually something to reclaim;
+  // otherwise a quiet system would compact no-op forever.
+  if (policy_.idle_tick_trigger > 0 &&
+      idle_ticks_ >= policy_.idle_tick_trigger &&
+      signals.max_fragmentation > 0.0) {
+    trigger = true;
+  }
+  if (!trigger) return;
+
+  RunEpochLocked(lock);
+}
+
+CostCatalog::ArenaMaintenanceStats MaintenanceScheduler::RunEpochNow() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return RunEpochLocked(lock);
+}
+
+CostCatalog::ArenaMaintenanceStats MaintenanceScheduler::RunEpochLocked(
+    std::unique_lock<std::mutex>& lock) {
+  running_ = true;
+  ticks_at_last_epoch_ = ticks_;
+  // Compressions up to the trigger are absorbed by this epoch; churn that
+  // lands DURING the epoch counts toward the next trigger.
+  const int64_t compressions_at_trigger = last_compressions_;
+  lock.unlock();
+
+  const CostCatalog::ArenaMaintenanceStats epoch =
+      policy_.incremental
+          ? catalog_->CompactArenasIncremental(policy_.step_budget_slots)
+          : catalog_->CompactArenas();
+
+  lock.lock();
+  running_ = false;
+  compressions_at_last_epoch_ = compressions_at_trigger;
+  idle_ticks_ = 0;
+  ++stats_.epochs;
+  stats_.steps += epoch.steps;
+  stats_.bytes_reclaimed += epoch.bytes_reclaimed;
+  stats_.max_pause_us = std::max(stats_.max_pause_us, epoch.max_pause_us);
+  return epoch;
+}
+
+MaintenanceSchedulerStats MaintenanceScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mlq

@@ -173,8 +173,17 @@ void ShardedCostModel::Observe(const Point& point, double actual_cost) {
   if (options_.drain_batch > 0 && shard.queue.size() >= options_.drain_batch) {
     // Opportunistic drain: apply the backlog only if the shard is idle —
     // never wait on a model that is busy serving predictions.
-    std::unique_lock<std::mutex> lock(shard.model_mutex, std::try_to_lock);
-    if (lock.owns_lock()) DrainLocked(shard);
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.model_mutex, std::try_to_lock);
+      if (lock.owns_lock()) {
+        DrainLocked(shard);
+        drained = true;
+      }
+    }
+    // Batch boundary: the hook runs with no shard lock held, so a
+    // maintenance epoch it triggers can take LockForMaintenance freely.
+    if (drained && options_.post_drain_hook) options_.post_drain_hook();
   }
 }
 
@@ -209,6 +218,7 @@ void ShardedCostModel::ObserveBatch(std::span<const Observation> batch) {
     // copy, pop, drain-buffer copy) and gather-apply the run straight to
     // the tree. Draining the backlog first keeps this-producer FIFO order,
     // so a single-threaded caller still builds the exact scalar-loop tree.
+    bool direct = false;
     {
       std::unique_lock<std::mutex> lock(shard.model_mutex, std::try_to_lock);
       if (lock.owns_lock()) {
@@ -218,8 +228,14 @@ void ShardedCostModel::ObserveBatch(std::span<const Observation> batch) {
         shard.applied += applied;
         shard.direct_submitted += applied;
         if (obs_on) obs::Core().feedback_applied.Inc(applied);
-        continue;
+        direct = true;
       }
+    }
+    if (direct) {
+      // Batch boundary, shard lock released: safe point for the
+      // maintenance hook (an epoch re-locks every shard itself).
+      if (options_.post_drain_hook) options_.post_drain_hook();
+      continue;
     }
     // Slow path: the shard is busy serving — materialize the run and
     // enqueue it with exactly the scalar Observe's drop-oldest overflow

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,14 @@ struct ShardedModelOptions {
   // drain_interval_micros. Off by default so tests stay deterministic.
   bool background_drain = false;
   int64_t drain_interval_micros = 500;
+
+  // Invoked after feedback is applied on the Observe/ObserveBatch drain
+  // path, with NO shard lock held — a feedback batch boundary. The catalog
+  // points this at its maintenance scheduler's Tick() so the serving loop
+  // drives arena maintenance autonomously. Deliberately NOT invoked on the
+  // Predict path (prediction latency must never absorb an epoch) or from
+  // Flush() (maintenance epochs themselves flush, and must not recurse).
+  std::function<void()> post_drain_hook;
 };
 
 // Aggregated (or per-shard) serving counters.

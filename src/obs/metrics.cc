@@ -277,6 +277,10 @@ CoreMetrics& Core() {
                    "Shared node-arena compaction passes"),
       r.GetCounter("mlq_arena_compact_bytes_reclaimed_total",
                    "Physical bytes reclaimed by arena compaction"),
+      r.GetCounter("mlq_maintenance_epochs_total",
+                   "Arena maintenance epochs completed"),
+      r.GetCounter("mlq_maintenance_steps_total",
+                   "Incremental maintenance quiesce windows run"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
       r.GetHistogram("mlq_predict_batch_latency_ns",
                      "Whole-batch predict latency"),
@@ -292,12 +296,16 @@ CoreMetrics& Core() {
                      "Observations per feedback batch (log2 buckets)"),
       r.GetHistogram("mlq_arena_compact_latency_ns",
                      "Shared node-arena compaction pass latency"),
+      r.GetHistogram("mlq_maintenance_pause_ns",
+                     "Serving pause per maintenance quiesce window"),
       r.GetGauge("mlq_model_max_cost_drift",
                  "Max multiplicative cost-estimate drift from the last audit"),
       r.GetGauge("mlq_model_max_selectivity_drift",
                  "Max selectivity drift from the last plan audit"),
       r.GetGauge("mlq_compress_sse_threshold",
                  "th_SSE after the most recent compression"),
+      r.GetGauge("mlq_arena_fragmentation",
+                 "Reclaimable slot fraction of the worst catalog arena"),
   };
   return *core;
 }

@@ -161,6 +161,8 @@ struct CoreMetrics {
   Counter& observe_batches;       // mlq_observe_batches_total
   Counter& arena_compactions;     // mlq_arena_compactions_total
   Counter& arena_compact_bytes_reclaimed;  // mlq_arena_compact_bytes_reclaimed_total
+  Counter& maintenance_epochs;    // mlq_maintenance_epochs_total
+  Counter& maintenance_steps;     // mlq_maintenance_steps_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
   LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
@@ -174,10 +176,15 @@ struct CoreMetrics {
   // power-of-two size histogram.
   LatencyHistogram& observe_batch_points;  // mlq_observe_batch_points
   LatencyHistogram& arena_compact_ns;  // mlq_arena_compact_latency_ns
+  // One maintenance quiesce window (locks held + compaction work) — the
+  // serving pause an epoch or an incremental step imposes.
+  LatencyHistogram& maintenance_pause_ns;  // mlq_maintenance_pause_ns
 
   Gauge& max_cost_drift;         // mlq_model_max_cost_drift
   Gauge& max_selectivity_drift;  // mlq_model_max_selectivity_drift
   Gauge& sse_threshold;          // mlq_compress_sse_threshold
+  // Reclaimable fraction of the worst catalog arena (free / total slots).
+  Gauge& arena_fragmentation;    // mlq_arena_fragmentation
 };
 
 CoreMetrics& Core();

@@ -457,6 +457,9 @@ void MemoryLimitedQuadtree::CompressInternal(
   const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
   ++counters_.compressions;
   compressed_once_ = true;
+  // Budget-pressure signal for the maintenance scheduler: compression is
+  // what parks blocks on the arena free-list.
+  pool_.arena().NoteCompression();
 
   auto is_protected = [&protected_path](NodeIndex n) {
     return std::find(protected_path.begin(), protected_path.end(), n) !=

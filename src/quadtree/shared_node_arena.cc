@@ -49,6 +49,7 @@ void SharedNodeArena::AppendSlabLocked() {
 }
 
 NodeIndex SharedNodeArena::AllocateBlockLocked() {
+  ++mutation_epoch_;
   if (free_head_ != kInvalidNodeIndex) {
     const NodeIndex base = free_head_;
     PooledNode& head = node(base);
@@ -73,6 +74,7 @@ NodeIndex SharedNodeArena::AllocateBlock() {
 
 void SharedNodeArena::ReleaseBlock(NodeIndex base) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++mutation_epoch_;
   node(base).first_child = free_head_;
   free_head_ = base;
   free_count_.fetch_add(fanout_, std::memory_order_relaxed);
@@ -97,6 +99,7 @@ void SharedNodeArena::UnregisterRoot(NodeIndex* root) {
 
 int64_t SharedNodeArena::ReleaseTree(NodeIndex root) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++mutation_epoch_;
   assert(node(root).index_in_parent == 0 && node(root).depth == 0);
   int64_t released = 0;
   std::vector<NodeIndex> block_stack;
@@ -182,6 +185,8 @@ SharedNodeArena::CompactionStats SharedNodeArena::Compact() {
   num_slabs_ = new_slabs.size();
   bump_.store(new_bump, std::memory_order_relaxed);
   free_head_ = kInvalidNodeIndex;
+  // Reserved blocks belong to the discarded layout, like the free-list.
+  compact_reserve_.clear();
   free_count_.store(0, std::memory_order_relaxed);
   const int64_t bytes =
       static_cast<int64_t>(num_slabs_ * kSlabSlots * sizeof(PooledNode));
@@ -201,6 +206,166 @@ SharedNodeArena::CompactionStats SharedNodeArena::Compact() {
     MLQ_TRACE_EVENT(obs::TraceEventType::kCompress, t0, dur,
                     static_cast<double>(stats.bytes_reclaimed),
                     static_cast<double>(stats.blocks_moved));
+  }
+  return stats;
+}
+
+void SharedNodeArena::MoveBlockLocked(NodeIndex src, NodeIndex dest) {
+  PooledNode* from = block(src);
+  PooledNode* to = block(dest);
+  // Wholesale block copy: vacant slots in a live block carry no links, so
+  // copying them over the free block's stale state leaves dest clean.
+  for (int q = 0; q < fanout_; ++q) to[q] = from[q];
+  for (int q = 0; q < fanout_; ++q) {
+    const PooledNode& n = to[q];
+    if (n.index_in_parent != q) continue;
+    // Re-point the moved node's children at the block's new home.
+    if (n.first_child != kInvalidNodeIndex) {
+      PooledNode* child_block = block(n.first_child);
+      for (int cq = 0; cq < fanout_; ++cq) {
+        if (child_block[cq].index_in_parent == cq) {
+          child_block[cq].parent = dest + static_cast<NodeIndex>(q);
+        }
+      }
+    }
+    if (n.parent != kInvalidNodeIndex) {
+      // Every live slot of a child block shares one parent; re-pointing it
+      // per slot just rewrites the same value.
+      node(n.parent).first_child = dest;
+    } else {
+      // A root block: patch the tree's registered root handle.
+      for (NodeIndex* root : roots_) {
+        if (*root == src + static_cast<NodeIndex>(q)) {
+          *root = dest + static_cast<NodeIndex>(q);
+        }
+      }
+    }
+  }
+  for (int q = 0; q < fanout_; ++q) MarkVacantSlot(from[q]);
+}
+
+SharedNodeArena::CompactStepStats SharedNodeArena::CompactStep(
+    int64_t budget_slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompactStepStats stats;
+  const int64_t bytes_before = physical_bytes_.load(std::memory_order_relaxed);
+
+  // The reserve describes the layout it was popped from: if any block was
+  // allocated or released since the previous step, hand the reserved blocks
+  // back to the free-list and rebuild from scratch. (free_count_ covers
+  // both structures, so the hand-back moves nothing in the accounting.)
+  if (reserve_epoch_ != mutation_epoch_ && !compact_reserve_.empty()) {
+    for (const NodeIndex base : compact_reserve_) {
+      node(base).first_child = free_head_;
+      free_head_ = base;
+    }
+    compact_reserve_.clear();
+  }
+
+  // A block is reclaimable iff every slot carries the vacancy marker; a
+  // freshly filled destination reads as live automatically.
+  auto block_vacant = [this](int64_t base) {
+    const PooledNode* b = block(static_cast<NodeIndex>(base));
+    for (int q = 0; q < fanout_; ++q) {
+      if (b[q].index_in_parent != kVacantSlot) return false;
+    }
+    return true;
+  };
+
+  const int64_t max_moves =
+      std::max<int64_t>(1, budget_slots / static_cast<int64_t>(fanout_));
+  // Free-list pops and bump-trim absorptions are budgeted alongside moves,
+  // so a step's pause is proportional to budget_slots no matter how long
+  // the free-list or how wide the vacant tail.
+  const int64_t pop_budget = 4 * max_moves;
+  int64_t pops = 0;
+  int64_t absorbed = 0;
+  bool absorb_budget_hit = false;
+
+  // Block bases this step relocated out of; the bump trim may pass them.
+  std::unordered_set<NodeIndex> moved_from;
+  int64_t top = static_cast<int64_t>(bump_.load(std::memory_order_relaxed)) -
+                static_cast<int64_t>(fanout_);
+
+  // Advances `top` past blocks this epoch has fully processed: blocks
+  // moved out by this step and reserved free blocks. A vacant block whose
+  // free-list entry has not been popped yet stops the trim — the bump may
+  // not pass a block that is still reachable from the free-list.
+  auto trim = [&]() {
+    while (top >= 0) {
+      const auto base = static_cast<NodeIndex>(top);
+      if (moved_from.count(base) > 0) {
+        top -= fanout_;
+        continue;
+      }
+      const auto it = compact_reserve_.find(base);
+      if (it != compact_reserve_.end()) {
+        if (absorbed == pop_budget) {
+          absorb_budget_hit = true;
+          break;
+        }
+        compact_reserve_.erase(it);
+        free_count_.fetch_sub(fanout_, std::memory_order_relaxed);
+        ++absorbed;
+        top -= fanout_;
+        continue;
+      }
+      break;
+    }
+  };
+
+  while (true) {
+    trim();
+    if (absorb_budget_hit || top < 0) break;
+    if (stats.blocks_moved == max_moves || pops == pop_budget) break;
+    const auto top_base = static_cast<NodeIndex>(top);
+    if (!block_vacant(top) && !compact_reserve_.empty() &&
+        *compact_reserve_.begin() < top_base) {
+      // Live top block, and a strictly lower hole to put it in.
+      const NodeIndex dest = *compact_reserve_.begin();
+      compact_reserve_.erase(compact_reserve_.begin());
+      free_count_.fetch_sub(fanout_, std::memory_order_relaxed);
+      MoveBlockLocked(top_base, dest);
+      moved_from.insert(top_base);
+      ++stats.blocks_moved;
+      continue;
+    }
+    // Either the top block is free but its list entry has not surfaced
+    // yet, or no usable destination is reserved. Pop one more free-list
+    // entry into the reserve; every pop shrinks the list, so the blocking
+    // entry surfaces within a bounded number of steps.
+    if (free_head_ == kInvalidNodeIndex) break;
+    const NodeIndex base = free_head_;
+    free_head_ = node(base).first_child;
+    node(base).first_child = kInvalidNodeIndex;
+    compact_reserve_.insert(base);
+    ++pops;
+  }
+
+  // Install the shrunk extent and drop every slab past the new bump.
+  const auto new_bump = static_cast<size_t>(top + fanout_);
+  bump_.store(new_bump, std::memory_order_relaxed);
+  const size_t needed_slabs = (new_bump + kSlabSlots - 1) >> kSlabShift;
+  for (size_t s = needed_slabs; s < num_slabs_; ++s) {
+    delete[] slabs_[s].load(std::memory_order_relaxed);
+    slabs_[s].store(nullptr, std::memory_order_relaxed);
+  }
+  num_slabs_ = needed_slabs;
+  const int64_t bytes =
+      static_cast<int64_t>(num_slabs_ * kSlabSlots * sizeof(PooledNode));
+  physical_bytes_.store(bytes, std::memory_order_relaxed);
+  stats.bytes_reclaimed = std::max<int64_t>(0, bytes_before - bytes);
+  stats.done = free_head_ == kInvalidNodeIndex && compact_reserve_.empty();
+  reserve_epoch_ = mutation_epoch_;
+  if (stats.done &&
+      (stats.blocks_moved > 0 || absorbed > 0 || stats.bytes_reclaimed > 0)) {
+    // A completed pass that actually did work counts as one compaction and
+    // resets the high-water mark, exactly like Compact().
+    peak_physical_bytes_.store(bytes, std::memory_order_relaxed);
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::Enabled() && stats.bytes_reclaimed > 0) {
+    obs::Core().arena_compact_bytes_reclaimed.Inc(stats.bytes_reclaimed);
   }
   return stats;
 }
@@ -225,6 +390,16 @@ bool SharedNodeArena::CheckConsistency(std::string* error) const {
     }
     if (!free_blocks.insert(base).second || free_blocks.size() > max_blocks) {
       return fail("free-list cycle detected");
+    }
+  }
+  // Blocks parked in the incremental-compaction reserve are free too: they
+  // still count toward free_count_ and must stay fully vacant.
+  for (const NodeIndex base : compact_reserve_) {
+    if (base >= slots || base % fanout_ != 0) {
+      return fail("reserved block is not a valid block base");
+    }
+    if (!free_blocks.insert(base).second) {
+      return fail("reserved block is also on the free-list");
     }
   }
   if (free_count_.load(std::memory_order_relaxed) !=

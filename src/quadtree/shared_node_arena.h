@@ -7,6 +7,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -151,6 +152,28 @@ class SharedNodeArena {
     return compactions_.load(std::memory_order_relaxed);
   }
 
+  // Maintenance signal: a tree on this arena ran a compression pass (the
+  // budget-pressure event the scheduler keys epochs off). Thread-safe; the
+  // owning tree calls it from CompressInternal.
+  void NoteCompression() {
+    tree_compressions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Total tree compressions across every tree on this arena since
+  // construction (monotonic — schedulers diff it across ticks).
+  int64_t tree_compressions() const {
+    return tree_compressions_.load(std::memory_order_relaxed);
+  }
+
+  // Reclaimable fraction of the arena: free-listed slots / materialized
+  // slots. 0 means dense (every slot below the bump is in a live block);
+  // equivalently 1 - live-block-slots/capacity, the scheduler's
+  // fragmentation-ratio signal.
+  double FragmentationRatio() const {
+    const auto slots = static_cast<int64_t>(slot_count());
+    if (slots == 0) return 0.0;
+    return static_cast<double>(free_count()) / static_cast<double>(slots);
+  }
+
   // Registers the location of a tree's root index so Compact() can both
   // discover the live forest and patch roots after moving blocks. The
   // pointee must stay at a stable address until UnregisterRoot.
@@ -179,6 +202,43 @@ class SharedNodeArena {
   // predictions do not.
   CompactionStats Compact();
 
+  struct CompactStepStats {
+    int64_t blocks_moved = 0;
+    int64_t bytes_reclaimed = 0;
+    // True when the arena is dense after this step: no free block remains
+    // below the bump, so further steps would be no-ops until new
+    // fragmentation accrues.
+    bool done = false;
+  };
+
+  // Incremental compaction: performs at most O(budget_slots) bounded work
+  // — relocating live blocks from the top of the arena into the lowest
+  // reserved free blocks, in place — then trims the bump pointer and any
+  // now-empty tail slabs. Repeated calls converge to the same dense
+  // physical footprint as Compact() — block ORDER differs (bottom-fill vs
+  // pre-order rewrite), which serialized bytes and predictions are
+  // independent of.
+  //
+  // Every cost inside a step is budget-proportional, never O(free-list):
+  // the step pops a bounded number of free-list entries into a persistent
+  // sorted reserve (compact_reserve_), consumes reserve entries as
+  // relocation destinations lowest-first, and absorbs a bounded number of
+  // reserved/moved-out blocks when lowering the bump. The reserve carries
+  // over between steps; if the arena mutated in between (any allocation or
+  // release), the reserve is handed back to the free-list and rebuilt.
+  //
+  // Relocation fix-up protocol, per moved block: the moved nodes' common
+  // parent has its first_child re-pointed; every moved node's children get
+  // their parent link re-pointed; a moved root is patched through its
+  // registered root handle (RegisterRoot). All under the arena mutex.
+  //
+  // Same quiesce contract as Compact() — no descent may be in flight —
+  // but held only for this step's bounded work, so a scheduler can
+  // interleave steps with serving traffic instead of stopping the world
+  // for the whole pass. compactions() is credited when a step both did
+  // work and finished the layout.
+  CompactStepStats CompactStep(int64_t budget_slots);
+
   // Structural self-check of the whole arena: block alignment, vacant/live
   // slot markers, the free-list reaching exactly the freed blocks, and the
   // live/free counters adding up. Returns false with a description in
@@ -186,9 +246,10 @@ class SharedNodeArena {
   bool CheckConsistency(std::string* error) const;
 
  private:
-  // Both require mutex_.
+  // All require mutex_.
   void AppendSlabLocked();
   NodeIndex AllocateBlockLocked();
+  void MoveBlockLocked(NodeIndex src, NodeIndex dest);
 
   const int fanout_;
   mutable std::mutex mutex_;
@@ -197,12 +258,21 @@ class SharedNodeArena {
   size_t num_slabs_ = 0;                     // Guarded by mutex_.
   NodeIndex free_head_ = kInvalidNodeIndex;  // Block bases, LIFO; mutex_.
   std::vector<NodeIndex*> roots_;            // Guarded by mutex_.
+  // Incremental-compaction reserve (guarded by mutex_): free blocks popped
+  // off the free-list by CompactStep, held sorted as pending relocation
+  // destinations across steps. Entries still count toward free_count_.
+  std::set<NodeIndex> compact_reserve_;
+  // Bumped by every block allocation/release (under mutex_); CompactStep
+  // compares against reserve_epoch_ to detect mutations between steps.
+  uint64_t mutation_epoch_ = 0;
+  uint64_t reserve_epoch_ = 0;
   std::atomic<size_t> bump_{0};              // First never-materialized slot.
   std::atomic<int64_t> live_{0};
   std::atomic<int64_t> free_count_{0};
   std::atomic<int64_t> physical_bytes_{0};
   std::atomic<int64_t> peak_physical_bytes_{0};
   std::atomic<int64_t> compactions_{0};
+  std::atomic<int64_t> tree_compressions_{0};
 };
 
 }  // namespace mlq

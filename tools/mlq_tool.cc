@@ -11,6 +11,10 @@
 //                     [--cost=cpu] [--trace-out=events.json]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
+//   mlq_tool maintenance [--udf=synth] [--n=20000] [--seed=42]
+//                     [--budget=1800] [--shards=4]
+//                     [--maintenance-policy=incremental|full]
+//                     [--step-slots=4096] [--json]
 //   mlq_tool selftest
 //
 // UDF names: synth (synthetic surface; --peaks) or one of
@@ -33,6 +37,8 @@
 #include <vector>
 
 #include "common/args.h"
+#include "engine/cost_catalog.h"
+#include "engine/maintenance_scheduler.h"
 #include "eval/experiment_setup.h"
 #include "eval/metrics.h"
 #include "eval/trace.h"
@@ -61,6 +67,10 @@ int Usage() {
                "[--cost=cpu|io] [--trace-out=FILE]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
+               "  maintenance [--udf=synth] [--n=20000] [--seed=42] "
+               "[--budget=1800] [--shards=4] "
+               "[--maintenance-policy=incremental|full] [--step-slots=4096] "
+               "[--json]\n"
                "  selftest\n");
   return 1;
 }
@@ -427,6 +437,106 @@ int RunPredict(int argc, char** argv) {
   return 0;
 }
 
+// Drives a sharded catalog to fragmentation with a captured workload, runs
+// one maintenance epoch (incremental by default), and reports what it did.
+int RunMaintenance(int argc, char** argv) {
+  const std::string udf_name = ArgValue(argc, argv, "udf", "synth");
+  const int n = std::atoi(ArgValue(argc, argv, "n", "20000").c_str());
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(ArgValue(argc, argv, "seed", "42").c_str()));
+  const int peaks = std::atoi(ArgValue(argc, argv, "peaks", "50").c_str());
+  const int64_t budget =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  const int shards = std::atoi(ArgValue(argc, argv, "shards", "4").c_str());
+  const std::string mode =
+      ArgValue(argc, argv, "maintenance-policy", "incremental");
+  const int64_t step_slots =
+      std::atoll(ArgValue(argc, argv, "step-slots", "4096").c_str());
+  const bool json = HasFlag(argc, argv, "json");
+  const SubstrateScale scale = ArgValue(argc, argv, "scale", "small") == "full"
+                                   ? SubstrateScale::kFull
+                                   : SubstrateScale::kSmall;
+  if (n <= 0 || step_slots <= 0 ||
+      (mode != "incremental" && mode != "full")) {
+    return Usage();
+  }
+
+  std::unique_ptr<SyntheticUdf> synthetic;
+  std::unique_ptr<RealUdfSuite> suite;
+  CostedUdf* udf = ResolveUdf(udf_name, peaks, seed, scale, &synthetic, &suite);
+  if (udf == nullptr) {
+    std::fprintf(stderr, "unknown UDF '%s'\n", udf_name.c_str());
+    return 1;
+  }
+
+  // Feed the whole workload through the catalog's batched feedback path;
+  // the per-model compressions this provokes are what fragment the arena.
+  CostCatalog catalog(budget, CatalogConcurrency::kSharded, shards);
+  const auto points = MakePaperWorkload(
+      udf->execution_space(), QueryDistributionKind::kUniform, n, seed);
+  const auto records = CaptureTrace(*udf, points);
+  std::vector<CostCatalog::ExecutionRecord> batch;
+  batch.reserve(256);
+  size_t row = 0;
+  for (const TraceRecord& r : records) {
+    UdfCost cost;
+    cost.cpu_work = r.cpu_cost;
+    cost.io_pages = r.io_cost;
+    batch.push_back({udf->ToModelPoint(r.point), cost, (row++ % 3) == 0});
+    if (batch.size() == 256) {
+      catalog.RecordExecutionBatch(udf, batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) catalog.RecordExecutionBatch(udf, batch);
+  catalog.FlushFeedback();
+
+  const CostCatalog::ArenaSignals before = catalog.ReadArenaSignals();
+  MaintenancePolicy policy;
+  policy.incremental = mode == "incremental";
+  policy.step_budget_slots = step_slots;
+  MaintenanceScheduler scheduler(&catalog, policy);
+  const CostCatalog::ArenaMaintenanceStats stats = scheduler.RunEpochNow();
+  const CostCatalog::ArenaSignals after = catalog.ReadArenaSignals();
+
+  if (json) {
+    std::printf(
+        "{\"mode\": \"%s\", \"records\": %zu, \"tree_compressions\": %lld, "
+        "\"fragmentation_before\": %.4f, \"fragmentation_after\": %.4f, "
+        "\"physical_bytes_before\": %lld, \"physical_bytes_after\": %lld, "
+        "\"bytes_reclaimed\": %lld, \"blocks_moved\": %lld, \"arenas\": %d, "
+        "\"steps\": %d, \"max_pause_us\": %lld, \"total_pause_us\": %lld}\n",
+        mode.c_str(), records.size(),
+        static_cast<long long>(before.tree_compressions),
+        before.max_fragmentation, after.max_fragmentation,
+        static_cast<long long>(stats.physical_bytes_before),
+        static_cast<long long>(stats.physical_bytes_after),
+        static_cast<long long>(stats.bytes_reclaimed),
+        static_cast<long long>(stats.blocks_moved), stats.arenas_compacted,
+        stats.steps, static_cast<long long>(stats.max_pause_us),
+        static_cast<long long>(stats.total_pause_us));
+    return 0;
+  }
+  std::printf("maintenance epoch (%s) over %zu records of %s:\n", mode.c_str(),
+              records.size(), std::string(udf->name()).c_str());
+  std::printf("  tree compressions observed: %lld\n",
+              static_cast<long long>(before.tree_compressions));
+  std::printf("  fragmentation: %.1f%% -> %.1f%%\n",
+              before.max_fragmentation * 100.0,
+              after.max_fragmentation * 100.0);
+  std::printf("  physical bytes: %lld -> %lld (%lld reclaimed)\n",
+              static_cast<long long>(stats.physical_bytes_before),
+              static_cast<long long>(stats.physical_bytes_after),
+              static_cast<long long>(stats.bytes_reclaimed));
+  std::printf("  blocks moved: %lld across %d arena(s)\n",
+              static_cast<long long>(stats.blocks_moved),
+              stats.arenas_compacted);
+  std::printf("  quiesce windows: %d (max pause %lld us, total %lld us)\n",
+              stats.steps, static_cast<long long>(stats.max_pause_us),
+              static_cast<long long>(stats.total_pause_us));
+  return 0;
+}
+
 int RunSelfTest() {
   // capture -> replay -> save -> inspect -> predict, via temp files.
   const std::string trace_path = "/tmp/mlq_tool_selftest_trace.txt";
@@ -524,6 +634,7 @@ int Main(int argc, char** argv) {
   if (command == "metrics") return RunMetrics(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "predict") return RunPredict(argc, argv);
+  if (command == "maintenance") return RunMaintenance(argc, argv);
   if (command == "selftest") return RunSelfTest();
   return Usage();
 }
