@@ -14,6 +14,8 @@
 // Observe path.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -384,6 +386,62 @@ int Main(int argc, char** argv) {
                           TablePrinter::Num(sharded_cell.speedup, 2)});
   }
   observe_table.Print(std::cout);
+
+  // Drift-adaptive serving: the same mixed workload against the sharded
+  // model while the summary-decay clock ticks from a maintenance thread
+  // (AdvanceDecayEpoch takes each shard's model lock in turn — the same
+  // interleaving a MaintenanceScheduler drift burst produces under load).
+  // Read the decay column against the off column: the gap is what
+  // drift-adaptive serving costs at full serving concurrency.
+  std::printf("\nDrift-adaptive serving (decay clock ticking under load):\n");
+  TablePrinter drift_table({"threads", "decay off Mops/s",
+                            "decay on Mops/s", "ratio", "epochs"});
+  for (const int threads : thread_counts) {
+    const int64_t ops_per_thread = total_ops / threads;
+
+    const auto run_with_decay = [&](double half_life) {
+      ShardedModelOptions options;
+      options.num_shards = num_shards;
+      options.queue_capacity = 4096;
+      options.drain_batch = 256;
+      MlqConfig config = BenchConfig(budget);
+      config.decay_half_life = half_life;
+      ShardedCostModel model(space, config, options);
+      std::atomic<bool> done{false};
+      int64_t epochs = 0;
+      // One steady clock tick per ~2ms of serving; a real scheduler ticks
+      // with traffic, but a fixed cadence keeps the table comparable
+      // across thread counts.
+      std::thread clock_thread([&]() {
+        while (!done.load(std::memory_order_relaxed)) {
+          if (half_life > 0.0) {
+            model.AdvanceDecayEpoch(1);
+            ++epochs;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+      const RunResult result =
+          RunWorkload(model, threads, ops_per_thread, observe_fraction);
+      done.store(true, std::memory_order_relaxed);
+      clock_thread.join();
+      return std::pair<RunResult, int64_t>(result, epochs);
+    };
+
+    const auto [off_result, off_epochs] = run_with_decay(0.0);
+    const auto [on_result, on_epochs] = run_with_decay(8.0);
+    drift_table.AddRow(
+        {std::to_string(threads),
+         TablePrinter::Num(off_result.ops_per_sec / 1e6, 3),
+         TablePrinter::Num(on_result.ops_per_sec / 1e6, 3),
+         TablePrinter::Num(on_result.ops_per_sec /
+                               (off_result.ops_per_sec > 0.0
+                                    ? off_result.ops_per_sec
+                                    : 1.0),
+                           2),
+         std::to_string(on_epochs)});
+  }
+  drift_table.Print(std::cout);
 
   std::printf(
       "\nspeedup = sharded / mutex at the same thread count. The sharded\n"

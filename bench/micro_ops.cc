@@ -104,6 +104,33 @@ void BM_QuadtreeInsertLazy(benchmark::State& state) {
 }
 BENCHMARK(BM_QuadtreeInsertLazy)->Arg(1800)->Arg(16384)->Arg(262144);
 
+void BM_QuadtreeInsertDecay(benchmark::State& state) {
+  // The insert hot path with windowed summaries live: decay enabled and the
+  // epoch clock ticking every 256 inserts, so the loop pays the lazy
+  // materialization (re-scaling a node's stale summary on first touch after
+  // an epoch) at the steady-state rate the maintenance scheduler produces.
+  // Compare against BM_QuadtreeInsertLazy at the same budget: the gap is
+  // the full decay feature cost, not just the disabled-path guard (that
+  // bound lives in bench/decay_overhead.cc).
+  MlqConfig config = ConfigWithBudget(state.range(0), InsertionStrategy::kLazy);
+  config.decay_half_life = 8.0;
+  auto tree = std::make_unique<MemoryLimitedQuadtree>(
+      Box::Cube(kDims, 0.0, 1000.0), config);
+  Rng warm_rng(1);
+  for (const Point& p : RandomPoints(4000, 2)) {
+    tree->Insert(p, warm_rng.Uniform(0.0, 10000.0));
+  }
+  const auto points = RandomPoints(1024, 6);
+  Rng rng(7);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree->Insert(points[i++ & 1023], rng.Uniform(0.0, 10000.0));
+    if ((i & 255) == 0) tree->AdvanceDecayEpoch(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuadtreeInsertDecay)->Arg(1800)->Arg(16384)->Arg(262144);
+
 void BM_QuadtreeInsertBatch(benchmark::State& state) {
   // The batched feedback entry point at block sizes 1..512 on a
   // budget-filled lazy tree (constant compression churn, the serving

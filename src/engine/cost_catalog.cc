@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/timer.h"
 #include "engine/maintenance_scheduler.h"
@@ -55,7 +56,8 @@ CostCatalog::CostCatalog(int64_t memory_limit_bytes,
 
 std::unique_ptr<CostModel> CostCatalog::MakeModel(const Box& space,
                                                   int64_t beta) {
-  const MlqConfig config = CatalogModelConfig(memory_limit_bytes_, beta);
+  MlqConfig config = CatalogModelConfig(memory_limit_bytes_, beta);
+  config.decay_half_life = model_decay_half_life_;
   std::shared_ptr<SharedNodeArena> arena = ArenaForDimsLocked(space.dims());
   switch (concurrency_) {
     case CatalogConcurrency::kSingleThread:
@@ -122,7 +124,9 @@ void CostCatalog::RecordExecution(CostedUdf* udf, const Point& model_point,
   entry.cpu_model->Observe(model_point, cost.cpu_work);
   entry.io_model->Observe(model_point, cost.io_pages);
   entry.selectivity_model->Observe(model_point, passed ? 1.0 : 0.0);
+  const DriftKind drift = UpdateWindowed(entry, cost, passed);
   if (obs::Enabled()) obs::Core().catalog_feedback.Inc();
+  if (drift != DriftKind::kNone) NotifyDriftDetected(drift);
 }
 
 void CostCatalog::RecordExecutionBatch(
@@ -145,9 +149,100 @@ void CostCatalog::RecordExecutionBatch(
   entry.cpu_model->ObserveBatch(cpu);
   entry.io_model->ObserveBatch(io);
   entry.selectivity_model->ObserveBatch(selectivity);
+  // Fold the windowed EWMAs in record order; keep only the worst verdict
+  // and notify once per batch, after every entry lock is released.
+  DriftKind worst = DriftKind::kNone;
+  for (const ExecutionRecord& r : records) {
+    const DriftKind drift = UpdateWindowed(entry, r.cost, r.passed);
+    if (static_cast<int>(drift) > static_cast<int>(worst)) worst = drift;
+  }
   if (obs::Enabled()) {
     obs::Core().catalog_feedback.Inc(static_cast<int64_t>(records.size()));
   }
+  if (worst != DriftKind::kNone) NotifyDriftDetected(worst);
+}
+
+CostCatalog::WindowedActuals CostCatalog::ReadWindowedActuals(
+    const CostedUdf* udf) const {
+  const Entry* entry = Find(udf);
+  if (entry == nullptr) return {};
+  std::lock_guard<std::mutex> lock(entry->windowed_mutex);
+  return entry->windowed;
+}
+
+DriftKind CostCatalog::UpdateWindowed(Entry& entry, const UdfCost& cost,
+                                      bool passed) {
+  const double cost_micros = cost.cpu_work * kMicrosPerWorkUnit +
+                             cost.io_pages * kMicrosPerPageMiss;
+  const double selectivity = passed ? 1.0 : 0.0;
+  std::lock_guard<std::mutex> lock(entry.windowed_mutex);
+  WindowedActuals& w = entry.windowed;
+  // The detectors judge each sample against the PRE-update slow baseline:
+  // once the baseline has folded the sample in, a step change would be
+  // partially absorbed before it is measured.
+  DriftKind cost_drift = DriftKind::kNone;
+  DriftKind selectivity_drift = DriftKind::kNone;
+  if (w.observations == 0) {
+    w.fast_cost_micros = w.slow_cost_micros = cost_micros;
+    w.fast_selectivity = w.slow_selectivity = selectivity;
+  } else {
+    cost_drift = entry.cost_detector.Observe(w.slow_cost_micros, cost_micros);
+    // Pass outcomes are 0/1 Bernoulli samples: a relative error against a 0
+    // sample explodes, so the selectivity detector judges the absolute
+    // deviation from the baseline pass rate (already in [0, 1]).
+    selectivity_drift = entry.selectivity_detector.ObserveError(
+        std::abs(w.slow_selectivity - selectivity));
+    w.fast_cost_micros += kFastAlpha * (cost_micros - w.fast_cost_micros);
+    w.slow_cost_micros += kSlowAlpha * (cost_micros - w.slow_cost_micros);
+    w.fast_selectivity += kFastAlpha * (selectivity - w.fast_selectivity);
+    w.slow_selectivity += kSlowAlpha * (selectivity - w.slow_selectivity);
+  }
+  ++w.observations;
+  return static_cast<int>(cost_drift) > static_cast<int>(selectivity_drift)
+             ? cost_drift
+             : selectivity_drift;
+}
+
+void CostCatalog::NotifyDriftDetected(DriftKind kind) {
+  MaintenanceScheduler* scheduler = scheduler_.load(std::memory_order_acquire);
+  if (scheduler != nullptr) scheduler->NotifyDrift(kind);
+}
+
+void CostCatalog::SetModelDecayHalfLife(double half_life) {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  model_decay_half_life_ = half_life > 0.0 ? half_life : 0.0;
+}
+
+double CostCatalog::model_decay_half_life() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  return model_decay_half_life_;
+}
+
+void CostCatalog::AdvanceDecayEpochs(int64_t epochs) {
+  if (epochs <= 0) return;
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  // Same lock order as the compaction epochs: entries_mutex_, then each
+  // model's own synchronization (inside AdvanceDecayEpoch).
+  for (auto& entry : entries_) {
+    entry->cpu_model->AdvanceDecayEpoch(epochs);
+    entry->io_model->AdvanceDecayEpoch(epochs);
+    entry->selectivity_model->AdvanceDecayEpoch(epochs);
+  }
+}
+
+double CostCatalog::MaxModelStaleness() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  double staleness = 1.0;
+  for (const auto& entry : entries_) {
+    std::lock_guard<std::mutex> windowed_lock(entry->windowed_mutex);
+    staleness = std::max(staleness, entry->cost_detector.staleness());
+    staleness = std::max(staleness, entry->selectivity_detector.staleness());
+  }
+  return staleness;
 }
 
 double CostCatalog::PredictCostMicros(CostedUdf* udf,

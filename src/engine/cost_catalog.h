@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/drift_detector.h"
 #include "model/cost_model.h"
 #include "quadtree/shared_node_arena.h"
 #include "udf/costed_udf.h"
@@ -42,11 +43,42 @@ enum class CatalogConcurrency {
 // modes, predictions and feedback may come from many threads at once.
 class CostCatalog {
  public:
+  // Exponentially weighted windows over recently observed ACTUAL execution
+  // outcomes of one UDF — not model re-estimates. This is what the estimate
+  // audit compares plan estimates against: a converged model's re-estimate
+  // tracks the plan no matter what the workload does, while these windows
+  // follow the executions themselves, so drift stays visible after millions
+  // of stable observations (see docs/drift.md).
+  struct WindowedActuals {
+    // Per-call cost in nominal microseconds (CPU + IO combined, the same
+    // unit PredictCostMicros reports), on two horizons.
+    double fast_cost_micros = 0.0;
+    double slow_cost_micros = 0.0;
+    // Pass fraction on the same two horizons.
+    double fast_selectivity = 0.0;
+    double slow_selectivity = 0.0;
+    // Executions folded in (0 = no feedback yet, windows meaningless).
+    int64_t observations = 0;
+  };
+
+  // EWMA weights for WindowedActuals: the fast window reacts within ~5
+  // observations, the slow window remembers the last ~50.
+  static constexpr double kFastAlpha = 0.2;
+  static constexpr double kSlowAlpha = 0.02;
+
   struct Entry {
     CostedUdf* udf;
     std::unique_ptr<CostModel> cpu_model;
     std::unique_ptr<CostModel> io_model;
     std::unique_ptr<CostModel> selectivity_model;
+    // Windowed actual-outcome tracking plus the per-model drift detectors,
+    // updated on the feedback path. Guarded by windowed_mutex. Lock order:
+    // entries_mutex_ (when held at all) before windowed_mutex; nothing may
+    // take entries_mutex_ while holding a windowed_mutex.
+    mutable std::mutex windowed_mutex;
+    WindowedActuals windowed;
+    DriftDetector cost_detector;
+    DriftDetector selectivity_detector;
   };
 
   // One execution outcome, buffered by the batched executor path and
@@ -132,6 +164,27 @@ class CostCatalog {
                                std::span<const Point> model_points,
                                std::span<double> out);
 
+  // Snapshot of the windowed actual-outcome EWMAs for `udf` (all zeros when
+  // the UDF is unknown or has never executed).
+  WindowedActuals ReadWindowedActuals(const CostedUdf* udf) const;
+
+  // Decay policy for the catalog's models: entries created AFTER this call
+  // build their trees with the given summary half-life (in decay epochs;
+  // 0 disables — the default, matching the paper's unbounded-memory-of-the-
+  // past summaries). Set it before the first For() on a UDF; existing
+  // entries keep the config they were built with.
+  void SetModelDecayHalfLife(double half_life);
+  double model_decay_half_life() const;
+
+  // Advances every model's summary-decay clock by `epochs`. Called by the
+  // maintenance scheduler: one epoch per steady-state interval, a burst
+  // after the drift detector fires. No-op for decay-off models.
+  void AdvanceDecayEpochs(int64_t epochs);
+
+  // Worst drift-detector staleness (fast/slow windowed-error ratio) across
+  // all entries; 1.0 when stable or when no entry has data.
+  double MaxModelStaleness() const;
+
   // Applies any queued feedback in every model (kSharded); no-op in the
   // synchronous modes.
   void FlushFeedback();
@@ -193,6 +246,15 @@ class CostCatalog {
   // Wraps a freshly configured MLQ model according to concurrency_.
   std::unique_ptr<CostModel> MakeModel(const Box& space, int64_t beta);
 
+  // Folds one execution outcome into the entry's windowed EWMAs and feeds
+  // the drift detectors. Takes entry.windowed_mutex; returns the worst
+  // drift classification this outcome triggered.
+  DriftKind UpdateWindowed(Entry& entry, const UdfCost& cost, bool passed);
+
+  // Forwards a non-kNone detector verdict to the registered scheduler.
+  // Must be called with no catalog or entry lock held.
+  void NotifyDriftDetected(DriftKind kind);
+
   // ArenaForDims body with entries_mutex_ already held (concurrent modes).
   std::shared_ptr<SharedNodeArena>& ArenaForDimsLocked(int dims);
 
@@ -207,6 +269,9 @@ class CostCatalog {
   int64_t memory_limit_bytes_;
   CatalogConcurrency concurrency_;
   int num_shards_;
+  // Summary half-life applied to models created from now on (guarded by
+  // entries_mutex_ in the concurrent modes, like entries_).
+  double model_decay_half_life_ = 0.0;
   // Guards entries_ and arenas_ (lookup + lazy creation) in the concurrent
   // modes; the models themselves carry their own synchronization.
   mutable std::mutex entries_mutex_;

@@ -1,0 +1,83 @@
+#include "engine/drift_detector.h"
+
+#include <cmath>
+
+#include "obs/obs.h"
+
+namespace mlq {
+namespace {
+
+// Floor added to both horizons before taking their ratio: keeps a
+// deterministic workload (both error tracks ~0) reading as stable instead
+// of amplifying denormal noise into spurious firings.
+constexpr double kErrorFloor = 1e-6;
+
+// Denominator guard for the relative error of near-zero actuals.
+constexpr double kActualEps = 1e-9;
+
+}  // namespace
+
+DriftDetector::DriftDetector(const DriftDetectorOptions& options)
+    : options_(options) {}
+
+DriftKind DriftDetector::Observe(double predicted, double actual) {
+  return ObserveError(std::abs(predicted - actual) /
+                      (std::abs(actual) + kActualEps));
+}
+
+DriftKind DriftDetector::ObserveError(double relative_error) {
+  if (!std::isfinite(relative_error) || relative_error < 0.0) return DriftKind::kNone;
+  ++observations_;
+  if (observations_ == 1) {
+    // Warm start: both horizons adopt the first sample so the ratio begins
+    // at 1 instead of climbing from an arbitrary zero.
+    fast_error_ = slow_error_ = relative_error;
+    return DriftKind::kNone;
+  }
+  fast_error_ += options_.fast_alpha * (relative_error - fast_error_);
+  slow_error_ += options_.slow_alpha * (relative_error - slow_error_);
+
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return DriftKind::kNone;
+  }
+  if (observations_ < options_.min_observations) return DriftKind::kNone;
+
+  const double ratio = staleness();
+  DriftKind kind = DriftKind::kNone;
+  if (ratio >= options_.abrupt_ratio) {
+    kind = DriftKind::kAbrupt;
+  } else if (ratio >= options_.gradual_ratio) {
+    if (++gradual_streak_ >= options_.gradual_patience) {
+      kind = DriftKind::kGradual;
+    }
+  } else {
+    gradual_streak_ = 0;
+  }
+  if (kind != DriftKind::kNone) {
+    // The new error level becomes the baseline; without this reset the
+    // ratio would stay elevated and re-fire every evaluation.
+    slow_error_ = fast_error_;
+    gradual_streak_ = 0;
+    cooldown_remaining_ = options_.cooldown;
+    ++drift_count_;
+    if (obs::Enabled()) obs::Core().drift_events.Inc();
+  }
+  return kind;
+}
+
+double DriftDetector::staleness() const {
+  if (observations_ == 0) return 1.0;
+  return (fast_error_ + kErrorFloor) / (slow_error_ + kErrorFloor);
+}
+
+void DriftDetector::Reset() {
+  fast_error_ = 0.0;
+  slow_error_ = 0.0;
+  observations_ = 0;
+  cooldown_remaining_ = 0;
+  gradual_streak_ = 0;
+  drift_count_ = 0;
+}
+
+}  // namespace mlq

@@ -1,0 +1,98 @@
+#ifndef MLQ_ENGINE_DRIFT_DETECTOR_H_
+#define MLQ_ENGINE_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+
+namespace mlq {
+
+// Classification of a detected workload shift.
+enum class DriftKind {
+  kNone,
+  // A sustained moderate divergence (cost surface moving slowly, e.g. a
+  // dataset growing or a cache warming over minutes).
+  kGradual,
+  // A step change (cost surface jumped, e.g. an index dropped, a table
+  // reloaded, a predicate's input distribution switched).
+  kAbrupt,
+};
+
+// Tuning knobs for DriftDetector. The defaults classify a 2-3x step in the
+// observed error level as abrupt within a few dozen observations while
+// riding out ordinary execution-cost noise.
+struct DriftDetectorOptions {
+  // EWMA weights for the two error horizons. The fast track answers "how
+  // wrong are we right now"; the slow track is the steady-state baseline.
+  double fast_alpha = 0.2;
+  double slow_alpha = 0.02;
+
+  // fast/slow ratio at which a single evaluation classifies as abrupt.
+  double abrupt_ratio = 3.0;
+
+  // fast/slow ratio that, sustained for `gradual_patience` consecutive
+  // observations, classifies as gradual.
+  double gradual_ratio = 1.5;
+  int gradual_patience = 48;
+
+  // No classification until both horizons have seen this many samples —
+  // a cold model's large-but-shrinking errors are learning, not drift.
+  int64_t min_observations = 64;
+
+  // Observations to ignore after a firing, giving the re-learning models
+  // (and the reset baseline) time to settle before the next verdict.
+  int64_t cooldown = 256;
+};
+
+// Windowed drift detection over a stream of (predicted, actual) pairs.
+//
+// The lifetime-aggregate audit gauges go blind once a model converges: after
+// enough feedback, the model's own re-estimate tracks the plan estimate no
+// matter what the workload does (see docs/drift.md). This detector instead
+// keeps two exponentially weighted windows over the *relative error* of each
+// observation and compares them: the fast window reacts within a handful of
+// samples, the slow window remembers the steady state. A fast/slow ratio
+// near 1 means "as wrong as usual"; a large ratio means the error level
+// itself changed — drift.
+//
+// On a firing the slow baseline is reset to the fast track (the new regime
+// becomes the norm) and a cooldown starts, so one drift event produces one
+// classification, not a burst.
+//
+// Thread-compatible, not thread-safe: callers serialize access (CostCatalog
+// guards each entry's detectors with the entry's windowed mutex).
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftDetectorOptions& options = {});
+
+  // Feeds one (predicted, actual) pair; returns the classification this
+  // observation triggered (almost always kNone).
+  DriftKind Observe(double predicted, double actual);
+
+  // Same, for callers that already computed a relative error (>= 0).
+  // Non-finite or negative errors are discarded.
+  DriftKind ObserveError(double relative_error);
+
+  // Current fast/slow error ratio (the model-staleness signal; ~1 when the
+  // error level is stable, large when the recent errors dwarf the
+  // baseline). 1 before any data.
+  double staleness() const;
+
+  int64_t observations() const { return observations_; }
+  int64_t drift_count() const { return drift_count_; }
+  const DriftDetectorOptions& options() const { return options_; }
+
+  // Forgets all state (horizons, cooldown, counters).
+  void Reset();
+
+ private:
+  DriftDetectorOptions options_;
+  double fast_error_ = 0.0;
+  double slow_error_ = 0.0;
+  int64_t observations_ = 0;
+  int64_t cooldown_remaining_ = 0;
+  int gradual_streak_ = 0;
+  int64_t drift_count_ = 0;
+};
+
+}  // namespace mlq
+
+#endif  // MLQ_ENGINE_DRIFT_DETECTOR_H_

@@ -40,6 +40,23 @@ double PredicateAudit::SelectivityDrift() const {
   return Drift(estimated_selectivity, post_selectivity);
 }
 
+double PredicateAudit::WindowedCostDrift() const {
+  return Drift(estimated_cost_micros, windowed_cost_micros);
+}
+
+double PredicateAudit::WindowedSelectivityDrift() const {
+  return Drift(estimated_selectivity, windowed_selectivity);
+}
+
+double PredicateAudit::EffectiveCostDrift() const {
+  return windowed_observations > 0 ? WindowedCostDrift() : CostDrift();
+}
+
+double PredicateAudit::EffectiveSelectivityDrift() const {
+  return windowed_observations > 0 ? WindowedSelectivityDrift()
+                                   : SelectivityDrift();
+}
+
 std::string PlanAudit::ToString() const {
   std::string out = "estimate audit:\n";
   char buf[200];
@@ -51,6 +68,15 @@ std::string PlanAudit::ToString() const {
                   p.post_cost_micros, p.CostDrift(), p.estimated_selectivity,
                   p.post_selectivity, p.SelectivityDrift());
     out += buf;
+    if (p.windowed_observations > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-14s   windowed actuals %9.2f us (x%.2f)   sel %.3f "
+                    "(x%.2f) over %lld obs\n",
+                    "", p.windowed_cost_micros, p.WindowedCostDrift(),
+                    p.windowed_selectivity, p.WindowedSelectivityDrift(),
+                    static_cast<long long>(p.windowed_observations));
+      out += buf;
+    }
   }
   std::snprintf(buf, sizeof(buf), "  max cost drift: x%.2f\n", max_cost_drift);
   out += buf;
@@ -94,7 +120,15 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
       entry.post_cost_micros = cost_sum / samples;
       entry.post_selectivity = selectivity_sum / samples;
     }
-    audit.max_cost_drift = std::max(audit.max_cost_drift, entry.CostDrift());
+    const CostCatalog::WindowedActuals windowed =
+        catalog.ReadWindowedActuals(predicate->udf());
+    entry.windowed_observations = windowed.observations;
+    if (windowed.observations > 0) {
+      entry.windowed_cost_micros = windowed.fast_cost_micros;
+      entry.windowed_selectivity = windowed.fast_selectivity;
+    }
+    audit.max_cost_drift =
+        std::max(audit.max_cost_drift, entry.EffectiveCostDrift());
     audit.predicates.push_back(std::move(entry));
   }
   if (obs::Enabled()) {
@@ -102,11 +136,13 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
     core.plan_audits.Inc();
     double max_sel_drift = 0.0;
     for (const PredicateAudit& p : audit.predicates) {
-      max_sel_drift = std::max(max_sel_drift, p.SelectivityDrift());
+      max_sel_drift = std::max(max_sel_drift, p.EffectiveSelectivityDrift());
     }
-    // The drift gauges are the model-health signal: x1.0 means the model
-    // agrees with its own post-execution re-estimate; large values mean the
-    // serving model has moved since planning (fresh feedback or compression).
+    // The drift gauges are the model-health signal, judged against windowed
+    // observed actuals once feedback exists (a converged model's own
+    // re-estimate would track the plan forever and mask real workload
+    // drift): x1.0 means recent executions match the plan's estimates;
+    // large values mean the workload has moved since planning.
     core.max_cost_drift.Set(audit.max_cost_drift);
     core.max_selectivity_drift.Set(max_sel_drift);
     MLQ_TRACE_EVENT(obs::TraceEventType::kPlanAudit, obs::NowNs(), 0,

@@ -25,16 +25,36 @@ struct PredicateAudit {
   // Catalog estimates for the same rows after execution feedback.
   double post_cost_micros = 0.0;
   double post_selectivity = 1.0;
+  // Fast-window EWMAs of the ACTUAL outcomes recently observed for this
+  // predicate's UDF (CostCatalog::WindowedActuals), and how many
+  // executions they summarize (0 = no feedback yet, windows unusable).
+  double windowed_cost_micros = 0.0;
+  double windowed_selectivity = 1.0;
+  int64_t windowed_observations = 0;
 
   // Multiplicative estimation error (max of ratio and inverse ratio; 1 is
   // perfect). Infinite when one side is zero and the other is not.
   double CostDrift() const;
   double SelectivityDrift() const;
+
+  // Same drift measure, but against the windowed observed actuals instead
+  // of the catalog's re-estimate. This is the signal that stays honest
+  // after the model converges: the re-estimate follows the model (which
+  // produced the plan), while the window follows the executions.
+  double WindowedCostDrift() const;
+  double WindowedSelectivityDrift() const;
+
+  // The drift the audit aggregates and exports: windowed when execution
+  // feedback exists, else the re-estimate drift (a cold model has no
+  // window to compare against).
+  double EffectiveCostDrift() const;
+  double EffectiveSelectivityDrift() const;
 };
 
 struct PlanAudit {
   std::vector<PredicateAudit> predicates;
-  // Largest cost drift over all predicates (the "most wrong" estimate).
+  // Largest effective cost drift over all predicates (the "most wrong"
+  // estimate, judged against windowed actuals where available).
   double max_cost_drift = 1.0;
 
   std::string ToString() const;

@@ -23,45 +23,76 @@ void MaintenanceScheduler::Tick() {
   const CostCatalog::ArenaSignals signals = catalog_->ReadArenaSignals();
   if (obs::Enabled()) {
     obs::Core().arena_fragmentation.Set(signals.max_fragmentation);
+    // The staleness gauge is refreshed here (once per tick, not per
+    // feedback record) because the tick already pays for a catalog scan.
+    obs::Core().model_staleness.Set(catalog_->MaxModelStaleness());
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++ticks_;
-  ++stats_.ticks;
-  const bool idle = signals.tree_compressions == last_compressions_ &&
-                    signals.live_nodes == last_live_nodes_;
-  idle_ticks_ = idle ? idle_ticks_ + 1 : 0;
-  last_compressions_ = signals.tree_compressions;
-  last_live_nodes_ = signals.live_nodes;
+  bool advance_decay = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++ticks_;
+    ++stats_.ticks;
+    // The decay clock runs on the raw tick stream, independent of the
+    // compaction triggers below (it must advance even when no epoch ever
+    // fires). The advance itself happens after mutex_ is released:
+    // AdvanceDecayEpochs takes entries_mutex_ plus model locks, which this
+    // mutex must never be held across (same ordering rule as
+    // ReadArenaSignals above).
+    if (policy_.ticks_per_decay_epoch > 0 &&
+        ticks_ % policy_.ticks_per_decay_epoch == 0) {
+      advance_decay = true;
+      ++stats_.decay_epochs;
+    }
+    const bool idle = signals.tree_compressions == last_compressions_ &&
+                      signals.live_nodes == last_live_nodes_;
+    idle_ticks_ = idle ? idle_ticks_ + 1 : 0;
+    last_compressions_ = signals.tree_compressions;
+    last_live_nodes_ = signals.live_nodes;
 
-  // An epoch is already in flight on another thread; its quiesce windows
-  // will absorb this tick's churn.
-  if (running_) return;
-  if (ticks_ - ticks_at_last_epoch_ < policy_.min_ticks_between_epochs) {
-    return;
+    // An epoch already in flight on another thread absorbs this tick's
+    // churn; back-pressure caps epoch frequency regardless of triggers.
+    const bool eligible =
+        !running_ &&
+        ticks_ - ticks_at_last_epoch_ >= policy_.min_ticks_between_epochs;
+    if (eligible) {
+      const int64_t compressions_since =
+          signals.tree_compressions - compressions_at_last_epoch_;
+      bool trigger = false;
+      if (policy_.compression_trigger > 0 &&
+          compressions_since >= policy_.compression_trigger) {
+        trigger = true;
+      }
+      if (policy_.fragmentation_trigger > 0 &&
+          signals.max_fragmentation >= policy_.fragmentation_trigger) {
+        trigger = true;
+      }
+      // Idle trigger only fires when there is actually something to
+      // reclaim; otherwise a quiet system would compact no-op forever.
+      if (policy_.idle_tick_trigger > 0 &&
+          idle_ticks_ >= policy_.idle_tick_trigger &&
+          signals.max_fragmentation > 0.0) {
+        trigger = true;
+      }
+      if (trigger) RunEpochLocked(lock);
+    }
   }
+  if (advance_decay) catalog_->AdvanceDecayEpochs(1);
+}
 
-  const int64_t compressions_since =
-      signals.tree_compressions - compressions_at_last_epoch_;
-  bool trigger = false;
-  if (policy_.compression_trigger > 0 &&
-      compressions_since >= policy_.compression_trigger) {
-    trigger = true;
+void MaintenanceScheduler::NotifyDrift(DriftKind kind) {
+  if (kind == DriftKind::kNone) return;
+  const int64_t epochs = kind == DriftKind::kAbrupt
+                             ? policy_.abrupt_drift_epochs
+                             : policy_.gradual_drift_epochs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.drift_notifications;
+    stats_.decay_epochs += epochs > 0 ? epochs : 0;
   }
-  if (policy_.fragmentation_trigger > 0 &&
-      signals.max_fragmentation >= policy_.fragmentation_trigger) {
-    trigger = true;
-  }
-  // Idle trigger only fires when there is actually something to reclaim;
-  // otherwise a quiet system would compact no-op forever.
-  if (policy_.idle_tick_trigger > 0 &&
-      idle_ticks_ >= policy_.idle_tick_trigger &&
-      signals.max_fragmentation > 0.0) {
-    trigger = true;
-  }
-  if (!trigger) return;
-
-  RunEpochLocked(lock);
+  // Outside mutex_, like the tick-driven advance: the burst takes the
+  // catalog's entries_mutex_ and every model's locks.
+  if (epochs > 0) catalog_->AdvanceDecayEpochs(epochs);
 }
 
 CostCatalog::ArenaMaintenanceStats MaintenanceScheduler::RunEpochNow() {

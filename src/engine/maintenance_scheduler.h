@@ -38,6 +38,20 @@ struct MaintenancePolicy {
 
   // Per-step relocation budget in node slots for incremental epochs.
   int64_t step_budget_slots = 4096;
+
+  // Summary-decay clock: advance the catalog's decay epochs by 1 every
+  // this many ticks (0 disables — the default; meaningful only when the
+  // catalog's models were built with a decay half-life). The tick stream
+  // comes from the serving loop itself (executor block boundaries, sharded
+  // drains), so the clock advances with traffic, not wall time: an idle
+  // model does not forget.
+  int64_t ticks_per_decay_epoch = 0;
+
+  // Decay-epoch burst applied when the drift detector fires (NotifyDrift):
+  // a step change ages the stale summaries several half-lives at once so
+  // re-learning dominates immediately; a gradual shift nudges the clock.
+  int64_t abrupt_drift_epochs = 8;
+  int64_t gradual_drift_epochs = 1;
 };
 
 // Cumulative scheduler activity (monotonic; read via stats()).
@@ -47,6 +61,10 @@ struct MaintenanceSchedulerStats {
   int64_t steps = 0;
   int64_t bytes_reclaimed = 0;
   int64_t max_pause_us = 0;
+  // Summary-decay epochs advanced (steady-state ticks + drift bursts).
+  int64_t decay_epochs = 0;
+  // NotifyDrift calls that carried a non-kNone classification.
+  int64_t drift_notifications = 0;
 };
 
 // Self-driving arena maintenance: decides *when* the catalog compacts from
@@ -81,6 +99,13 @@ class MaintenanceScheduler {
 
   // Forces an epoch now (policy mode still applies). For tools.
   CostCatalog::ArenaMaintenanceStats RunEpochNow();
+
+  // Drift-detector callback (via CostCatalog::NotifyDriftDetected): ages
+  // the catalog's windowed summaries by the policy's burst for `kind`, so
+  // stale pre-drift evidence stops dominating predictions and fresh
+  // feedback re-converges the models. Call with no model or catalog lock
+  // held (same contract as Tick). kNone is a no-op.
+  void NotifyDrift(DriftKind kind);
 
   MaintenanceSchedulerStats stats() const;
   const MaintenancePolicy& policy() const { return policy_; }

@@ -1,0 +1,130 @@
+#include "eval/drift_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace mlq {
+namespace {
+
+// Two-peak Gaussian cost surface over [0, 1000]^2; smooth enough for a
+// depth-6 quadtree to approximate well, structured enough that a stale
+// model is measurably wrong after the surface moves.
+struct SurfacePeak {
+  double cx, cy, height, sigma;
+};
+constexpr SurfacePeak kPeaks[] = {
+    {300.0, 300.0, 150.0, 150.0},
+    {700.0, 650.0, 90.0, 150.0},
+};
+constexpr double kBaseCost = 20.0;
+
+// Surface multiplier at stream position `t`.
+double ScaleAt(int64_t t, const DriftScenarioOptions& options) {
+  if (t < options.pre_drift_queries) return 1.0;
+  if (options.shape == DriftShape::kAbruptStep) return options.cost_scale_after;
+  const double progress = std::min(
+      1.0, static_cast<double>(t - options.pre_drift_queries) /
+               static_cast<double>(std::max(options.ramp_queries, 1)));
+  return 1.0 + (options.cost_scale_after - 1.0) * progress;
+}
+
+}  // namespace
+
+Box DriftSurfaceSpace() {
+  Point lo(2);
+  Point hi(2);
+  lo[0] = lo[1] = 0.0;
+  hi[0] = hi[1] = 1000.0;
+  return Box(lo, hi);
+}
+
+double DriftSurfaceBaseCost(const Point& q) {
+  double cost = kBaseCost;
+  for (const SurfacePeak& peak : kPeaks) {
+    const double dx = q[0] - peak.cx;
+    const double dy = q[1] - peak.cy;
+    cost += peak.height *
+            std::exp(-(dx * dx + dy * dy) / (2.0 * peak.sigma * peak.sigma));
+  }
+  return cost;
+}
+
+DriftScenarioResult RunDriftScenario(CostModel& model,
+                                     const DriftScenarioOptions& options) {
+  const Box space = DriftSurfaceSpace();
+  DriftDetector detector(options.detector);
+  DriftScenarioResult result;
+
+  const int64_t total = static_cast<int64_t>(options.pre_drift_queries) +
+                        options.post_drift_queries;
+  const int64_t warmup = options.pre_drift_queries / 2;
+  const int64_t tail_start = total - options.post_drift_queries / 4;
+
+  Rng rng(options.seed);
+  LearningCurve curve(std::max(options.window, 1));
+  NaeAccumulator pre_drift;
+  NaeAccumulator tail;
+  NaeAccumulator drift_window;  // Current options.window-sized slice.
+
+  for (int64_t t = 0; t < total; ++t) {
+    Point q(space.dims());
+    for (int d = 0; d < space.dims(); ++d) {
+      q[d] = rng.Uniform(space.lo()[d], space.hi()[d]);
+    }
+    const double actual = DriftSurfaceBaseCost(q) * ScaleAt(t, options);
+    const double predicted = model.Predict(q);
+
+    curve.Add(predicted, actual);
+    if (t >= warmup && t < options.pre_drift_queries) {
+      pre_drift.Add(predicted, actual);
+    }
+    if (t >= tail_start) tail.Add(predicted, actual);
+    if (t >= options.pre_drift_queries) {
+      drift_window.Add(predicted, actual);
+      if (drift_window.count() >= options.window) {
+        result.worst_post_drift_nae =
+            std::max(result.worst_post_drift_nae, drift_window.Nae());
+        drift_window.Reset();
+      }
+    }
+
+    model.Observe(q, actual);
+
+    const DriftKind kind = detector.Observe(predicted, actual);
+    if (kind != DriftKind::kNone) {
+      if (result.first_fire_query < 0 && t >= options.pre_drift_queries) {
+        result.first_fire_query = t;
+        result.first_fire_kind = kind;
+      }
+      const int64_t burst = kind == DriftKind::kAbrupt
+                                ? options.abrupt_drift_epochs
+                                : options.gradual_drift_epochs;
+      if (burst > 0) {
+        model.AdvanceDecayEpoch(burst);
+        result.decay_epochs_advanced += burst;
+      }
+    }
+    if (options.queries_per_decay_epoch > 0 &&
+        (t + 1) % options.queries_per_decay_epoch == 0) {
+      model.AdvanceDecayEpoch(1);
+      ++result.decay_epochs_advanced;
+    }
+  }
+
+  if (drift_window.count() > 0) {
+    result.worst_post_drift_nae =
+        std::max(result.worst_post_drift_nae, drift_window.Nae());
+  }
+  curve.Finish();
+  result.nae_windows = curve.series();
+  result.pre_drift_nae = pre_drift.Nae();
+  result.final_nae = tail.Nae();
+  result.detector_firings = detector.drift_count();
+  result.num_queries = total;
+  return result;
+}
+
+}  // namespace mlq

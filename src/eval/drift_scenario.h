@@ -1,0 +1,104 @@
+#ifndef MLQ_EVAL_DRIFT_SCENARIO_H_
+#define MLQ_EVAL_DRIFT_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "engine/drift_detector.h"
+#include "model/cost_model.h"
+
+namespace mlq {
+
+// How the cost surface moves under the workload's feet.
+enum class DriftShape {
+  // The surface jumps by cost_scale_after at the drift point (an index
+  // dropped, a table reloaded): the motivating case for the abrupt
+  // classification and the decay-epoch burst.
+  kAbruptStep,
+  // The surface ramps linearly to cost_scale_after over ramp_queries (a
+  // growing dataset, a cache cooling): no single query looks anomalous,
+  // only the sustained divergence does.
+  kGradualRamp,
+};
+
+// A deterministic cost-surface-drift experiment (distinct from
+// bench/ablation_drift, which moves the QUERY distribution over a fixed
+// surface; here the queries stay put and the surface itself changes — the
+// case where a model's accumulated evidence becomes actively wrong).
+struct DriftScenarioOptions {
+  DriftShape shape = DriftShape::kAbruptStep;
+
+  // Stream layout: steady phase, then the drift (step at the boundary, or
+  // a ramp of ramp_queries), then the post-drift tail.
+  int pre_drift_queries = 4000;
+  int post_drift_queries = 4000;
+  int ramp_queries = 2000;
+
+  // Surface multiplier once the drift completes.
+  double cost_scale_after = 3.0;
+
+  // Windowed-NAE granularity for the reported series.
+  int window = 250;
+
+  // Master seed for the (deterministic) query stream.
+  uint64_t seed = 42;
+
+  // Stream-driven decay clock: AdvanceDecayEpoch(1) on the model every
+  // this many queries (0 = clock never advances — what a decay-off or
+  // unmaintained model experiences).
+  int queries_per_decay_epoch = 0;
+
+  // Decay-epoch burst applied when the embedded detector fires, mirroring
+  // MaintenancePolicy::{abrupt,gradual}_drift_epochs. Both 0 = detector
+  // still observes (and reports firings) but never reacts.
+  int64_t abrupt_drift_epochs = 8;
+  int64_t gradual_drift_epochs = 1;
+
+  DriftDetectorOptions detector;
+};
+
+struct DriftScenarioResult {
+  // Windowed NAE over the whole stream, options.window queries per entry.
+  std::vector<double> nae_windows;
+
+  // Steady-state NAE over the second half of the pre-drift phase (the
+  // first half is warm-up): the re-convergence yardstick.
+  double pre_drift_nae = 0.0;
+  // NAE over the final quarter of the post-drift phase: where a
+  // re-converged model should be back at (a bounded multiple of)
+  // pre_drift_nae, and a model dragging lifetime evidence stays biased.
+  double final_nae = 0.0;
+  // Worst single window at/after the drift point (the transient).
+  double worst_post_drift_nae = 0.0;
+
+  // Detector outcome.
+  int64_t detector_firings = 0;
+  // Stream index of the first firing at/after the drift point; -1 = none.
+  int64_t first_fire_query = -1;
+  DriftKind first_fire_kind = DriftKind::kNone;
+
+  // Decay epochs advanced on the model (steady clock + bursts).
+  int64_t decay_epochs_advanced = 0;
+
+  int64_t num_queries = 0;
+};
+
+// Runs the Fig. 1 self-tuning loop (predict, execute, feed back) over the
+// drifting surface, with a DriftDetector watching every (predicted, actual)
+// pair and the decay clock driven as configured. The model should cover
+// DriftSurfaceSpace(); the stream and surface are fully determined by
+// `options`, so two models run under equal options see identical inputs.
+DriftScenarioResult RunDriftScenario(CostModel& model,
+                                     const DriftScenarioOptions& options);
+
+// The 2D model space the scenario's queries and surface live in.
+Box DriftSurfaceSpace();
+
+// The scenario's deterministic base cost surface (scale 1) at `q` — exposed
+// so tests can assert against ground truth.
+double DriftSurfaceBaseCost(const Point& q);
+
+}  // namespace mlq
+
+#endif  // MLQ_EVAL_DRIFT_SCENARIO_H_

@@ -53,6 +53,11 @@ class ConcurrentCostModel : public CostModel {
     inner_->ObserveBatch(batch);
   }
 
+  void AdvanceDecayEpoch(int64_t epochs) override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    inner_->AdvanceDecayEpoch(epochs);
+  }
+
   std::vector<std::unique_lock<std::mutex>> LockForMaintenance() override {
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.emplace_back(mutex_);

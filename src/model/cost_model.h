@@ -92,6 +92,13 @@ class CostModel {
   // applied synchronously in Observe, nothing to do.
   virtual void Flush() {}
 
+  // Advances the model's summary-decay clock by `epochs` (windowed-summary
+  // extension; see MlqConfig::decay_half_life). The maintenance layer is
+  // the clock source: one epoch per scheduler tick in steady state, a
+  // burst after a detected drift to accelerate forgetting. Models without
+  // decay (static histograms, decay-off quadtrees) ignore it.
+  virtual void AdvanceDecayEpoch(int64_t /*epochs*/) {}
+
   // Logical bytes currently charged against the model's budget.
   virtual int64_t MemoryBytes() const = 0;
 

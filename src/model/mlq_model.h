@@ -33,6 +33,9 @@ class MlqModel : public CostModel {
   }
   int64_t MemoryBytes() const override { return tree_.memory_used(); }
   bool IsSelfTuning() const override { return true; }
+  void AdvanceDecayEpoch(int64_t epochs) override {
+    tree_.AdvanceDecayEpoch(epochs);
+  }
   ModelUpdateBreakdown update_breakdown() const override;
 
   // Full prediction detail (depth, count, reliability).

@@ -1,5 +1,6 @@
 #include "model/serialization.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -18,8 +19,15 @@ constexpr uint32_t kMagic = 0x4d4c5154;  // "MLQT"
 //       [sum_squares f64], parent_record = 0xFFFFFFFF for the root.
 //       Mirrors the in-memory arena (32-bit links, no recursion) and lets
 //       the reader Reserve() the exact node count before rebuilding.
-// Readers accept both; writers emit kVersion.
+//   3 — v2 plus the windowed-summary decay section: the header gains
+//       [decay_half_life f64][decay_epoch u32] after [compressed_once u8],
+//       and every node record gains a trailing [decay_epoch u32]. Emitted
+//       ONLY for trees with decay enabled; a decay-off tree serializes as
+//       byte-identical v2, and v1/v2 snapshots load as no-decay (epoch 0).
+// Readers accept all three; writers emit kVersion (kDecayVersion when the
+// tree ages its summaries).
 constexpr uint16_t kVersion = 2;
+constexpr uint16_t kDecayVersion = 3;
 constexpr uint32_t kNoParentRecord = 0xFFFFFFFFu;
 
 // --- little write/read cursor helpers --------------------------------------
@@ -76,8 +84,9 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
   const MlqConfig& config = tree.config();
   const Box& space = tree.space();
 
+  const bool decayed = tree.decay_enabled();
   writer.Put<uint32_t>(kMagic);
-  writer.Put<uint16_t>(kVersion);
+  writer.Put<uint16_t>(decayed ? kDecayVersion : kVersion);
   writer.Put<uint8_t>(static_cast<uint8_t>(space.dims()));
   writer.Put<uint8_t>(static_cast<uint8_t>(config.strategy));
   writer.Put<int32_t>(config.max_depth);
@@ -88,6 +97,10 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
   for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.lo()[d]);
   for (int d = 0; d < space.dims(); ++d) writer.Put<double>(space.hi()[d]);
   writer.Put<uint8_t>(tree.compressed_once() ? 1 : 0);
+  if (decayed) {
+    writer.Put<double>(config.decay_half_life);
+    writer.Put<uint32_t>(tree.decay_epoch());
+  }
 
   // Flat pooled body: pre-order records with 32-bit parent-record links.
   // Pool slot indices are renumbered to visit order so the byte stream is
@@ -105,6 +118,9 @@ std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree) {
       writer.Put<uint8_t>(0);
     }
     WriteSummary(node.summary(), writer);
+    if (decayed) {
+      writer.Put<uint32_t>(tree.pool().node(node.index()).decay_epoch);
+    }
   });
   return bytes;
 }
@@ -137,10 +153,11 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     *err = "bad magic";
     return nullptr;
   }
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != kDecayVersion) {
     *err = "unsupported version";
     return nullptr;
   }
+  const bool decayed = version == kDecayVersion;
   if (dims < 1 || dims > kMaxDims) {
     *err = "dims out of range";
     return nullptr;
@@ -178,6 +195,19 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
     *err = "truncated flags";
     return nullptr;
   }
+  uint32_t tree_decay_epoch = 0;
+  if (decayed) {
+    if (!reader.Get(&config.decay_half_life) ||
+        !reader.Get(&tree_decay_epoch)) {
+      *err = "truncated decay section";
+      return nullptr;
+    }
+    if (!(config.decay_half_life > 0.0) ||
+        !std::isfinite(config.decay_half_life)) {
+      *err = "invalid decay half-life";
+      return nullptr;
+    }
+  }
 
   if (arena != nullptr && arena->fanout() != (1 << dims)) {
     *err = "arena fanout does not match serialized dims";
@@ -186,8 +216,9 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
   auto tree = std::make_unique<MemoryLimitedQuadtree>(Box(lo, hi), config,
                                                       std::move(arena));
   NodePool& pool = tree->pool_;
+  tree->decay_epoch_ = tree_decay_epoch;
 
-  if (version == 2) {
+  if (version >= 2) {
     // Flat pooled layout. Records are renumbered to pre-order on write, and
     // block allocation places nodes wherever their parent's child block
     // lives, so the reader keeps a record -> pool-slot mapping.
@@ -200,12 +231,13 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
       *err = "node count must include the root";
       return nullptr;
     }
-    // Each record is at least 29 bytes; a corrupted count larger than the
-    // payload could possibly justify must not drive a giant Reserve.
-    constexpr size_t kRecordBytes =
-        sizeof(uint32_t) + sizeof(uint8_t) + 2 * sizeof(double) +
-        sizeof(int64_t);
-    if (num_nodes > reader.Remaining() / kRecordBytes) {
+    // Each record is at least 29 bytes (33 with the decay epoch); a
+    // corrupted count larger than the payload could possibly justify must
+    // not drive a giant Reserve.
+    const size_t record_bytes = sizeof(uint32_t) + sizeof(uint8_t) +
+                                2 * sizeof(double) + sizeof(int64_t) +
+                                (decayed ? sizeof(uint32_t) : 0);
+    if (num_nodes > reader.Remaining() / record_bytes) {
       *err = "node count exceeds payload";
       return nullptr;
     }
@@ -222,12 +254,24 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
         *err = "truncated node record";
         return nullptr;
       }
+      uint32_t node_epoch = 0;
+      if (decayed) {
+        if (!reader.Get(&node_epoch)) {
+          *err = "truncated node decay epoch";
+          return nullptr;
+        }
+        if (node_epoch > tree_decay_epoch) {
+          *err = "node decay epoch ahead of the tree clock";
+          return nullptr;
+        }
+      }
       if (i == 0) {
         if (parent_record != kNoParentRecord) {
           *err = "first record is not a root";
           return nullptr;
         }
         pool.node(tree->root_).summary = summary;
+        pool.node(tree->root_).decay_epoch = node_epoch;
         slot_of_record.push_back(tree->root_);
         continue;
       }
@@ -250,6 +294,7 @@ std::unique_ptr<MemoryLimitedQuadtree> DeserializeQuadtree(
       }
       const NodeIndex child = pool.CreateChild(parent, quadrant);
       pool.node(child).summary = summary;
+      pool.node(child).decay_epoch = node_epoch;
       slot_of_record.push_back(child);
     }
   } else {

@@ -32,6 +32,13 @@ namespace mlq {
 // node count up front and rebuilds without recursion. Version 1 (recursive
 // per-node child counts) is still read for old catalogs; unknown versions
 // are an explicit "unsupported version" error. No pointers are stored.
+//
+// Trees with windowed-summary decay enabled (MlqConfig::decay_half_life
+// > 0) serialize as version 3: the header gains
+// [decay_half_life f64][decay_epoch u32] after [compressed_once u8] and
+// each node record a trailing [decay_epoch u32]. Decay-off trees emit
+// byte-identical version-2 images, and v1/v2 snapshots load as no-decay
+// (every epoch 0) — see docs/drift.md.
 
 // Serializes the tree (structure + summaries + config) into bytes.
 std::vector<uint8_t> SerializeQuadtree(const MemoryLimitedQuadtree& tree);

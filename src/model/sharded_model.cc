@@ -271,6 +271,13 @@ void ShardedCostModel::Flush() {
   }
 }
 
+void ShardedCostModel::AdvanceDecayEpoch(int64_t epochs) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    shard->model.AdvanceDecayEpoch(epochs);
+  }
+}
+
 int64_t ShardedCostModel::MemoryBytes() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {

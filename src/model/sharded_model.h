@@ -128,6 +128,10 @@ class ShardedCostModel : public CostModel {
   bool IsSelfTuning() const override { return true; }
   ModelUpdateBreakdown update_breakdown() const override;
 
+  // Advances every shard tree's decay clock (one shard lock at a time, in
+  // shard order; concurrent predicts/observes on other shards proceed).
+  void AdvanceDecayEpoch(int64_t epochs) override;
+
   // Takes every shard's model mutex (in shard order). Queued feedback may
   // remain pending — queues hold Points, not node indices, so arena
   // compaction does not invalidate them.

@@ -281,6 +281,10 @@ CoreMetrics& Core() {
                    "Arena maintenance epochs completed"),
       r.GetCounter("mlq_maintenance_steps_total",
                    "Incremental maintenance quiesce windows run"),
+      r.GetCounter("mlq_drift_events_total",
+                   "Drift-detector firings (abrupt + gradual)"),
+      r.GetCounter("mlq_decay_epochs_total",
+                   "Summary decay epochs advanced across all trees"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
       r.GetHistogram("mlq_predict_batch_latency_ns",
                      "Whole-batch predict latency"),
@@ -306,6 +310,8 @@ CoreMetrics& Core() {
                  "th_SSE after the most recent compression"),
       r.GetGauge("mlq_arena_fragmentation",
                  "Reclaimable slot fraction of the worst catalog arena"),
+      r.GetGauge("mlq_model_staleness",
+                 "Worst fast/slow windowed-error ratio across tracked models"),
   };
   return *core;
 }

@@ -163,6 +163,8 @@ struct CoreMetrics {
   Counter& arena_compact_bytes_reclaimed;  // mlq_arena_compact_bytes_reclaimed_total
   Counter& maintenance_epochs;    // mlq_maintenance_epochs_total
   Counter& maintenance_steps;     // mlq_maintenance_steps_total
+  Counter& drift_events;          // mlq_drift_events_total
+  Counter& decay_epochs;          // mlq_decay_epochs_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
   LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
@@ -185,6 +187,9 @@ struct CoreMetrics {
   Gauge& sse_threshold;          // mlq_compress_sse_threshold
   // Reclaimable fraction of the worst catalog arena (free / total slots).
   Gauge& arena_fragmentation;    // mlq_arena_fragmentation
+  // Fast/slow windowed-error ratio of the stalest model the drift detector
+  // tracks (1 = calibrated; >> 1 = the model lags the workload).
+  Gauge& model_staleness;        // mlq_model_staleness
 };
 
 CoreMetrics& Core();

@@ -78,7 +78,19 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
   const SharedNodeArena& arena = pool_.arena();
   const PooledNode* cn = &arena.node(root_);
   Prediction out;
-  if (cn->summary.count < beta) {
+  // With decay on, the beta reliability test weighs each node's count by
+  // its un-materialized age (the predict path never mutates the tree): a
+  // stale node counts as 2^(-age/H) of itself, so the descent stops higher
+  // in regions the workload has left. With decay off this is the seed's
+  // exact integer comparison.
+  const bool decay_on = decay_enabled();
+  auto under_beta = [&](const PooledNode& n) {
+    if (!decay_on) return n.summary.count < beta;
+    double c = static_cast<double>(n.summary.count);
+    if (n.decay_epoch != decay_epoch_) c *= DecayFactor(n.decay_epoch);
+    return c < static_cast<double>(beta);
+  };
+  if (under_beta(*cn)) {
     // Not even the root qualifies; fall back to whatever average exists.
     out.value = cn->summary.Avg();
     out.stddev = cn->summary.count > 0
@@ -113,7 +125,7 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
     const NodeIndex base = cn->first_child;
     if (base == kInvalidNodeIndex) break;
     const PooledNode* child = &arena.node(base + static_cast<NodeIndex>(ci));
-    if (child->index_in_parent != ci || child->summary.count < beta) break;
+    if (child->index_in_parent != ci || under_beta(*child)) break;
     cn = child;
     for (int d = 0; d < dims; ++d) {
       if ((ci >> d) & 1) {
@@ -176,6 +188,45 @@ double MemoryLimitedQuadtree::CurrentSseThreshold() const {
   return config_.alpha * pool_.node(root_).summary.Sse();
 }
 
+void MemoryLimitedQuadtree::AdvanceDecayEpoch(int64_t epochs) {
+  if (!decay_enabled() || epochs <= 0) return;
+  decay_epoch_ += static_cast<uint32_t>(epochs);
+  if (obs::Enabled()) obs::Core().decay_epochs.Inc(epochs);
+}
+
+double MemoryLimitedQuadtree::DecayFactor(uint32_t node_epoch) const {
+  const double age = static_cast<double>(decay_epoch_ - node_epoch);
+  return std::exp2(-age / config_.decay_half_life);
+}
+
+void MemoryLimitedQuadtree::MaterializeDecay(PooledNode& node) {
+  if (node.decay_epoch == decay_epoch_) return;
+  const int64_t count = node.summary.count;
+  const int64_t decayed = std::llround(
+      DecayFactor(node.decay_epoch) * static_cast<double>(count));
+  if (decayed >= count) {
+    // Rounding kept the count intact (small count or small age): leave the
+    // node — including its epoch stamp — untouched, so the age keeps
+    // accumulating and is applied in full on a later touch. Stamping here
+    // instead would let a count-1 node shrug off any number of sub-half-life
+    // nudges and never forget.
+    return;
+  }
+  node.decay_epoch = decay_epoch_;
+  if (decayed <= 0) {
+    node.summary = SummaryTriple{};
+    return;
+  }
+  // Scale sum and sum-of-squares by the exact realized ratio so
+  // AVG = sum/count is preserved bit-for-bit-in-spirit (same real value)
+  // and SSE = SS - C * AVG^2 scales by the ratio, staying non-negative.
+  const double ratio =
+      static_cast<double>(decayed) / static_cast<double>(count);
+  node.summary.sum *= ratio;
+  node.summary.sum_squares *= ratio;
+  node.summary.count = decayed;
+}
+
 void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
   while (!space_.ContainsClosed(point)) {
     if (obs::Enabled()) {
@@ -226,6 +277,7 @@ void MemoryLimitedQuadtree::ExpandToInclude(const Point& point) {
       const PooledNode& old_root_node = pool_.node(old_root);
       new_root_node.summary = old_root_node.summary;
       new_root_node.last_touch = old_root_node.last_touch;
+      new_root_node.decay_epoch = old_root_node.decay_epoch;
     }
     // Move the old root into the new root's child block (this relocates it
     // to slot first_child + quadrant and recycles its old block), then shift
@@ -384,9 +436,15 @@ void MemoryLimitedQuadtree::InsertOne(const Point& point, double value,
     hi[d] = space_.hi()[d];
   }
 
+  // The decay guard is one double compare per touched node; the decay-off
+  // hot path is otherwise byte-for-byte the seed's (bench/decay_overhead
+  // holds the guard cost under 2%).
+  const bool decay_on = decay_enabled();
+
   NodeIndex cn = root_;
   {
     PooledNode& root_node = pool_.node(cn);
+    if (decay_on) MaterializeDecay(root_node);
     root_node.summary.Add(value);
     root_node.last_touch = counters_.insertions;
   }
@@ -422,6 +480,7 @@ void MemoryLimitedQuadtree::InsertOne(const Point& point, double value,
       }
     }
     PooledNode& child_node = pool_.node(cn);
+    if (decay_on) MaterializeDecay(child_node);
     child_node.summary.Add(value);
     child_node.last_touch = counters_.insertions;
     path.push_back(cn);
@@ -437,6 +496,9 @@ NodeIndex MemoryLimitedQuadtree::TryCreateChild(
     if (!budget_.CanCharge(cost)) return kInvalidNodeIndex;
   }
   const NodeIndex child = pool_.CreateChild(parent, quadrant);
+  // A fresh node is born fully aged to the current epoch (0 when decay is
+  // off, matching the vacant-slot state bit for bit).
+  pool_.node(child).decay_epoch = decay_epoch_;
   SyncBudget();
   ++counters_.nodes_created;
   if (obs::Enabled()) {
@@ -513,6 +575,15 @@ void MemoryLimitedQuadtree::CompressInternal(
       const double age =
           static_cast<double>(counters_.insertions - node.last_touch);
       key *= std::exp2(-age / config_.recency_half_life);
+    }
+    // Windowed-summary decay: the node's EFFECTIVE count is its stored
+    // count times the un-materialized decay factor, so Eq. 9's key (and
+    // the count-only ablation) scale by the same factor — stale structure
+    // yields its memory first. Applied uniformly (also to kRandom) so the
+    // policies rank stale blocks consistently. Composes with the recency
+    // damping above.
+    if (config_.decay_half_life > 0.0 && node.decay_epoch != decay_epoch_) {
+      key *= DecayFactor(node.decay_epoch);
     }
     return key;
   };
@@ -668,12 +739,33 @@ bool MemoryLimitedQuadtree::CheckInvariants(std::string* error) const {
           ok = false;
           return;
         }
-        if (child_count_sum > node.summary().count) {
+        // Summaries are cumulative, so each parent covers at least its
+        // children — except under decay, where lazy per-node aging shrinks
+        // a touched parent while untouched children keep their stale
+        // counts; the relation is then only eventual, not structural.
+        if (!decay_enabled() && child_count_sum > node.summary().count) {
           std::snprintf(buf, sizeof(buf),
                         "children count %lld exceeds parent count %lld",
                         static_cast<long long>(child_count_sum),
                         static_cast<long long>(node.summary().count));
           first_error = buf;
+          ok = false;
+          return;
+        }
+        // Decay bookkeeping: node epochs never lead the tree's clock, and
+        // with decay off every node must still carry the zero stamp the
+        // seed layout had (the differential tests pin this).
+        const PooledNode& raw = pool_.node(node.index());
+        if (raw.decay_epoch > decay_epoch_ ||
+            (!decay_enabled() && raw.decay_epoch != 0)) {
+          first_error = "node decay epoch inconsistent";
+          ok = false;
+          return;
+        }
+        if (raw.summary.count < 0 || raw.summary.sum_squares < 0.0 ||
+            !std::isfinite(raw.summary.sum) ||
+            !std::isfinite(raw.summary.sum_squares)) {
+          first_error = "summary triple negative or non-finite";
           ok = false;
           return;
         }

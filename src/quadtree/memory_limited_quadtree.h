@@ -142,6 +142,21 @@ class MemoryLimitedQuadtree {
   // tests and ablations can exercise compression in isolation.
   void Compress();
 
+  // --- Windowed-summary decay (see MlqConfig::decay_half_life) -------------
+
+  // True when this tree ages its summaries (config.decay_half_life > 0).
+  bool decay_enabled() const { return config_.decay_half_life > 0.0; }
+
+  // The tree's global decay epoch. Nodes age lazily: a node's summary is
+  // only re-aged to the current epoch when the insertion path next touches
+  // it, so advancing the epoch is O(1) regardless of tree size.
+  uint32_t decay_epoch() const { return decay_epoch_; }
+
+  // Advances the global decay epoch by `epochs` (the serving layer's
+  // logical forgetting clock — typically one per maintenance tick, more
+  // after a detected drift). No-op when decay is disabled or epochs <= 0.
+  void AdvanceDecayEpoch(int64_t epochs = 1);
+
   // Current lazy-insertion partitioning threshold th_SSE (Eq. 7): zero for
   // the eager strategy and before the first compression, alpha * SSE(root)
   // afterwards.
@@ -219,12 +234,27 @@ class MemoryLimitedQuadtree {
   // Compression pass (Fig. 6) that never removes nodes in `protected_path`.
   void CompressInternal(const std::vector<NodeIndex>& protected_path);
 
+  // 2^(-(current epoch - node_epoch) / decay_half_life): the factor a
+  // node's summary weight has decayed by since it was last aged. Requires
+  // decay_enabled() and node_epoch <= decay_epoch_.
+  double DecayFactor(uint32_t node_epoch) const;
+
+  // Ages `node`'s summary to the current epoch (insert path only; the
+  // predict path never mutates). AVG-preserving: count is rounded to the
+  // nearest integer and sum/sum-of-squares scale by the same exact ratio,
+  // so the average is unchanged and SSE scales by the ratio (stays >= 0).
+  // When rounding would leave the count unchanged the node is left
+  // untouched — including its epoch stamp, so the un-applied age is not
+  // forgotten but re-applied (accumulated) on a later touch.
+  void MaterializeDecay(PooledNode& node);
+
   Box space_;
   MlqConfig config_;
   MemoryBudget budget_;
   NodePool pool_;  // Constructed with fanout 2^dims.
   NodeIndex root_ = kInvalidNodeIndex;
   bool compressed_once_ = false;
+  uint32_t decay_epoch_ = 0;
   QuadtreeCounters counters_;
 };
 

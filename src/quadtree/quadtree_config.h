@@ -68,6 +68,23 @@ struct MlqConfig {
   // long-unvisited blocks eventually yield their memory. 0 disables the
   // decay (the paper's exact behaviour).
   double recency_half_life = 0.0;
+
+  // Extension beyond the paper: windowed (exponential-decay) summaries.
+  // With a positive half-life H (in DECAY EPOCHS — a logical clock the
+  // serving layer advances, e.g. one epoch per maintenance tick), a node's
+  // summary triple is aged by 2^(-(epochs since last touch) / H) before new
+  // feedback merges in, so stale regions stop dominating the average and
+  // the model re-learns after workload drift. Aging is applied LAZILY at
+  // touch time on the insertion path (each node stores the epoch it was
+  // last decayed to); predictions never mutate the tree and instead weigh
+  // the node's count by the same factor when choosing the descent depth.
+  // The materialization preserves AVG exactly (sum, count and
+  // sum-of-squares shrink by one common factor, count rounded to the
+  // nearest integer), so predictions stay inside the observed value range.
+  // 0 disables decay entirely (the paper's exact behaviour, bit-identical
+  // serialized bytes and predictions). Distinct from recency_half_life,
+  // which only damps the COMPRESSION eviction key; the two compose.
+  double decay_half_life = 0.0;
 };
 
 // Logical size accounting, shared with DESIGN.md Section 3: a node is

@@ -38,7 +38,11 @@ struct PooledNode {
   uint8_t index_in_parent = 0;                // Quadrant in the parent.
   uint8_t num_children = 0;
   uint16_t depth = 0;                         // 0 = root.
-  uint32_t reserved = 0;                      // Padding, kept deterministic.
+  // Decay epoch this node's summary was last aged to (windowed-summary
+  // extension; see MlqConfig::decay_half_life). Occupies what used to be
+  // padding, so the node stays 48 bytes; 0 — the value every node carries
+  // when decay is off — keeps the layout bit-identical to the seed.
+  uint32_t decay_epoch = 0;
 
   bool IsLeaf() const { return num_children == 0; }
 };
@@ -59,6 +63,7 @@ inline void MarkVacantSlot(PooledNode& n) {
   n.index_in_parent = kVacantSlot;
   n.num_children = 0;
   n.depth = 0;
+  n.decay_epoch = 0;
 }
 
 // Slab-backed arena of quadtree nodes, shareable between many trees.

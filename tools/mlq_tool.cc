@@ -5,10 +5,12 @@
 //   mlq_tool replay   --trace=trace.txt [--strategy=lazy] [--budget=1800]
 //                     [--beta=1] [--cost=cpu] [--model-out=model.bin]
 //                     [--threads=1] [--shards=1] [--batch=1] [--metrics]
+//                     [--decay-half-life=0] [--decay-epoch-every=0]
 //                     [--trace-out=events.json]
 //   mlq_tool metrics  [--trace=trace.txt] [--json] [--n=2000] [--seed=42]
 //                     [--strategy=lazy] [--budget=1800] [--beta=1]
-//                     [--cost=cpu] [--trace-out=events.json]
+//                     [--cost=cpu] [--decay-half-life=0]
+//                     [--trace-out=events.json]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
 //   mlq_tool maintenance [--udf=synth] [--n=20000] [--seed=42]
@@ -61,10 +63,11 @@ int Usage() {
                "  replay   --trace=FILE [--strategy=eager|lazy] "
                "[--budget=1800] [--beta=1] [--cost=cpu|io] [--model-out=FILE]"
                " [--threads=1] [--shards=1] [--batch=1] [--metrics] "
+               "[--decay-half-life=0] [--decay-epoch-every=0] "
                "[--trace-out=FILE]\n"
                "  metrics  [--trace=FILE] [--json] [--n=2000] [--seed=42] "
                "[--strategy=eager|lazy] [--budget=1800] [--beta=1] "
-               "[--cost=cpu|io] [--trace-out=FILE]\n"
+               "[--cost=cpu|io] [--decay-half-life=0] [--trace-out=FILE]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
                "  maintenance [--udf=synth] [--n=20000] [--seed=42] "
@@ -210,6 +213,13 @@ int RunReplay(int argc, char** argv) {
   config.memory_limit_bytes =
       std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
   config.beta = std::atoll(ArgValue(argc, argv, "beta", "1").c_str());
+  // --decay-half-life=H enables windowed summaries (H epochs halve a
+  // summary's weight); --decay-epoch-every=N advances the epoch clock every
+  // N replayed records, standing in for the serving-side scheduler tick.
+  config.decay_half_life =
+      std::atof(ArgValue(argc, argv, "decay-half-life", "0").c_str());
+  const int64_t decay_epoch_every = std::atoll(
+      ArgValue(argc, argv, "decay-epoch-every", "0").c_str());
   const CostKind kind =
       ArgValue(argc, argv, "cost", "cpu") == "io" ? CostKind::kIo
                                                   : CostKind::kCpu;
@@ -222,6 +232,14 @@ int RunReplay(int argc, char** argv) {
       std::fprintf(stderr,
                    "--model-out is unsupported with --threads/--shards "
                    "(sharded models are N trees, not one)\n");
+      return 1;
+    }
+    if (decay_epoch_every > 0) {
+      std::fprintf(stderr,
+                   "--decay-epoch-every is unsupported with "
+                   "--threads/--shards (the serving clock belongs to the "
+                   "maintenance scheduler there); --decay-half-life alone "
+                   "is honored\n");
       return 1;
     }
     // Concurrent serving replay: the trace is striped across worker
@@ -288,15 +306,43 @@ int RunReplay(int argc, char** argv) {
   // one ObserveBatch per block of N records); the resulting tree is
   // identical to the scalar replay, only the driving path differs.
   const int batch = std::atoi(ArgValue(argc, argv, "batch", "1").c_str());
-  const double nae = batch > 1
-                         ? ReplayTraceBatched(model, records, kind, batch)
-                         : ReplayTrace(model, records, kind);
+  if (batch > 1 && decay_epoch_every > 0) {
+    std::fprintf(stderr,
+                 "--batch and --decay-epoch-every are mutually exclusive "
+                 "(the epoch clock interleaves with scalar replay only)\n");
+    return 1;
+  }
+  double nae;
+  if (decay_epoch_every > 0) {
+    // Scalar replay with the epoch clock ticking inline, so drifted traces
+    // can be replayed the way a serving deployment would see them.
+    NaeAccumulator accumulator;
+    int64_t since_tick = 0;
+    for (const TraceRecord& record : records) {
+      const double actual =
+          kind == CostKind::kCpu ? record.cpu_cost : record.io_cost;
+      accumulator.Add(model.Predict(record.point), actual);
+      model.Observe(record.point, actual);
+      if (++since_tick == decay_epoch_every) {
+        model.AdvanceDecayEpoch(1);
+        since_tick = 0;
+      }
+    }
+    nae = accumulator.Nae();
+  } else {
+    nae = batch > 1 ? ReplayTraceBatched(model, records, kind, batch)
+                    : ReplayTrace(model, records, kind);
+  }
   std::printf("replayed %zu records: NAE=%.4f, %lld nodes, %lld bytes, "
               "%lld compressions\n",
               records.size(), nae,
               static_cast<long long>(model.tree().num_nodes()),
               static_cast<long long>(model.MemoryBytes()),
               static_cast<long long>(model.tree().counters().compressions));
+  if (config.decay_half_life > 0.0) {
+    std::printf("decay: half-life %g, epoch clock at %u\n",
+                config.decay_half_life, model.tree().decay_epoch());
+  }
 
   const std::string model_out = ArgValue(argc, argv, "model-out");
   if (!model_out.empty()) {
@@ -352,6 +398,8 @@ int RunMetrics(int argc, char** argv) {
   config.memory_limit_bytes =
       std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
   config.beta = std::atoll(ArgValue(argc, argv, "beta", "1").c_str());
+  config.decay_half_life =
+      std::atof(ArgValue(argc, argv, "decay-half-life", "0").c_str());
   const CostKind kind =
       ArgValue(argc, argv, "cost", "cpu") == "io" ? CostKind::kIo
                                                   : CostKind::kCpu;
@@ -404,6 +452,10 @@ int RunInspect(int argc, char** argv) {
               tree->config().gamma,
               static_cast<long long>(tree->config().beta),
               static_cast<long long>(tree->config().memory_limit_bytes));
+  if (tree->config().decay_half_life > 0.0) {
+    std::printf("decay: half-life %g, epoch clock at %u\n",
+                tree->config().decay_half_life, tree->decay_epoch());
+  }
   std::printf("%s", TreeStatsToString(ComputeTreeStats(*tree)).c_str());
   return 0;
 }
