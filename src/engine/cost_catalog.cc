@@ -106,6 +106,8 @@ CostCatalog::Entry& CostCatalog::For(CostedUdf* udf) {
   entries_.push_back(std::unique_ptr<Entry>(
       new Entry{udf, MakeModel(space, /*beta=*/1), MakeModel(space, /*beta=*/10),
                 MakeModel(space, /*beta=*/5)}));
+  obs::GlobalEventLog().Append(obs::EventKind::kModelLoad, udf->name(),
+                               static_cast<double>(memory_limit_bytes_));
   return *entries_.back();
 }
 
@@ -192,6 +194,20 @@ DriftKind CostCatalog::UpdateWindowed(Entry& entry, const UdfCost& cost,
     // deviation from the baseline pass rate (already in [0, 1]).
     selectivity_drift = entry.selectivity_detector.ObserveError(
         std::abs(w.slow_selectivity - selectivity));
+    if (cost_drift != DriftKind::kNone) {
+      obs::GlobalEventLog().Append(
+          obs::EventKind::kDriftFired, entry.udf->name(),
+          static_cast<double>(cost_drift),
+          entry.cost_detector.last_fire_ratio(),
+          static_cast<double>(entry.cost_detector.observations()));
+    }
+    if (selectivity_drift != DriftKind::kNone) {
+      obs::GlobalEventLog().Append(
+          obs::EventKind::kDriftFired, entry.udf->name(),
+          static_cast<double>(selectivity_drift),
+          entry.selectivity_detector.last_fire_ratio(),
+          static_cast<double>(entry.selectivity_detector.observations()));
+    }
     w.fast_cost_micros += kFastAlpha * (cost_micros - w.fast_cost_micros);
     w.slow_cost_micros += kSlowAlpha * (cost_micros - w.slow_cost_micros);
     w.fast_selectivity += kFastAlpha * (selectivity - w.fast_selectivity);
@@ -231,6 +247,8 @@ void CostCatalog::AdvanceDecayEpochs(int64_t epochs) {
     entry->io_model->AdvanceDecayEpoch(epochs);
     entry->selectivity_model->AdvanceDecayEpoch(epochs);
   }
+  obs::GlobalEventLog().Append(obs::EventKind::kDecayEpochs, "catalog",
+                               static_cast<double>(epochs));
 }
 
 double CostCatalog::MaxModelStaleness() const {
@@ -302,6 +320,8 @@ void CostCatalog::FlushFeedback() {
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
   for (auto& entry : entries_) FlushEntry(*entry);
+  obs::GlobalEventLog().Append(obs::EventKind::kModelFlush, "catalog",
+                               static_cast<double>(entries_.size()));
 }
 
 CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenas() {
@@ -349,6 +369,9 @@ CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenas() {
       max_frag = std::max(max_frag, arena->FragmentationRatio());
     }
     obs::Core().arena_fragmentation.Set(max_frag);
+    obs::GlobalEventLog().Append(obs::EventKind::kMaintenanceEpoch, "full",
+                                 /*a=*/0.0, static_cast<double>(pause_us),
+                                 static_cast<double>(stats.bytes_reclaimed));
   }
   return stats;
 }
@@ -406,7 +429,13 @@ CostCatalog::ArenaMaintenanceStats CostCatalog::CompactArenasIncremental(
   while (!CompactArenasStep(budget_slots, &stats)) {
   }
   stats.physical_bytes_after = ArenaPhysicalBytes();
-  if (obs::Enabled()) obs::Core().maintenance_epochs.Inc();
+  if (obs::Enabled()) {
+    obs::Core().maintenance_epochs.Inc();
+    obs::GlobalEventLog().Append(
+        obs::EventKind::kMaintenanceEpoch, "incremental", /*a=*/1.0,
+        static_cast<double>(stats.total_pause_us),
+        static_cast<double>(stats.bytes_reclaimed));
+  }
   return stats;
 }
 
@@ -422,6 +451,49 @@ CostCatalog::ArenaSignals CostCatalog::ReadArenaSignals() const {
         static_cast<int64_t>(arena->slot_count()) - arena->free_count();
   }
   return signals;
+}
+
+std::vector<obs::ModelHealth> CostCatalog::ReadModelHealth() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  std::vector<obs::ModelHealth> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    obs::ModelHealth h;
+    h.model = entry->udf->name();
+    // Same lock order as the compaction epochs: entries_mutex_, then the
+    // models' own synchronization (inside MemoryBytes / NodeCount).
+    for (const auto* model :
+         {entry->cpu_model.get(), entry->io_model.get(),
+          entry->selectivity_model.get()}) {
+      h.bytes += model->MemoryBytes();
+      h.nodes += model->NodeCount();
+    }
+    {
+      std::lock_guard<std::mutex> windowed_lock(entry->windowed_mutex);
+      h.observations = entry->windowed.observations;
+      // Normalized deviation of the fast actual-cost window from the slow
+      // baseline — bounded and zero-at-stability, unlike the detector's
+      // raw relative-error EWMA, which explodes on near-zero actuals.
+      const double slow = std::abs(entry->windowed.slow_cost_micros);
+      h.windowed_nae =
+          slow > 0.0 ? std::abs(entry->windowed.fast_cost_micros -
+                                entry->windowed.slow_cost_micros) /
+                           slow
+                     : 0.0;
+      h.staleness = std::max(entry->cost_detector.staleness(),
+                             entry->selectivity_detector.staleness());
+    }
+    const auto arena_it = arenas_.find(1 << entry->udf->model_space().dims());
+    if (arena_it != arenas_.end()) {
+      h.fragmentation = arena_it->second->FragmentationRatio();
+    }
+    h.accuracy_per_byte =
+        1.0 / ((1.0 + h.windowed_nae) *
+               static_cast<double>(std::max<int64_t>(h.bytes, 1)));
+    out.push_back(std::move(h));
+  }
+  return out;
 }
 
 void CostCatalog::MaintenanceTick() {

@@ -11,6 +11,7 @@
 
 #include "engine/drift_detector.h"
 #include "model/cost_model.h"
+#include "obs/telemetry.h"
 #include "quadtree/shared_node_arena.h"
 #include "udf/costed_udf.h"
 
@@ -219,6 +220,15 @@ class CostCatalog {
 
   // Snapshot of the scheduler-facing maintenance signals.
   ArenaSignals ReadArenaSignals() const;
+
+  // Per-entry health snapshot for the telemetry exporter: footprint
+  // (bytes, nodes over all three models), windowed NAE (normalized
+  // fast-vs-slow deviation of the WindowedActuals cost windows),
+  // staleness (worst detector fast/slow ratio), the entry's arena
+  // fragmentation, and the derived accuracy-per-byte score. One vector element per catalog entry, in
+  // registration order. Intended as the exporter's health provider:
+  //   exporter.SetHealthProvider([&] { return catalog.ReadModelHealth(); });
+  std::vector<obs::ModelHealth> ReadModelHealth() const;
 
   // Safe point for autonomous maintenance: forwards to the registered
   // scheduler's Tick(), unless a maintenance epoch (or feedback flush) is

@@ -55,6 +55,7 @@ DriftKind DriftDetector::ObserveError(double relative_error) {
     gradual_streak_ = 0;
   }
   if (kind != DriftKind::kNone) {
+    last_fire_ratio_ = ratio;
     // The new error level becomes the baseline; without this reset the
     // ratio would stay elevated and re-fire every evaluation.
     slow_error_ = fast_error_;
@@ -78,6 +79,7 @@ void DriftDetector::Reset() {
   cooldown_remaining_ = 0;
   gradual_streak_ = 0;
   drift_count_ = 0;
+  last_fire_ratio_ = 0.0;
 }
 
 }  // namespace mlq

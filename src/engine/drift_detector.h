@@ -76,6 +76,17 @@ class DriftDetector {
   // baseline). 1 before any data.
   double staleness() const;
 
+  // Raw EWMA error levels behind the ratio: the fast track is the
+  // freshest windowed accuracy reading (the health snapshot's NAE), the
+  // slow track the steady-state baseline.
+  double fast_error() const { return fast_error_; }
+  double slow_error() const { return slow_error_; }
+
+  // fast/slow ratio at the moment of the most recent firing (0 before any
+  // firing). staleness() itself re-baselines to ~1 immediately after a
+  // firing, so event payloads read this instead.
+  double last_fire_ratio() const { return last_fire_ratio_; }
+
   int64_t observations() const { return observations_; }
   int64_t drift_count() const { return drift_count_; }
   const DriftDetectorOptions& options() const { return options_; }
@@ -91,6 +102,7 @@ class DriftDetector {
   int64_t cooldown_remaining_ = 0;
   int gradual_streak_ = 0;
   int64_t drift_count_ = 0;
+  double last_fire_ratio_ = 0.0;
 };
 
 }  // namespace mlq

@@ -69,6 +69,11 @@ class ConcurrentCostModel : public CostModel {
     return inner_->MemoryBytes();
   }
 
+  int64_t NodeCount() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->NodeCount();
+  }
+
   bool IsSelfTuning() const override { return inner_->IsSelfTuning(); }
 
   ModelUpdateBreakdown update_breakdown() const override {

@@ -102,6 +102,11 @@ class CostModel {
   // Logical bytes currently charged against the model's budget.
   virtual int64_t MemoryBytes() const = 0;
 
+  // Materialized tree nodes backing the model; 0 for models without a
+  // node structure (static histograms). Health telemetry reads this
+  // alongside MemoryBytes for a bytes-per-node view.
+  virtual int64_t NodeCount() const { return 0; }
+
   // True when Observe actually updates the model.
   virtual bool IsSelfTuning() const = 0;
 

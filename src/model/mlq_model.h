@@ -32,6 +32,7 @@ class MlqModel : public CostModel {
     tree_.InsertBatch(all, indices);
   }
   int64_t MemoryBytes() const override { return tree_.memory_used(); }
+  int64_t NodeCount() const override { return tree_.num_nodes(); }
   bool IsSelfTuning() const override { return true; }
   void AdvanceDecayEpoch(int64_t epochs) override {
     tree_.AdvanceDecayEpoch(epochs);

@@ -287,6 +287,15 @@ int64_t ShardedCostModel::MemoryBytes() const {
   return total;
 }
 
+int64_t ShardedCostModel::NodeCount() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    total += shard->model.NodeCount();
+  }
+  return total;
+}
+
 ModelUpdateBreakdown ShardedCostModel::update_breakdown() const {
   ModelUpdateBreakdown total;
   for (const auto& shard : shards_) {

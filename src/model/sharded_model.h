@@ -125,6 +125,7 @@ class ShardedCostModel : public CostModel {
   // enqueueing interacts with the bounded queue.
   void ObserveBatch(std::span<const Observation> batch) override;
   int64_t MemoryBytes() const override;
+  int64_t NodeCount() const override;
   bool IsSelfTuning() const override { return true; }
   ModelUpdateBreakdown update_breakdown() const override;
 

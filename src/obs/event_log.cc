@@ -1,0 +1,181 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace mlq {
+namespace obs {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDriftFired:
+      return "drift_fired";
+    case EventKind::kMaintenanceEpoch:
+      return "maintenance_epoch";
+    case EventKind::kCompressionEpoch:
+      return "compression_epoch";
+    case EventKind::kDecayEpochs:
+      return "decay_epochs";
+    case EventKind::kModelLoad:
+      return "model_load";
+    case EventKind::kModelFlush:
+      return "model_flush";
+    case EventKind::kArenaCompaction:
+      return "arena_compaction";
+  }
+  return "unknown";
+}
+
+std::string_view StructuredEvent::label_view() const {
+  return {label, strnlen(label, kLabelCapacity)};
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  events_.resize(capacity_);
+}
+
+void EventLog::Append(EventKind kind, std::string_view label, double a,
+                      double b, double c) {
+  if (!Enabled()) return;
+  StructuredEvent event;
+  event.kind = kind;
+  event.tid = CurrentThreadId();
+  event.ts_ns = NowNs();
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  const size_t n = std::min(label.size(), StructuredEvent::kLabelCapacity);
+  std::memcpy(event.label, label.data(), n);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size_ < capacity_) {
+    events_[(start_ + size_) % capacity_] = event;
+    ++size_;
+  } else {
+    // Full: the slot at start_ is the oldest — overwrite it and advance.
+    events_[start_] = event;
+    start_ = (start_ + 1) % capacity_;
+    ++dropped_;
+  }
+  ++total_;
+}
+
+std::vector<StructuredEvent> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StructuredEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<StructuredEvent> EventLog::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StructuredEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start_ + i) % capacity_]);
+  }
+  start_ = 0;
+  size_ = 0;
+  return out;
+}
+
+std::vector<StructuredEvent> EventLog::SnapshotSince(int64_t* cursor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Resident events are the append indices [total_ - size_, total_).
+  const int64_t resident_begin = total_ - static_cast<int64_t>(size_);
+  const int64_t from = std::max(*cursor, resident_begin);
+  std::vector<StructuredEvent> out;
+  if (from < total_) {
+    out.reserve(static_cast<size_t>(total_ - from));
+    for (int64_t t = from; t < total_; ++t) {
+      const size_t i = static_cast<size_t>(t - resident_begin);
+      out.push_back(events_[(start_ + i) % capacity_]);
+    }
+  }
+  *cursor = total_;
+  return out;
+}
+
+int64_t EventLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+int64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  start_ = 0;
+  size_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+}
+
+EventLog& GlobalEventLog() {
+  static EventLog* log = new EventLog();  // Never freed.
+  return *log;
+}
+
+namespace {
+
+// Labels are model/mode names (C identifiers in practice), but a UDF name
+// is caller-supplied, so escape the JSON specials anyway.
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << ch;
+    }
+  }
+  os << '"';
+}
+
+void WriteJsonNumber(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+void ExportEventsJsonl(std::ostream& os,
+                       const std::vector<StructuredEvent>& events) {
+  for (const StructuredEvent& e : events) {
+    os << "{\"ts_ns\":" << e.ts_ns << ",\"kind\":\"" << EventKindName(e.kind)
+       << "\",\"tid\":" << e.tid << ",\"label\":";
+    WriteJsonString(os, e.label_view());
+    os << ",\"a\":";
+    WriteJsonNumber(os, e.a);
+    os << ",\"b\":";
+    WriteJsonNumber(os, e.b);
+    os << ",\"c\":";
+    WriteJsonNumber(os, e.c);
+    os << "}\n";
+  }
+}
+
+}  // namespace obs
+}  // namespace mlq

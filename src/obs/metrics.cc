@@ -63,33 +63,72 @@ int64_t LatencyHistogram::BucketUpperNs(int i) {
   return int64_t{1} << (i + 1);
 }
 
-double LatencyHistogram::Quantile(double q) const {
+namespace {
+
+// Shared interpolation over a copied bucket array: used by the live
+// histogram and by HistogramSnapshot, so interval quantiles match the
+// cumulative ones bucket-for-bucket.
+double QuantileFromBuckets(
+    const std::array<uint64_t, LatencyHistogram::kNumBuckets>& buckets,
+    double q, int64_t fallback_max_ns) {
+  constexpr int kNumBuckets = LatencyHistogram::kNumBuckets;
   q = std::clamp(q, 0.0, 1.0);
-  std::array<uint64_t, kNumBuckets> snapshot;
   uint64_t total = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    snapshot[static_cast<size_t>(i)] = bucket(i);
-    total += snapshot[static_cast<size_t>(i)];
-  }
+  for (const uint64_t b : buckets) total += b;
   if (total == 0) return 0.0;
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    const double in_bucket = static_cast<double>(snapshot[static_cast<size_t>(i)]);
+    const double in_bucket = static_cast<double>(buckets[static_cast<size_t>(i)]);
     if (in_bucket <= 0.0) continue;
     if (cumulative + in_bucket >= target) {
       const double lower = i == 0 ? 0.0 : static_cast<double>(int64_t{1} << i);
       const double upper =
           i >= kNumBuckets - 1
               ? static_cast<double>(int64_t{1} << (kNumBuckets - 1)) * 2.0
-              : static_cast<double>(BucketUpperNs(i));
+              : static_cast<double>(LatencyHistogram::BucketUpperNs(i));
       const double fraction =
           std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
       return lower + fraction * (upper - lower);
     }
     cumulative += in_bucket;
   }
-  return static_cast<double>(max_ns());
+  return static_cast<double>(fallback_max_ns);
+}
+
+}  // namespace
+
+double LatencyHistogram::Quantile(double q) const {
+  std::array<uint64_t, kNumBuckets> snapshot;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot[static_cast<size_t>(i)] = bucket(i);
+  }
+  return QuantileFromBuckets(snapshot, q, max_ns());
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  return QuantileFromBuckets(buckets, q, max_ns);
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& base) const {
+  HistogramSnapshot delta;
+  delta.count = std::max<int64_t>(count - base.count, 0);
+  delta.sum_ns = std::max<int64_t>(sum_ns - base.sum_ns, 0);
+  // max is not subtractable; the cumulative max bounds the interval max.
+  delta.max_ns = max_ns;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    delta.buckets[i] =
+        buckets[i] >= base.buckets[i] ? buckets[i] - base.buckets[i] : 0;
+  }
+  return delta;
+}
+
+void HistogramSnapshot::Accumulate(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
 }
 
 void LatencyHistogram::Reset() {
@@ -215,6 +254,8 @@ void MetricsRegistry::RenderJson(std::ostream& os) const {
     WriteJsonNumber(os, histogram->Quantile(0.90));
     os << ",\"p99_ns\":";
     WriteJsonNumber(os, histogram->Quantile(0.99));
+    os << ",\"p999_ns\":";
+    WriteJsonNumber(os, histogram->Quantile(0.999));
     os << "}";
   }
   os << "}}";
@@ -230,14 +271,63 @@ void MetricsRegistry::RenderLatencySummary(std::ostream& os) const {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "  %-28s count=%-9lld p50=%-10.0f p90=%-10.0f p99=%-10.0f "
-                  "max=%lld\n",
+                  "p999=%-10.0f max=%lld\n",
                   name.c_str(), static_cast<long long>(histogram->count()),
                   histogram->Quantile(0.50), histogram->Quantile(0.90),
-                  histogram->Quantile(0.99),
+                  histogram->Quantile(0.99), histogram->Quantile(0.999),
                   static_cast<long long>(histogram->max_ns()));
     os << buf;
   }
   if (!any) os << "  (none recorded)\n";
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.ts_ns = NowNs();
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot& h = snapshot.histograms[name];
+    h.count = histogram->count();
+    h.sum_ns = histogram->sum_ns();
+    h.max_ns = histogram->max_ns();
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      h.buckets[static_cast<size_t>(i)] = histogram->bucket(i);
+    }
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.ts_ns = NowNs();
+  for (auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Drain();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();  // Levels: read, don't reset.
+  }
+  for (auto& [name, histogram] : histograms_) {
+    HistogramSnapshot& h = snapshot.histograms[name];
+    // Per-field exchange: a Record racing the scrape lands its bucket and
+    // count increments either in this snapshot or the next, never in
+    // neither (each fetch_add pairs with exactly one exchange read).
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      h.buckets[static_cast<size_t>(i)] =
+          histogram->buckets_[static_cast<size_t>(i)].exchange(
+              0, std::memory_order_relaxed);
+    }
+    h.count = histogram->count_.exchange(0, std::memory_order_relaxed);
+    h.sum_ns = histogram->sum_ns_.exchange(0, std::memory_order_relaxed);
+    h.max_ns = histogram->max_ns_.exchange(0, std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 void MetricsRegistry::ResetAll() {
@@ -245,6 +335,12 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::Help(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
 }
 
 // --- CoreMetrics -----------------------------------------------------------

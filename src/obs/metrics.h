@@ -45,6 +45,9 @@ class Counter {
   void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
+  // Reads and zeroes in one atomic RMW: an Inc racing this lands either
+  // before (read out) or after (kept for the next drain) — never lost.
+  int64_t Drain() { return value_.exchange(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> value_{0};
@@ -87,10 +90,43 @@ class LatencyHistogram {
   void Reset();
 
  private:
+  friend class MetricsRegistry;  // Drains buckets for SnapshotAndReset.
+
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_ns_{0};
   std::atomic<int64_t> max_ns_{0};
+};
+
+// --- Snapshots -------------------------------------------------------------
+
+// Plain-data copy of one histogram's state; quantiles computed over the
+// copied buckets with the same interpolation LatencyHistogram::Quantile
+// uses, so interval quantiles (deltas between snapshots) cost nothing
+// extra.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum_ns = 0;
+  int64_t max_ns = 0;
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+
+  // q-quantile over the snapshotted buckets (0 when empty).
+  double Quantile(double q) const;
+  // this - base, element-wise (count/sum/buckets; max is kept from *this,
+  // an interval upper bound). Negative components clamp to zero, so a
+  // reset landing between the two snapshots cannot produce nonsense.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& base) const;
+  // Folds `other` into this snapshot (the exporter's cumulative view).
+  void Accumulate(const HistogramSnapshot& other);
+};
+
+// One coherent copy of every registered instrument, taken under the
+// registry mutex so no instrument can be created or reset halfway through.
+struct MetricsSnapshot {
+  int64_t ts_ns = 0;  // obs::NowNs() at capture.
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
 };
 
 // --- Registry --------------------------------------------------------------
@@ -117,11 +153,27 @@ class MetricsRegistry {
   void RenderJson(std::ostream& os) const;
 
   // Human-readable latency summary (one line per non-empty histogram with
-  // count / p50 / p90 / p99 / max), for terminal output.
+  // count / p50 / p90 / p99 / p999 / max), for terminal output.
   void RenderLatencySummary(std::ostream& os) const;
+
+  // Coherent read of every instrument (non-destructive).
+  MetricsSnapshot Snapshot() const;
+
+  // Reads AND zeroes every counter and histogram in one critical section
+  // (gauges are copied, not reset — they are levels, not totals). Holds
+  // the same mutex as ResetAll, so a concurrent ResetAll lands entirely
+  // before or entirely after the scrape and interval deltas can never go
+  // negative; per-instrument drains are atomic RMWs, so increments racing
+  // the scrape are either in this snapshot or in the next, never lost.
+  // This is the TelemetryExporter's scrape primitive.
+  MetricsSnapshot SnapshotAndReset();
 
   // Zeroes every registered instrument (names stay registered).
   void ResetAll();
+
+  // Help text registered for `name` ("" when none). For exporters that
+  // re-render # HELP lines from snapshots.
+  std::string Help(const std::string& name) const;
 
  private:
   MetricsRegistry() = default;

@@ -2,16 +2,20 @@
 #define MLQ_OBS_OBS_H_
 
 // Umbrella header for the observability layer: runtime-toggled metrics
-// (obs/metrics.h) and event tracing (obs/trace_ring.h). Instrumentation
-// sites either hand-roll the guard (hot paths that also bump counters) or
-// use ScopedLatency for the common span shape.
+// (obs/metrics.h), event tracing (obs/trace_ring.h), the structured
+// macro-event journal (obs/event_log.h), and the continuous telemetry
+// exporter (obs/telemetry.h). Instrumentation sites either hand-roll the
+// guard (hot paths that also bump counters) or use ScopedLatency for the
+// common span shape.
 //
 // The contract every hook honours: with obs::Enabled() false the cost is
 // one relaxed atomic load and a branch — bench/obs_overhead holds this
 // under 2% of the hot-loop budget — and with MLQ_OBS_DISABLE_TRACING the
 // trace hooks vanish from the binary entirely.
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace_ring.h"
 
 namespace mlq {

@@ -1,0 +1,370 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace mlq {
+namespace obs {
+
+namespace {
+
+void WriteJsonNumber(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+// Model names are caller-supplied UDF identifiers; escape both for JSON
+// bodies and Prometheus label values (the two formats share this set of
+// specials).
+void WriteEscaped(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << ch;
+    }
+  }
+}
+
+void WriteHealthGauge(std::ostream& os, const char* name, const char* help,
+                      const std::vector<ModelHealth>& health,
+                      double (*field)(const ModelHealth&)) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " gauge\n";
+  for (const ModelHealth& h : health) {
+    os << name << "{model=\"";
+    WriteEscaped(os, h.model);
+    os << "\"} " << field(h) << "\n";
+  }
+}
+
+}  // namespace
+
+void RenderPrometheusExposition(std::ostream& os,
+                                const MetricsSnapshot& cumulative,
+                                const TelemetryFrame* frame,
+                                const std::vector<ModelHealth>& health) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const auto help_line = [&](const std::string& name, const char* type) {
+    const std::string help = registry.Help(name);
+    if (!help.empty()) os << "# HELP " << name << " " << help << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+
+  for (const auto& [name, value] : cumulative.counters) {
+    help_line(name, "counter");
+    os << name << " " << value << "\n";
+    if (frame != nullptr) {
+      const auto rate = frame->counter_rates.find(name);
+      if (rate != frame->counter_rates.end()) {
+        os << "# TYPE " << name << "_rate_per_s gauge\n";
+        os << name << "_rate_per_s " << rate->second << "\n";
+      }
+    }
+  }
+  for (const auto& [name, value] : cumulative.gauges) {
+    help_line(name, "gauge");
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : cumulative.histograms) {
+    help_line(name, "histogram");
+    uint64_t running = 0;
+    int highest = 0;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (hist.buckets[static_cast<size_t>(i)] > 0) highest = i;
+    }
+    for (int i = 0; i <= highest; ++i) {
+      running += hist.buckets[static_cast<size_t>(i)];
+      os << name << "_bucket{le=\"" << LatencyHistogram::BucketUpperNs(i)
+         << "\"} " << running << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    os << name << "_sum " << hist.sum_ns << "\n";
+    os << name << "_count " << hist.count << "\n";
+    if (frame != nullptr) {
+      // Interval quantiles as a summary-typed sibling: cumulative log2
+      // buckets blur tail movement, but a 1-interval p999 shows a pause
+      // the moment it happens.
+      const auto it = frame->histograms.find(name);
+      if (it != frame->histograms.end() && it->second.count > 0) {
+        os << "# TYPE " << name << "_interval summary\n";
+        const TelemetryFrame::HistogramStats& s = it->second;
+        os << name << "_interval{quantile=\"0.5\"} " << s.p50_ns << "\n";
+        os << name << "_interval{quantile=\"0.9\"} " << s.p90_ns << "\n";
+        os << name << "_interval{quantile=\"0.99\"} " << s.p99_ns << "\n";
+        os << name << "_interval{quantile=\"0.999\"} " << s.p999_ns << "\n";
+        os << name << "_interval_sum " << s.mean_ns * s.count << "\n";
+        os << name << "_interval_count " << s.count << "\n";
+      }
+    }
+  }
+
+  if (!health.empty()) {
+    WriteHealthGauge(os, "mlq_model_health_bytes",
+                     "Logical model bytes for this catalog entry.", health,
+                     [](const ModelHealth& h) {
+                       return static_cast<double>(h.bytes);
+                     });
+    WriteHealthGauge(os, "mlq_model_health_nodes",
+                     "Tree nodes across the entry's models.", health,
+                     [](const ModelHealth& h) {
+                       return static_cast<double>(h.nodes);
+                     });
+    WriteHealthGauge(os, "mlq_model_health_observations",
+                     "Executions folded into the windowed actuals.", health,
+                     [](const ModelHealth& h) {
+                       return static_cast<double>(h.observations);
+                     });
+    WriteHealthGauge(os, "mlq_model_health_windowed_nae",
+                     "Fast-window mean relative prediction error.", health,
+                     [](const ModelHealth& h) { return h.windowed_nae; });
+    WriteHealthGauge(os, "mlq_model_health_staleness",
+                     "Worst fast/slow windowed-error ratio (1 = calibrated).",
+                     health,
+                     [](const ModelHealth& h) { return h.staleness; });
+    WriteHealthGauge(os, "mlq_model_health_fragmentation",
+                     "Reclaimable slot fraction of the entry's arena.", health,
+                     [](const ModelHealth& h) { return h.fragmentation; });
+    WriteHealthGauge(os, "mlq_model_health_accuracy_per_byte",
+                     "1 / ((1 + windowed_nae) * bytes).", health,
+                     [](const ModelHealth& h) { return h.accuracy_per_byte; });
+  }
+
+  if (frame != nullptr) {
+    os << "# TYPE mlq_telemetry_scrapes_total counter\n";
+    os << "mlq_telemetry_scrapes_total " << frame->sequence << "\n";
+    os << "# TYPE mlq_telemetry_interval_seconds gauge\n";
+    os << "mlq_telemetry_interval_seconds " << frame->interval_s << "\n";
+  }
+}
+
+PrometheusFileSink::PrometheusFileSink(std::string path)
+    : path_(std::move(path)) {}
+
+void PrometheusFileSink::Consume(const TelemetryFrame& frame) {
+  // Render fully before touching the file so a scraper that reads
+  // mid-rewrite sees at worst a short file, not a torn line buffer.
+  std::ostringstream body;
+  RenderPrometheusExposition(body, frame.cumulative, &frame, frame.health);
+  std::ofstream out(path_, std::ios::trunc);
+  if (out) out << body.str();
+}
+
+JsonlFileSink::JsonlFileSink(std::string path) : path_(std::move(path)) {}
+
+void JsonlFileSink::Consume(const TelemetryFrame& frame) {
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  RenderTelemetryFrameJsonl(out, frame);
+}
+
+void RenderTelemetryFrameJsonl(std::ostream& os, const TelemetryFrame& frame) {
+  std::ostream& out = os;
+  out << "{\"ts_ns\":" << frame.ts_ns << ",\"seq\":" << frame.sequence
+      << ",\"interval_s\":";
+  WriteJsonNumber(out, frame.interval_s);
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : frame.counter_deltas) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"delta\":" << delta << ",\"rate_per_s\":";
+    const auto rate = frame.counter_rates.find(name);
+    WriteJsonNumber(out,
+                    rate == frame.counter_rates.end() ? 0.0 : rate->second);
+    const auto total = frame.cumulative.counters.find(name);
+    out << ",\"total\":"
+        << (total == frame.cumulative.counters.end() ? 0 : total->second)
+        << "}";
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : frame.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":";
+    WriteJsonNumber(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : frame.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << s.count << ",\"rate_per_s\":";
+    WriteJsonNumber(out, s.rate_per_s);
+    out << ",\"mean_ns\":";
+    WriteJsonNumber(out, s.mean_ns);
+    out << ",\"p50_ns\":";
+    WriteJsonNumber(out, s.p50_ns);
+    out << ",\"p90_ns\":";
+    WriteJsonNumber(out, s.p90_ns);
+    out << ",\"p99_ns\":";
+    WriteJsonNumber(out, s.p99_ns);
+    out << ",\"p999_ns\":";
+    WriteJsonNumber(out, s.p999_ns);
+    out << "}";
+  }
+  out << "},\"health\":[";
+  first = true;
+  for (const ModelHealth& h : frame.health) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"model\":\"";
+    WriteEscaped(out, h.model);
+    out << "\",\"bytes\":" << h.bytes << ",\"nodes\":" << h.nodes
+        << ",\"observations\":" << h.observations << ",\"windowed_nae\":";
+    WriteJsonNumber(out, h.windowed_nae);
+    out << ",\"staleness\":";
+    WriteJsonNumber(out, h.staleness);
+    out << ",\"fragmentation\":";
+    WriteJsonNumber(out, h.fragmentation);
+    out << ",\"accuracy_per_byte\":";
+    WriteJsonNumber(out, h.accuracy_per_byte);
+    out << "}";
+  }
+  out << "],\"events\":" << frame.events.size() << "}\n";
+}
+
+TelemetryExporter::TelemetryExporter(TelemetryExporterOptions options)
+    : options_(options), last_scrape_ns_(NowNs()) {}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+void TelemetryExporter::AddSink(std::unique_ptr<TelemetrySink> sink) {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void TelemetryExporter::SetHealthProvider(
+    std::function<std::vector<ModelHealth>()> provider) {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  health_provider_ = std::move(provider);
+}
+
+bool TelemetryExporter::Start() {
+  if (options_.interval_ms <= 0) return false;
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_) return false;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { ThreadMain(); });
+  return true;
+}
+
+void TelemetryExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    running_ = false;
+  }
+  // Flush the tail interval so nothing recorded between the last periodic
+  // scrape and Stop() is lost to the sinks.
+  if (Enabled()) ScrapeOnce();
+}
+
+bool TelemetryExporter::running() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  return running_;
+}
+
+void TelemetryExporter::ThreadMain() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    // Disabled obs: skip the scrape entirely — no registry access, no
+    // sink I/O, just the timer. Re-enabling picks up where it left off.
+    if (!Enabled()) continue;
+    lock.unlock();
+    ScrapeOnce();
+    lock.lock();
+  }
+}
+
+TelemetryFrame TelemetryExporter::ScrapeOnce() {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return ScrapeLocked();
+}
+
+TelemetryFrame TelemetryExporter::ScrapeLocked() {
+  TelemetryFrame frame;
+  MetricsSnapshot delta = MetricsRegistry::Global().SnapshotAndReset();
+  frame.ts_ns = delta.ts_ns;
+  frame.sequence = ++sequence_;
+  frame.interval_s =
+      static_cast<double>(delta.ts_ns - last_scrape_ns_) * 1e-9;
+  last_scrape_ns_ = delta.ts_ns;
+  const double interval_s = std::max(frame.interval_s, 1e-9);
+
+  // Fold the drained interval into the lifetime-cumulative view before
+  // copying it out, so sinks always see totals >= every prior frame.
+  cumulative_.ts_ns = delta.ts_ns;
+  for (const auto& [name, value] : delta.counters) {
+    frame.counter_deltas[name] = value;
+    frame.counter_rates[name] = static_cast<double>(value) / interval_s;
+    cumulative_.counters[name] += value;
+  }
+  frame.gauges = delta.gauges;
+  cumulative_.gauges = delta.gauges;
+  for (const auto& [name, hist] : delta.histograms) {
+    TelemetryFrame::HistogramStats stats;
+    stats.count = hist.count;
+    stats.rate_per_s = static_cast<double>(hist.count) / interval_s;
+    stats.mean_ns = hist.count > 0 ? static_cast<double>(hist.sum_ns) /
+                                         static_cast<double>(hist.count)
+                                   : 0.0;
+    stats.p50_ns = hist.Quantile(0.50);
+    stats.p90_ns = hist.Quantile(0.90);
+    stats.p99_ns = hist.Quantile(0.99);
+    stats.p999_ns = hist.Quantile(0.999);
+    frame.histograms[name] = stats;
+    cumulative_.histograms[name].Accumulate(hist);
+  }
+  frame.cumulative = cumulative_;
+
+  if (health_provider_) frame.health = health_provider_();
+  frame.events = GlobalEventLog().SnapshotSince(&events_seen_);
+
+  for (const std::unique_ptr<TelemetrySink>& sink : sinks_) {
+    sink->Consume(frame);
+  }
+  latest_ = frame;
+  return frame;
+}
+
+TelemetryFrame TelemetryExporter::latest_frame() const {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return latest_;
+}
+
+int64_t TelemetryExporter::scrapes() const {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  return sequence_;
+}
+
+}  // namespace obs
+}  // namespace mlq

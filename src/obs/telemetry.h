@@ -1,0 +1,225 @@
+#ifndef MLQ_OBS_TELEMETRY_H_
+#define MLQ_OBS_TELEMETRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace mlq {
+namespace obs {
+
+// Per-model health snapshot, published through the exporter as labeled
+// gauges (`mlq_model_health_*{model="..."}`). Filled by
+// CostCatalog::ReadModelHealth(); the accuracy-per-byte column is the
+// signal a catalog-scale memory governor redistributes byte budget by.
+struct ModelHealth {
+  std::string model;        // UDF name (the `model` label).
+  int64_t bytes = 0;        // Logical bytes across the entry's models.
+  int64_t nodes = 0;        // Tree nodes across the entry's models.
+  int64_t observations = 0; // Executions folded into the windowed actuals.
+  // Windowed NAE-style error signal: normalized deviation of the fast
+  // actual-cost window from the slow baseline (|fast - slow| / slow).
+  // 0 when stable or when nothing has been observed yet; ~(k - 1) right
+  // after a k-fold cost step.
+  double windowed_nae = 0.0;
+  // Worst fast/slow windowed-error ratio of the entry's drift detectors
+  // (1 = calibrated).
+  double staleness = 1.0;
+  // Reclaimable slot fraction of the arena this model draws nodes from.
+  double fragmentation = 0.0;
+  // 1 / ((1 + windowed_nae) * bytes): how much accuracy each budget byte
+  // buys. Models with low error on a small footprint score high; the
+  // governor grows low scorers that are drifting and shrinks converged
+  // high-byte entries.
+  double accuracy_per_byte = 0.0;
+};
+
+// One computed scrape: per-interval deltas and rates plus the exporter's
+// lifetime cumulative totals (what a Prometheus endpoint must expose —
+// the registry itself is drained by the scrape).
+struct TelemetryFrame {
+  int64_t ts_ns = 0;       // Scrape time, obs::NowNs timebase.
+  double interval_s = 0.0; // Wall seconds since the previous scrape.
+  int64_t sequence = 0;    // 1-based scrape number.
+
+  struct HistogramStats {
+    int64_t count = 0;     // Records in this interval.
+    double rate_per_s = 0.0;
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p90_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
+  };
+
+  std::map<std::string, int64_t> counter_deltas;
+  std::map<std::string, double> counter_rates;  // delta / interval_s.
+  std::map<std::string, double> gauges;         // Levels, as scraped.
+  std::map<std::string, HistogramStats> histograms;  // Interval stats.
+
+  // Exporter-lifetime cumulative totals (sum of all scrape deltas).
+  MetricsSnapshot cumulative;
+
+  // Per-model health gauges as of this scrape (empty without a provider).
+  std::vector<ModelHealth> health;
+
+  // Journal events appended since the previous scrape (oldest first;
+  // truncated only if the journal wrapped within one interval).
+  std::vector<StructuredEvent> events;
+};
+
+// A consumer of scrape frames. Sinks run on the exporter thread; they must
+// not call back into the exporter.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Consume(const TelemetryFrame& frame) = 0;
+};
+
+// Rewrites a Prometheus text-exposition file on every scrape: # HELP/#
+// TYPE'd counters and histograms from the cumulative totals, gauges,
+// summary-style interval quantiles ({quantile="..."} labels), per-counter
+// rate gauges, and the labeled per-model health gauges.
+class PrometheusFileSink : public TelemetrySink {
+ public:
+  explicit PrometheusFileSink(std::string path);
+  void Consume(const TelemetryFrame& frame) override;
+
+ private:
+  std::string path_;
+};
+
+// Appends one JSON object per scrape to a JSONL time-series file:
+// {"ts_ns", "seq", "interval_s", "counters": {name: {delta, rate_per_s,
+// total}}, "gauges", "histograms": {name: {count, rate_per_s, mean_ns,
+// p50_ns, p90_ns, p99_ns, p999_ns}}, "health": [...], "events": n}.
+class JsonlFileSink : public TelemetrySink {
+ public:
+  explicit JsonlFileSink(std::string path);
+  void Consume(const TelemetryFrame& frame) override;
+
+ private:
+  std::string path_;
+};
+
+// Forwards frames to a callback (tests, `mlq_tool metrics --interval`).
+class CallbackSink : public TelemetrySink {
+ public:
+  explicit CallbackSink(std::function<void(const TelemetryFrame&)> fn)
+      : fn_(std::move(fn)) {}
+  void Consume(const TelemetryFrame& frame) override { fn_(frame); }
+
+ private:
+  std::function<void(const TelemetryFrame&)> fn_;
+};
+
+struct TelemetryExporterOptions {
+  // Scrape period for the background thread. Start() rejects <= 0.
+  int64_t interval_ms = 1000;
+};
+
+// Continuous telemetry pipeline over the global metrics registry.
+//
+// A background thread scrapes the registry every interval via
+// MetricsRegistry::SnapshotAndReset() — so each scrape IS the interval
+// delta, increments are counted exactly once, and a concurrent ResetAll
+// cannot drive a delta negative — then derives rates and interval
+// latency quantiles (p50/p90/p99/p999), folds the deltas into a
+// lifetime-cumulative snapshot for monotonic sinks, attaches the journal
+// events and per-model health gauges, and hands the frame to every sink.
+//
+// Memory is bounded: the exporter state is one cumulative snapshot plus
+// the most recent frame, independent of how long it runs; file sinks
+// stream. With obs disabled the thread wakes, sees Enabled() false, and
+// goes back to sleep without touching the registry — and a never-started
+// exporter costs nothing at all.
+//
+// While the exporter runs it owns the registry's counts (scrapes drain
+// them); other readers should consume the exporter's cumulative view
+// (latest_frame().cumulative) rather than the registry.
+class TelemetryExporter {
+ public:
+  explicit TelemetryExporter(TelemetryExporterOptions options = {});
+  ~TelemetryExporter();  // Stops the thread if still running.
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Sinks and the health provider must be configured before Start() (or
+  // between Stop() and a re-Start()); not thread-safe against a running
+  // exporter.
+  void AddSink(std::unique_ptr<TelemetrySink> sink);
+  void SetHealthProvider(std::function<std::vector<ModelHealth>()> provider);
+
+  // Starts the background scrape thread. Returns false (and does nothing)
+  // when already running or interval_ms <= 0.
+  bool Start();
+  // Runs one final scrape (flushing the tail interval to the sinks), then
+  // joins the thread. Idempotent.
+  void Stop();
+  bool running() const;
+
+  // One synchronous scrape on the calling thread — the exporter's delta
+  // logic without the thread, used by `mlq_tool metrics --interval` and
+  // by tests. Also feeds the sinks. Safe concurrently with the thread.
+  TelemetryFrame ScrapeOnce();
+
+  // Copy of the most recent frame (sequence 0 when none yet).
+  TelemetryFrame latest_frame() const;
+  int64_t scrapes() const;
+
+  const TelemetryExporterOptions& options() const { return options_; }
+
+ private:
+  void ThreadMain();
+  TelemetryFrame ScrapeLocked();  // Requires scrape_mutex_.
+
+  const TelemetryExporterOptions options_;
+
+  // Serializes scrapes (thread vs ScrapeOnce) and guards all state below.
+  mutable std::mutex scrape_mutex_;
+  std::vector<std::unique_ptr<TelemetrySink>> sinks_;
+  std::function<std::vector<ModelHealth>()> health_provider_;
+  MetricsSnapshot cumulative_;
+  TelemetryFrame latest_;
+  int64_t last_scrape_ns_ = 0;
+  int64_t events_seen_ = 0;  // GlobalEventLog total at the last scrape.
+  int64_t sequence_ = 0;
+
+  // Thread lifecycle.
+  mutable std::mutex lifecycle_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+// Renders a full Prometheus text exposition from a cumulative snapshot
+// (shared by PrometheusFileSink and the CLI's final print): counters,
+// gauges, histograms with le-buckets, optional interval-quantile
+// summaries and rate gauges from `frame`, and `health` as labeled gauges.
+// Every line is `# HELP ...`, `# TYPE ...`, or `name{labels} value`.
+void RenderPrometheusExposition(std::ostream& os,
+                                const MetricsSnapshot& cumulative,
+                                const TelemetryFrame* frame,
+                                const std::vector<ModelHealth>& health);
+
+// Writes one frame as a single JSONL object (the JsonlFileSink line format)
+// to `os`. Exposed so `mlq_tool metrics --interval --json` can stream
+// frames to stdout with the exact on-disk schema.
+void RenderTelemetryFrameJsonl(std::ostream& os, const TelemetryFrame& frame);
+
+}  // namespace obs
+}  // namespace mlq
+
+#endif  // MLQ_OBS_TELEMETRY_H_

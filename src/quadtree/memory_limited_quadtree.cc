@@ -642,6 +642,16 @@ void MemoryLimitedQuadtree::CompressInternal(
     core.compress_ns.Record(dur);
     MLQ_TRACE_EVENT(obs::TraceEventType::kCompress, obs_t0, dur,
                     static_cast<double>(freed), th_sse);
+    // Journal 1-in-64 passes: compression is per-insert-frequent in
+    // budget-tight workloads (unlike the other journal kinds, which are
+    // genuine macro events), and an unsampled stream would wrap the
+    // journal past the drift/maintenance entries an operator needs. The
+    // full-rate signal stays in the counters and the trace ring above.
+    if ((counters_.compressions & 63) == 1) {
+      obs::GlobalEventLog().Append(obs::EventKind::kCompressionEpoch, "tree",
+                                   static_cast<double>(freed), th_sse,
+                                   static_cast<double>(pool_.live_count()));
+    }
   }
 }
 

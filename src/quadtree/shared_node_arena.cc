@@ -206,6 +206,9 @@ SharedNodeArena::CompactionStats SharedNodeArena::Compact() {
     MLQ_TRACE_EVENT(obs::TraceEventType::kCompress, t0, dur,
                     static_cast<double>(stats.bytes_reclaimed),
                     static_cast<double>(stats.blocks_moved));
+    obs::GlobalEventLog().Append(obs::EventKind::kArenaCompaction, "stw",
+                                 static_cast<double>(stats.blocks_moved),
+                                 static_cast<double>(stats.bytes_reclaimed));
   }
   return stats;
 }
@@ -366,6 +369,9 @@ SharedNodeArena::CompactStepStats SharedNodeArena::CompactStep(
   }
   if (obs::Enabled() && stats.bytes_reclaimed > 0) {
     obs::Core().arena_compact_bytes_reclaimed.Inc(stats.bytes_reclaimed);
+    obs::GlobalEventLog().Append(obs::EventKind::kArenaCompaction, "step",
+                                 static_cast<double>(stats.blocks_moved),
+                                 static_cast<double>(stats.bytes_reclaimed));
   }
   return stats;
 }

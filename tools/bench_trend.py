@@ -77,36 +77,49 @@ def render_page(records):
         for key, value in record.get("metrics", {}).items():
             series.setdefault(key, []).append(float(value))
     latest = records[-1] if records else {}
-    rows = []
+    # One section per bench binary (the `bench/...` key prefix), so a newly
+    # baselined bench gets its own table instead of interleaving with the
+    # rest of the alphabet.
+    groups = {}  # bench name -> [(key, values)]
     for key in sorted(series):
-        values = series[key]
-        first, last = values[0], values[-1]
-        change = (last - first) / first if first else 0.0
-        rows.append(
-            "<tr><td><code>{key}</code></td><td>{spark}</td>"
-            "<td>{last:.4g}</td><td>{change:+.1%}</td></tr>".format(
-                key=html.escape(key), spark=_sparkline(values), last=last,
-                change=change))
+        bench = key.split("/", 1)[0]
+        groups.setdefault(bench, []).append((key, series[key]))
+    window = min(len(records), _MAX_POINTS)
+    sections = []
+    for bench in sorted(groups):
+        rows = []
+        for key, values in groups[bench]:
+            first, last = values[0], values[-1]
+            change = (last - first) / first if first else 0.0
+            rows.append(
+                "<tr><td><code>{key}</code></td><td>{spark}</td>"
+                "<td>{last:.4g}</td><td>{change:+.1%}</td></tr>".format(
+                    key=html.escape(key), spark=_sparkline(values),
+                    last=last, change=change))
+        sections.append(
+            "<h2><code>{bench}</code></h2>\n<table>\n"
+            "<tr><th>metric</th><th>trend (last {window})</th>"
+            "<th>latest</th><th>change over window</th></tr>\n"
+            "{rows}\n</table>".format(bench=html.escape(bench),
+                                      window=window, rows="\n".join(rows)))
     return """<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>Bench trend</title>
 <style>
 body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem; }}
-table {{ border-collapse: collapse; }}
+table {{ border-collapse: collapse; margin-bottom: 1.5rem; }}
 td, th {{ padding: 0.3rem 0.8rem; border-bottom: 1px solid #ddd; }}
 code {{ font-size: 12px; }}
+h2 {{ margin-top: 1.5rem; }}
 </style></head><body>
 <h1>Bench trend</h1>
 <p>{count} runs recorded; latest {sha} at {time}. One point per main-branch
 push; each value is the median across that push's bench rounds.</p>
-<table>
-<tr><th>metric</th><th>trend (last {window})</th><th>latest</th>
-<th>change over window</th></tr>
-{rows}
-</table></body></html>
+{sections}
+</body></html>
 """.format(count=len(records), sha=html.escape(str(latest.get("sha", "?"))[:12]),
            time=html.escape(str(latest.get("time", "?"))),
-           window=min(len(records), _MAX_POINTS), rows="\n".join(rows))
+           sections="\n".join(sections))
 
 
 def main(argv):

@@ -9,8 +9,12 @@
 //                     [--trace-out=events.json]
 //   mlq_tool metrics  [--trace=trace.txt] [--json] [--n=2000] [--seed=42]
 //                     [--strategy=lazy] [--budget=1800] [--beta=1]
-//                     [--cost=cpu] [--decay-half-life=0]
+//                     [--cost=cpu] [--decay-half-life=0] [--interval=0]
 //                     [--trace-out=events.json]
+//   mlq_tool telemetry [--trace=trace.txt] [--n=20000] [--seed=42]
+//                     [--budget=1800] [--shards=4] [--interval=100]
+//                     [--prom-out=FILE] [--series-out=FILE]
+//                     [--events-out=FILE] [--json]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
 //   mlq_tool maintenance [--udf=synth] [--n=20000] [--seed=42]
@@ -25,13 +29,24 @@
 // `metrics` replays a trace (or a synthetic workload when --trace is
 // absent) with observability switched on, then prints the Prometheus-style
 // metric exposition plus a latency/quantile summary; --json emits one JSON
-// snapshot object instead. `--trace-out` (on replay or metrics) writes the
-// recorded events as Chrome trace JSON, loadable in chrome://tracing.
+// snapshot object instead. `--interval=N` switches to incremental mode:
+// a delta snapshot (the telemetry exporter's scrape logic) every N
+// replayed records, one line (or, with --json, one JSONL frame) each.
+// `--trace-out` (on replay or metrics) writes the recorded events as
+// Chrome trace JSON, loadable in chrome://tracing.
+//
+// `telemetry` runs a drifting catalog workload (or a trace replay) under
+// the continuous TelemetryExporter: scrapes every --interval ms onto the
+// configured sinks (--prom-out Prometheus text file, --series-out JSONL
+// frame series), then dumps the structured event journal (--events-out)
+// and a run summary (--json for machine-readable).
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -55,8 +70,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mlq_tool <capture|replay|metrics|inspect|predict|"
-               "selftest> [--flags]\n"
+               "usage: mlq_tool <capture|replay|metrics|telemetry|inspect|"
+               "predict|maintenance|selftest> [--flags]\n"
                "  capture  --udf=NAME --out=FILE [--n=2000] [--dist=uniform|"
                "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
                " [--peaks=50]\n"
@@ -67,7 +82,12 @@ int Usage() {
                "[--trace-out=FILE]\n"
                "  metrics  [--trace=FILE] [--json] [--n=2000] [--seed=42] "
                "[--strategy=eager|lazy] [--budget=1800] [--beta=1] "
-               "[--cost=cpu|io] [--decay-half-life=0] [--trace-out=FILE]\n"
+               "[--cost=cpu|io] [--decay-half-life=0] [--interval=0] "
+               "[--trace-out=FILE]\n"
+               "  telemetry [--trace=FILE] [--n=20000] [--seed=42] "
+               "[--budget=1800] [--shards=4] [--interval=100] "
+               "[--prom-out=FILE] [--series-out=FILE] [--events-out=FILE] "
+               "[--json]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
                "  maintenance [--udf=synth] [--n=20000] [--seed=42] "
@@ -405,7 +425,81 @@ int RunMetrics(int argc, char** argv) {
                                                   : CostKind::kCpu;
 
   MlqModel model(TraceBoundingBox(records), config);
-  const double nae = ReplayTrace(model, records, kind);
+
+  // --interval=N: incremental mode. Every N replayed records one scrape
+  // (the TelemetryExporter's delta logic on this thread, no background
+  // thread) prints the window's deltas; the final exposition then comes
+  // from the exporter's cumulative view, since scrapes drain the registry.
+  const int64_t interval_records =
+      std::atoll(ArgValue(argc, argv, "interval", "0").c_str());
+  const bool json = HasFlag(argc, argv, "json");
+  double nae;
+  if (interval_records > 0) {
+    obs::TelemetryExporter exporter;
+    if (!json) {
+      exporter.AddSink(std::make_unique<obs::CallbackSink>(
+          [](const obs::TelemetryFrame& f) {
+            int64_t inserts = 0, compressions = 0;
+            if (const auto it = f.counter_deltas.find("mlq_inserts_total");
+                it != f.counter_deltas.end()) {
+              inserts = it->second;
+            }
+            if (const auto it = f.counter_deltas.find("mlq_compressions_total");
+                it != f.counter_deltas.end()) {
+              compressions = it->second;
+            }
+            double insert_p99 = 0.0;
+            if (const auto it = f.histograms.find("mlq_insert_latency_ns");
+                it != f.histograms.end()) {
+              insert_p99 = it->second.p99_ns;
+            }
+            std::printf(
+                "window %lld: +%lld inserts (%.0f/s), +%lld compressions, "
+                "insert p99 %.0f ns\n",
+                static_cast<long long>(f.sequence),
+                static_cast<long long>(inserts),
+                f.counter_rates.count("mlq_inserts_total")
+                    ? f.counter_rates.at("mlq_inserts_total")
+                    : 0.0,
+                static_cast<long long>(compressions), insert_p99);
+          }));
+    } else {
+      exporter.AddSink(std::make_unique<obs::CallbackSink>(
+          [](const obs::TelemetryFrame& f) {
+            obs::RenderTelemetryFrameJsonl(std::cout, f);
+          }));
+    }
+    NaeAccumulator accumulator;
+    int64_t since_scrape = 0;
+    for (const TraceRecord& record : records) {
+      const double actual =
+          kind == CostKind::kCpu ? record.cpu_cost : record.io_cost;
+      accumulator.Add(model.Predict(record.point), actual);
+      model.Observe(record.point, actual);
+      if (++since_scrape == interval_records) {
+        exporter.ScrapeOnce();
+        since_scrape = 0;
+      }
+    }
+    if (since_scrape > 0) exporter.ScrapeOnce();
+    nae = accumulator.Nae();
+    if (!json) {
+      std::printf("\n# replayed %zu records in %lld-record windows "
+                  "(NAE=%.4f)\n\n",
+                  records.size(),
+                  static_cast<long long>(interval_records), nae);
+      const obs::TelemetryFrame last = exporter.latest_frame();
+      obs::RenderPrometheusExposition(std::cout, last.cumulative, &last,
+                                      last.health);
+    }
+    const std::string interval_trace_out = ArgValue(argc, argv, "trace-out");
+    if (!interval_trace_out.empty() && !WriteChromeTrace(interval_trace_out)) {
+      return 1;
+    }
+    return 0;
+  }
+
+  nae = ReplayTrace(model, records, kind);
 
   const std::vector<obs::TraceEvent> events =
       obs::GlobalTraceRing().Snapshot();
@@ -414,7 +508,7 @@ int RunMetrics(int argc, char** argv) {
     if (e.type == obs::TraceEventType::kCompress) ++compress_events;
   }
 
-  if (HasFlag(argc, argv, "json")) {
+  if (json) {
     obs::MetricsRegistry::Global().RenderJson(std::cout);
     std::cout << "\n";
   } else {
@@ -430,6 +524,169 @@ int RunMetrics(int argc, char** argv) {
 
   const std::string trace_out = ArgValue(argc, argv, "trace-out");
   if (!trace_out.empty() && !WriteChromeTrace(trace_out)) return 1;
+  return 0;
+}
+
+// `telemetry`: drive a sharded catalog through a drifting workload with
+// the continuous exporter attached — the full observability pipeline in
+// one command. The workload is a trace replay (--trace) or the synthetic
+// surface (--n/--seed); either way the second half's costs are scaled 4x,
+// an abrupt step the drift detector classifies and journals. A maintenance
+// epoch runs at the end so the journal also shows the maintenance side.
+int RunTelemetry(int argc, char** argv) {
+  obs::SetEnabled(true);
+
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(ArgValue(argc, argv, "seed", "42").c_str()));
+  const int64_t budget =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  const int shards = std::atoi(ArgValue(argc, argv, "shards", "4").c_str());
+  const int64_t interval_ms =
+      std::atoll(ArgValue(argc, argv, "interval", "100").c_str());
+  const std::string prom_out = ArgValue(argc, argv, "prom-out");
+  const std::string series_out = ArgValue(argc, argv, "series-out");
+  const std::string events_out = ArgValue(argc, argv, "events-out");
+  const bool json = HasFlag(argc, argv, "json");
+  if (interval_ms <= 0) return Usage();
+
+  const std::string trace_path = ArgValue(argc, argv, "trace");
+  std::vector<TraceRecord> records;
+  std::unique_ptr<SyntheticUdf> udf;
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::string error;
+    if (!ReadTrace(in, &records, &error)) {
+      std::fprintf(stderr, "bad trace: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  // The catalog needs a CostedUdf; the synthetic one also generates the
+  // default workload. With --trace its surface is ignored — only the
+  // trace's points and costs matter.
+  udf = MakePaperSyntheticUdf(50, /*noise_probability=*/0.0, seed);
+  if (records.empty()) {
+    const int n = std::atoi(ArgValue(argc, argv, "n", "20000").c_str());
+    if (n <= 0) return Usage();
+    const auto points = MakePaperWorkload(
+        udf->model_space(), QueryDistributionKind::kUniform, n, seed);
+    records = CaptureTrace(*udf, points);
+  }
+
+  CostCatalog catalog(budget, CatalogConcurrency::kSharded, shards);
+  MaintenancePolicy policy;
+  policy.incremental = true;
+  MaintenanceScheduler scheduler(&catalog, policy);
+
+  obs::TelemetryExporterOptions options;
+  options.interval_ms = interval_ms;
+  obs::TelemetryExporter exporter(options);
+  if (!prom_out.empty()) {
+    exporter.AddSink(std::make_unique<obs::PrometheusFileSink>(prom_out));
+  }
+  if (!series_out.empty()) {
+    exporter.AddSink(std::make_unique<obs::JsonlFileSink>(series_out));
+  }
+  exporter.SetHealthProvider([&catalog] { return catalog.ReadModelHealth(); });
+  exporter.Start();
+
+  // Feed the workload through the catalog's batched feedback path with a
+  // 4x cost step at the halfway point. The synthetic load uses a stable
+  // per-call cost (5% deterministic jitter) so the windowed detector sees
+  // a clean abrupt step and journals it; a replayed trace keeps its own
+  // costs, scaled — whether that fires depends on the trace's variance.
+  const bool synthetic = trace_path.empty();
+  const size_t half = records.size() / 2;
+  std::vector<CostCatalog::ExecutionRecord> batch;
+  batch.reserve(256);
+  size_t row = 0;
+  for (const TraceRecord& r : records) {
+    const double scale = row >= half ? 4.0 : 1.0;
+    UdfCost cost;
+    if (synthetic) {
+      const double jitter =
+          1.0 + 0.05 * std::sin(0.37 * static_cast<double>(row));
+      cost.cpu_work = 100.0 * scale * jitter;
+      cost.io_pages = 0.0;
+    } else {
+      cost.cpu_work = r.cpu_cost * scale;
+      cost.io_pages = r.io_cost * scale;
+    }
+    batch.push_back({udf->ToModelPoint(r.point), cost, (row++ % 3) == 0});
+    if (batch.size() == 256) {
+      catalog.RecordExecutionBatch(udf.get(), batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) catalog.RecordExecutionBatch(udf.get(), batch);
+  catalog.FlushFeedback();
+  scheduler.RunEpochNow();
+  exporter.Stop();  // Final scrape flushes the tail interval to the sinks.
+
+  const std::vector<obs::StructuredEvent> events =
+      obs::GlobalEventLog().Snapshot();
+  if (!events_out.empty()) {
+    std::ofstream out(events_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", events_out.c_str());
+      return 1;
+    }
+    obs::ExportEventsJsonl(out, events);
+  }
+
+  std::map<std::string, int64_t> by_kind;
+  for (const obs::StructuredEvent& e : events) {
+    ++by_kind[std::string(obs::EventKindName(e.kind))];
+  }
+  const obs::TelemetryFrame last = exporter.latest_frame();
+
+  if (json) {
+    std::cout << "{\"records\":" << records.size()
+              << ",\"scrapes\":" << exporter.scrapes()
+              << ",\"interval_ms\":" << interval_ms << ",\"events\":{";
+    bool first = true;
+    for (const auto& [kind, count] : by_kind) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "\"" << kind << "\":" << count;
+    }
+    std::cout << "},\"journal_dropped\":" << obs::GlobalEventLog().dropped()
+              << ",\"models\":" << last.health.size() << "}\n";
+    return 0;
+  }
+
+  std::printf("telemetry run: %zu records, %lld scrapes at %lld ms\n",
+              records.size(), static_cast<long long>(exporter.scrapes()),
+              static_cast<long long>(interval_ms));
+  std::printf("journal: %zu events (%lld dropped to wrap-around)\n",
+              events.size(),
+              static_cast<long long>(obs::GlobalEventLog().dropped()));
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-18s %lld\n", kind.c_str(),
+                static_cast<long long>(count));
+  }
+  std::printf("model health:\n");
+  for (const obs::ModelHealth& h : last.health) {
+    std::printf(
+        "  %-10s %6lld bytes, %4lld nodes, %7lld obs, nae %.3f, "
+        "staleness %.2f, frag %.2f, acc/byte %.3g\n",
+        h.model.c_str(), static_cast<long long>(h.bytes),
+        static_cast<long long>(h.nodes),
+        static_cast<long long>(h.observations), h.windowed_nae, h.staleness,
+        h.fragmentation, h.accuracy_per_byte);
+  }
+  if (!prom_out.empty()) {
+    std::printf("wrote Prometheus exposition to %s\n", prom_out.c_str());
+  }
+  if (!series_out.empty()) {
+    std::printf("wrote frame series to %s\n", series_out.c_str());
+  }
+  if (!events_out.empty()) {
+    std::printf("wrote event journal to %s\n", events_out.c_str());
+  }
   return 0;
 }
 
@@ -684,6 +941,7 @@ int Main(int argc, char** argv) {
   if (command == "capture") return RunCapture(argc, argv);
   if (command == "replay") return RunReplay(argc, argv);
   if (command == "metrics") return RunMetrics(argc, argv);
+  if (command == "telemetry") return RunTelemetry(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "predict") return RunPredict(argc, argv);
   if (command == "maintenance") return RunMaintenance(argc, argv);
