@@ -18,6 +18,13 @@ class MemoryBudget {
   explicit MemoryBudget(int64_t limit_bytes) : limit_(limit_bytes) {}
 
   int64_t limit() const { return limit_; }
+
+  // Re-targets the budget (catalog-level governors redistribute byte
+  // budget across models at runtime). Usage is untouched: when the new
+  // limit is below used(), the owner must shed state (the quadtree runs
+  // compression passes) until the accounting fits again.
+  void SetLimit(int64_t limit_bytes) { limit_ = limit_bytes; }
+
   int64_t used() const { return used_; }
   int64_t available() const { return limit_ - used_; }
 

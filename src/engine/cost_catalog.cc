@@ -8,6 +8,7 @@
 #include "engine/maintenance_scheduler.h"
 #include "model/concurrent_model.h"
 #include "model/mlq_model.h"
+#include "model/serialization.h"
 #include "model/sharded_model.h"
 #include "obs/obs.h"
 
@@ -82,6 +83,41 @@ std::unique_ptr<CostModel> CostCatalog::MakeModel(const Box& space,
   return nullptr;  // Unreachable.
 }
 
+std::unique_ptr<CostModel> CostCatalog::MakeModelFromImage(
+    const std::vector<uint8_t>& image, int dims) {
+  std::string error;
+  std::unique_ptr<MemoryLimitedQuadtree> tree =
+      DeserializeQuadtree(image, ArenaForDimsLocked(dims), &error);
+  if (tree == nullptr) return nullptr;
+  auto model = std::make_unique<MlqModel>(std::move(tree));
+  switch (concurrency_) {
+    case CatalogConcurrency::kSingleThread:
+      return model;
+    case CatalogConcurrency::kGlobalMutex:
+      return std::make_unique<ConcurrentCostModel>(std::move(model));
+    case CatalogConcurrency::kSharded:
+      // Sharded entries are never evicted (EvictEntry refuses), so there
+      // is nothing to reload.
+      return nullptr;
+  }
+  return nullptr;  // Unreachable.
+}
+
+const MlqModel* CostCatalog::BareModel(const CostModel* model) const {
+  switch (concurrency_) {
+    case CatalogConcurrency::kSingleThread:
+      return static_cast<const MlqModel*>(model);
+    case CatalogConcurrency::kGlobalMutex:
+      return static_cast<const MlqModel*>(
+          &const_cast<ConcurrentCostModel*>(
+               static_cast<const ConcurrentCostModel*>(model))
+               ->inner());
+    case CatalogConcurrency::kSharded:
+      return nullptr;
+  }
+  return nullptr;  // Unreachable.
+}
+
 std::shared_ptr<SharedNodeArena>& CostCatalog::ArenaForDimsLocked(int dims) {
   const int fanout = 1 << dims;
   std::shared_ptr<SharedNodeArena>& arena = arenas_[fanout];
@@ -96,16 +132,65 @@ std::shared_ptr<SharedNodeArena> CostCatalog::ArenaForDims(int dims) {
 }
 
 CostCatalog::Entry& CostCatalog::For(CostedUdf* udf) {
+  return For(udf, "default");
+}
+
+CostCatalog::Entry& CostCatalog::For(CostedUdf* udf, std::string_view tenant) {
   assert(udf != nullptr);
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  return ForLocked(udf, tenant);
+}
+
+CostCatalog::Entry& CostCatalog::ForLocked(CostedUdf* udf,
+                                           std::string_view tenant) {
   for (auto& entry : entries_) {
     if (entry->udf == udf) return *entry;
   }
   const Box space = udf->model_space();
-  entries_.push_back(std::unique_ptr<Entry>(
-      new Entry{udf, MakeModel(space, /*beta=*/1), MakeModel(space, /*beta=*/10),
-                MakeModel(space, /*beta=*/5)}));
+
+  // Reload path: the governor evicted this UDF; rebuild its entry from the
+  // serialized snapshot so predictions resume bit-identically.
+  if (const auto it = evicted_.find(udf); it != evicted_.end()) {
+    EvictedEntry& snap = it->second;
+    auto cpu = MakeModelFromImage(snap.cpu_image, space.dims());
+    auto io = MakeModelFromImage(snap.io_image, space.dims());
+    auto sel = MakeModelFromImage(snap.selectivity_image, space.dims());
+    if (cpu != nullptr && io != nullptr && sel != nullptr) {
+      const double image_bytes = static_cast<double>(snap.ImageBytes());
+      auto entry = std::make_unique<Entry>();
+      entry->udf = udf;
+      entry->tenant = std::move(snap.tenant);
+      entry->cpu_model = std::move(cpu);
+      entry->io_model = std::move(io);
+      entry->selectivity_model = std::move(sel);
+      entry->traffic.store(snap.traffic, std::memory_order_relaxed);
+      entry->budget_bytes = snap.budget_bytes;
+      entry->windowed = snap.windowed;
+      entry->cost_detector = snap.cost_detector;
+      entry->selectivity_detector = snap.selectivity_detector;
+      evicted_.erase(it);
+      entries_.push_back(std::move(entry));
+      if (obs::Enabled()) {
+        obs::Core().governor_reloads.Inc();
+        obs::GlobalEventLog().Append(obs::EventKind::kModelReload,
+                                     udf->name(), image_bytes);
+      }
+      return *entries_.back();
+    }
+    // A malformed snapshot falls through to a fresh entry: serving
+    // correctness beats preserving a corrupt image.
+    evicted_.erase(it);
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->udf = udf;
+  entry->tenant = std::string(tenant);
+  entry->cpu_model = MakeModel(space, /*beta=*/1);
+  entry->io_model = MakeModel(space, /*beta=*/10);
+  entry->selectivity_model = MakeModel(space, /*beta=*/5);
+  entry->budget_bytes = 3 * memory_limit_bytes_;
+  entries_.push_back(std::move(entry));
   obs::GlobalEventLog().Append(obs::EventKind::kModelLoad, udf->name(),
                                static_cast<double>(memory_limit_bytes_));
   return *entries_.back();
@@ -266,6 +351,7 @@ double CostCatalog::MaxModelStaleness() const {
 double CostCatalog::PredictCostMicros(CostedUdf* udf,
                                       const Point& model_point) {
   Entry& entry = For(udf);
+  entry.traffic.fetch_add(1, std::memory_order_relaxed);
   return entry.cpu_model->Predict(model_point) * kMicrosPerWorkUnit +
          entry.io_model->Predict(model_point) * kMicrosPerPageMiss;
 }
@@ -273,6 +359,7 @@ double CostCatalog::PredictCostMicros(CostedUdf* udf,
 double CostCatalog::PredictSelectivity(CostedUdf* udf,
                                        const Point& model_point) {
   Entry& entry = For(udf);
+  entry.traffic.fetch_add(1, std::memory_order_relaxed);
   const Prediction p = entry.selectivity_model->PredictDetailed(model_point);
   if (!p.reliable && p.count == 0) return 0.5;  // Nothing known yet.
   return std::clamp(p.value, 0.01, 1.0);
@@ -284,6 +371,8 @@ void CostCatalog::PredictCostMicrosBatch(CostedUdf* udf,
   assert(model_points.size() == out.size());
   if (model_points.empty()) return;
   Entry& entry = For(udf);
+  entry.traffic.fetch_add(static_cast<int64_t>(model_points.size()),
+                          std::memory_order_relaxed);
   std::vector<Prediction> cpu(model_points.size());
   std::vector<Prediction> io(model_points.size());
   entry.cpu_model->PredictBatch(model_points, cpu);
@@ -300,6 +389,8 @@ void CostCatalog::PredictSelectivityBatch(CostedUdf* udf,
   assert(model_points.size() == out.size());
   if (model_points.empty()) return;
   Entry& entry = For(udf);
+  entry.traffic.fetch_add(static_cast<int64_t>(model_points.size()),
+                          std::memory_order_relaxed);
   std::vector<Prediction> predictions(model_points.size());
   entry.selectivity_model->PredictBatch(model_points, predictions);
   for (size_t i = 0; i < model_points.size(); ++i) {
@@ -454,13 +545,25 @@ CostCatalog::ArenaSignals CostCatalog::ReadArenaSignals() const {
 }
 
 std::vector<obs::ModelHealth> CostCatalog::ReadModelHealth() const {
+  return ReadModelHealth(nullptr);
+}
+
+std::vector<obs::ModelHealth> CostCatalog::ReadModelHealth(
+    std::vector<CostedUdf*>* udfs) const {
   std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
   if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
   std::vector<obs::ModelHealth> out;
   out.reserve(entries_.size());
+  if (udfs != nullptr) {
+    udfs->clear();
+    udfs->reserve(entries_.size());
+  }
   for (const auto& entry : entries_) {
     obs::ModelHealth h;
     h.model = entry->udf->name();
+    h.tenant = entry->tenant;
+    h.traffic = entry->traffic.load(std::memory_order_relaxed);
+    h.budget_bytes = entry->budget_bytes;
     // Same lock order as the compaction epochs: entries_mutex_, then the
     // models' own synchronization (inside MemoryBytes / NodeCount).
     for (const auto* model :
@@ -491,9 +594,83 @@ std::vector<obs::ModelHealth> CostCatalog::ReadModelHealth() const {
     h.accuracy_per_byte =
         1.0 / ((1.0 + h.windowed_nae) *
                static_cast<double>(std::max<int64_t>(h.bytes, 1)));
+    if (udfs != nullptr) udfs->push_back(entry->udf);
     out.push_back(std::move(h));
   }
   return out;
+}
+
+bool CostCatalog::SetEntryByteBudget(CostedUdf* udf, int64_t entry_bytes) {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  for (auto& entry : entries_) {
+    if (entry->udf != udf) continue;
+    // Even three-way split; each model keeps at least the root's charge so
+    // every budget is enforceable. Same lock order as the maintenance
+    // epochs: entries_mutex_, then each model's own synchronization
+    // (inside SetByteBudget).
+    const int64_t per_model =
+        std::max<int64_t>(entry_bytes / 3, kNodeBaseBytes);
+    entry->cpu_model->SetByteBudget(per_model);
+    entry->io_model->SetByteBudget(per_model);
+    entry->selectivity_model->SetByteBudget(per_model);
+    entry->budget_bytes = entry_bytes;
+    return true;
+  }
+  return false;
+}
+
+bool CostCatalog::EvictEntry(CostedUdf* udf) {
+  if (concurrency_ == CatalogConcurrency::kSharded) return false;
+  BusyScope busy(*this);
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    Entry& entry = **it;
+    if (entry.udf != udf) continue;
+    // Queued feedback (none in the evictable modes today, but Flush is the
+    // documented quiesce step) must land in the trees before they are
+    // imaged.
+    FlushEntry(entry);
+    EvictedEntry snap;
+    snap.tenant = entry.tenant;
+    snap.budget_bytes = entry.budget_bytes;
+    snap.traffic = entry.traffic.load(std::memory_order_relaxed);
+    snap.cpu_image = SerializeQuadtree(BareModel(entry.cpu_model.get())->tree());
+    snap.io_image = SerializeQuadtree(BareModel(entry.io_model.get())->tree());
+    snap.selectivity_image =
+        SerializeQuadtree(BareModel(entry.selectivity_model.get())->tree());
+    {
+      std::lock_guard<std::mutex> windowed_lock(entry.windowed_mutex);
+      snap.windowed = entry.windowed;
+      snap.cost_detector = entry.cost_detector;
+      snap.selectivity_detector = entry.selectivity_detector;
+    }
+    if (obs::Enabled()) {
+      obs::Core().governor_evictions.Inc();
+      obs::GlobalEventLog().Append(obs::EventKind::kModelEvict, udf->name(),
+                                   static_cast<double>(snap.ImageBytes()),
+                                   static_cast<double>(snap.traffic));
+    }
+    evicted_[udf] = std::move(snap);
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+int CostCatalog::evicted_count() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  return static_cast<int>(evicted_.size());
+}
+
+int64_t CostCatalog::evicted_snapshot_bytes() const {
+  std::unique_lock<std::mutex> lock(entries_mutex_, std::defer_lock);
+  if (concurrency_ != CatalogConcurrency::kSingleThread) lock.lock();
+  int64_t total = 0;
+  for (const auto& [udf, snap] : evicted_) total += snap.ImageBytes();
+  return total;
 }
 
 void CostCatalog::MaintenanceTick() {

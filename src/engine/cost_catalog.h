@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/drift_detector.h"
@@ -18,6 +20,7 @@
 namespace mlq {
 
 class MaintenanceScheduler;
+class MlqModel;
 
 // How the catalog's models are protected against concurrent access.
 enum class CatalogConcurrency {
@@ -69,9 +72,20 @@ class CostCatalog {
 
   struct Entry {
     CostedUdf* udf;
+    // Owning tenant id (multi-tenant quota accounting; "default" unless
+    // the UDF was registered through the tenant-qualified For overload).
+    std::string tenant;
     std::unique_ptr<CostModel> cpu_model;
     std::unique_ptr<CostModel> io_model;
     std::unique_ptr<CostModel> selectivity_model;
+    // Predictions served through this entry since registration — the
+    // governor's traffic / LRU-by-traffic signal. Relaxed: an approximate
+    // count read racily by the governor is exactly what is needed.
+    mutable std::atomic<int64_t> traffic{0};
+    // Entry-level byte budget currently granted (split evenly across the
+    // three models by SetEntryByteBudget). Guarded by entries_mutex_ in
+    // the concurrent modes, like entries_ itself.
+    int64_t budget_bytes = 0;
     // Windowed actual-outcome tracking plus the per-model drift detectors,
     // updated on the feedback path. Guarded by windowed_mutex. Lock order:
     // entries_mutex_ (when held at all) before windowed_mutex; nothing may
@@ -129,9 +143,16 @@ class CostCatalog {
   CostCatalog(const CostCatalog&) = delete;
   CostCatalog& operator=(const CostCatalog&) = delete;
 
-  // Lazily creates the entry for a UDF. Thread-safe in concurrent modes.
+  // Lazily creates the entry for a UDF (tenant "default"), or — when the
+  // UDF was evicted by the governor — restores it from its snapshot.
+  // Thread-safe in concurrent modes.
   Entry& For(CostedUdf* udf);
-  // Read-only lookup; nullptr if the UDF has never been registered.
+  // Same, registering the UDF under an explicit tenant id. The tenant is
+  // fixed at first registration; later calls (with any tenant) return the
+  // existing entry unchanged.
+  Entry& For(CostedUdf* udf, std::string_view tenant);
+  // Read-only lookup; nullptr if the UDF has never been registered or is
+  // currently evicted (Find never triggers a reload).
   const Entry* Find(const CostedUdf* udf) const;
 
   // Records one execution outcome for the UDF at the given model point.
@@ -230,6 +251,44 @@ class CostCatalog {
   //   exporter.SetHealthProvider([&] { return catalog.ReadModelHealth(); });
   std::vector<obs::ModelHealth> ReadModelHealth() const;
 
+  // Same snapshot, additionally filling `udfs` (when non-null) with the
+  // matching CostedUdf handle per element — one consistent pass under the
+  // catalog lock, so the governor can act on exactly the entries it
+  // scored (a plain ReadModelHealth + name lookup would race with
+  // registration and be O(n^2) at catalog scale).
+  std::vector<obs::ModelHealth> ReadModelHealth(
+      std::vector<CostedUdf*>* udfs) const;
+
+  // --- Governor hooks (catalog-level budget redistribution) ---------------
+
+  // Re-targets one entry's TOTAL byte budget: each of the entry's three
+  // models is resized to max(entry_bytes / 3, kNodeBaseBytes), triggering
+  // an eviction-compression pass when shrinking. Returns false when the
+  // UDF has no resident entry. Thread-safe in the concurrent modes (same
+  // lock order as the maintenance epochs: entries_mutex_, then the models'
+  // own synchronization).
+  bool SetEntryByteBudget(CostedUdf* udf, int64_t entry_bytes);
+
+  // Evicts a whole resident entry: flushes its queued feedback, serializes
+  // its three trees (serialization v2/v3) plus the windowed/drift state
+  // into the in-memory snapshot store, and destroys the entry. The next
+  // For() on the UDF restores it with bit-identical predictions. Returns
+  // false for unknown/already-evicted UDFs and in kSharded mode (shard
+  // trees don't round-trip through a single serialized image).
+  //
+  // Concurrency contract: callers must guarantee no thread holds (or
+  // concurrently acquires) a reference to this UDF's entry — evict only
+  // UDFs whose traffic has quiesced, or stop serving first. The governor
+  // enforces this by evicting only zero-traffic-since-last-rebalance
+  // entries and only when eviction is explicitly enabled.
+  bool EvictEntry(CostedUdf* udf);
+
+  // Entries currently parked in the snapshot store.
+  int evicted_count() const;
+
+  // Sum of serialized snapshot bytes currently parked in the store.
+  int64_t evicted_snapshot_bytes() const;
+
   // Safe point for autonomous maintenance: forwards to the registered
   // scheduler's Tick(), unless a maintenance epoch (or feedback flush) is
   // already running on this thread or another — then it returns
@@ -253,8 +312,40 @@ class CostCatalog {
   CatalogConcurrency concurrency() const { return concurrency_; }
 
  private:
+  // A snapshot of an evicted entry: the three serialized trees plus the
+  // scalar serving state needed to resume exactly where the entry left
+  // off. Keyed by CostedUdf pointer in evicted_.
+  struct EvictedEntry {
+    std::string tenant;
+    int64_t budget_bytes = 0;
+    int64_t traffic = 0;
+    std::vector<uint8_t> cpu_image;
+    std::vector<uint8_t> io_image;
+    std::vector<uint8_t> selectivity_image;
+    WindowedActuals windowed;
+    DriftDetector cost_detector;
+    DriftDetector selectivity_detector;
+
+    int64_t ImageBytes() const {
+      return static_cast<int64_t>(cpu_image.size() + io_image.size() +
+                                  selectivity_image.size());
+    }
+  };
+
   // Wraps a freshly configured MLQ model according to concurrency_.
   std::unique_ptr<CostModel> MakeModel(const Box& space, int64_t beta);
+
+  // Rebuilds one model from a serialized tree image (reload path); null on
+  // malformed input. Caller holds entries_mutex_ in the concurrent modes.
+  std::unique_ptr<CostModel> MakeModelFromImage(
+      const std::vector<uint8_t>& image, int dims);
+
+  // The bare quadtree model behind `model` under concurrency_ (the catalog
+  // built every model, so the wrapping is known). Null in kSharded mode.
+  const MlqModel* BareModel(const CostModel* model) const;
+
+  // For(udf, tenant) body with entries_mutex_ already held as required.
+  Entry& ForLocked(CostedUdf* udf, std::string_view tenant);
 
   // Folds one execution outcome into the entry's windowed EWMAs and feeds
   // the drift detectors. Takes entry.windowed_mutex; returns the worst
@@ -286,6 +377,12 @@ class CostCatalog {
   // modes; the models themselves carry their own synchronization.
   mutable std::mutex entries_mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
+  // Snapshot store for governor-evicted entries (guarded by entries_mutex_
+  // in the concurrent modes). In-memory: the serialized images ARE the
+  // catalog-persistence format, so spilling them to files is a plain
+  // write; the store keeps the round-trip testable without filesystem
+  // dependencies.
+  std::map<const CostedUdf*, EvictedEntry> evicted_;
   // One shared arena per node fanout (= 2^dims): every model whose space
   // has the same dimensionality draws physical slabs from the same arena,
   // while each tree keeps its own logical byte budget.

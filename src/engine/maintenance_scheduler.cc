@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/catalog_governor.h"
 #include "obs/obs.h"
 
 namespace mlq {
@@ -78,6 +79,15 @@ void MaintenanceScheduler::Tick() {
     }
   }
   if (advance_decay) catalog_->AdvanceDecayEpochs(1);
+  // Governor last, with no lock held: a rebalance takes the catalog's
+  // entries_mutex_ and model locks, which mutex_ must never be held
+  // across (the same ordering rule as the decay advance above).
+  CatalogGovernor* governor = governor_.load(std::memory_order_acquire);
+  if (governor != nullptr) governor->OnTick();
+}
+
+void MaintenanceScheduler::SetGovernor(CatalogGovernor* governor) {
+  governor_.store(governor, std::memory_order_release);
 }
 
 void MaintenanceScheduler::NotifyDrift(DriftKind kind) {

@@ -1,12 +1,15 @@
 #ifndef MLQ_ENGINE_MAINTENANCE_SCHEDULER_H_
 #define MLQ_ENGINE_MAINTENANCE_SCHEDULER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
 #include "engine/cost_catalog.h"
 
 namespace mlq {
+
+class CatalogGovernor;
 
 // When and how MaintenanceScheduler runs a compaction epoch. All triggers
 // are evaluated at Tick(); a value of 0 disables that trigger.
@@ -107,6 +110,14 @@ class MaintenanceScheduler {
   // held (same contract as Tick). kNone is a no-op.
   void NotifyDrift(DriftKind kind);
 
+  // Registers (or, with nullptr, unregisters) a catalog governor whose
+  // OnTick() is forwarded every scheduler tick — after the compaction /
+  // decay logic, with no scheduler or catalog lock held, so the governor
+  // rides the same serving-driven tick stream as everything else. The
+  // governor must outlive all ticks (same lifetime contract as the
+  // scheduler's own catalog registration).
+  void SetGovernor(CatalogGovernor* governor);
+
   MaintenanceSchedulerStats stats() const;
   const MaintenancePolicy& policy() const { return policy_; }
 
@@ -118,6 +129,8 @@ class MaintenanceScheduler {
 
   CostCatalog* const catalog_;
   const MaintenancePolicy policy_;
+  // Governor to forward ticks to; nullptr when none registered.
+  std::atomic<CatalogGovernor*> governor_{nullptr};
 
   mutable std::mutex mutex_;
   // All below guarded by mutex_.

@@ -58,6 +58,13 @@ class ConcurrentCostModel : public CostModel {
     inner_->AdvanceDecayEpoch(epochs);
   }
 
+  // Budget re-targeting quiesces the model for the (possibly compressing)
+  // resize, exactly like any other mutation.
+  bool SetByteBudget(int64_t limit_bytes) override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    return inner_->SetByteBudget(limit_bytes);
+  }
+
   std::vector<std::unique_lock<std::mutex>> LockForMaintenance() override {
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.emplace_back(mutex_);

@@ -99,6 +99,13 @@ class CostModel {
   // decay (static histograms, decay-off quadtrees) ignore it.
   virtual void AdvanceDecayEpoch(int64_t /*epochs*/) {}
 
+  // Re-targets the model's logical byte budget (catalog governors
+  // redistribute budget across entries at runtime). Shrinking triggers an
+  // eviction-compression pass until the model fits; growing raises the
+  // ceiling for future learning. Returns false for models with a fixed
+  // footprint (static histograms), which ignore the call.
+  virtual bool SetByteBudget(int64_t /*limit_bytes*/) { return false; }
+
   // Logical bytes currently charged against the model's budget.
   virtual int64_t MemoryBytes() const = 0;
 

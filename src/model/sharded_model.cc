@@ -278,6 +278,19 @@ void ShardedCostModel::AdvanceDecayEpoch(int64_t epochs) {
   }
 }
 
+bool ShardedCostModel::SetByteBudget(int64_t limit_bytes) {
+  // Same split and floor as the constructor's ShardConfig, so growing back
+  // to the original total restores the original per-shard limits exactly.
+  const int64_t per_shard =
+      std::max<int64_t>(limit_bytes / num_shards(),
+                        kNodeBaseBytes + 2 * kNonRootNodeBytes);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->model_mutex);
+    shard->model.SetByteBudget(per_shard);
+  }
+  return true;
+}
+
 int64_t ShardedCostModel::MemoryBytes() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {

@@ -133,6 +133,12 @@ class ShardedCostModel : public CostModel {
   // shard order; concurrent predicts/observes on other shards proceed).
   void AdvanceDecayEpoch(int64_t epochs) override;
 
+  // Re-targets the TOTAL budget: each shard tree is resized to
+  // limit_bytes / num_shards (under the same minimum-per-shard floor the
+  // constructor applies), one shard lock at a time, so serving on other
+  // shards proceeds during the resize.
+  bool SetByteBudget(int64_t limit_bytes) override;
+
   // Takes every shard's model mutex (in shard order). Queued feedback may
   // remain pending — queues hold Points, not node indices, so arena
   // compaction does not invalidate them.

@@ -24,6 +24,12 @@ std::string_view EventKindName(EventKind kind) {
       return "model_flush";
     case EventKind::kArenaCompaction:
       return "arena_compaction";
+    case EventKind::kGovernorDecision:
+      return "governor_decision";
+    case EventKind::kModelEvict:
+      return "model_evict";
+    case EventKind::kModelReload:
+      return "model_reload";
   }
   return "unknown";
 }

@@ -36,6 +36,16 @@ enum class EventKind : uint8_t {
   // One arena compaction pass (stop-the-world Compact or a converged
   // incremental layout). a = blocks moved, b = bytes reclaimed.
   kArenaCompaction,
+  // One catalog-governor rebalance. a = bytes granted to growing entries,
+  // b = bytes reclaimed from shrinking entries, c = entries re-budgeted.
+  kGovernorDecision,
+  // A whole model left the resident catalog (snapshot flushed to the
+  // governor's store). a = serialized snapshot bytes, b = entry traffic at
+  // eviction. label = UDF name.
+  kModelEvict,
+  // An evicted model was restored from its snapshot on first re-use.
+  // a = serialized snapshot bytes. label = UDF name.
+  kModelReload,
 };
 
 std::string_view EventKindName(EventKind kind);

@@ -381,6 +381,16 @@ CoreMetrics& Core() {
                    "Drift-detector firings (abrupt + gradual)"),
       r.GetCounter("mlq_decay_epochs_total",
                    "Summary decay epochs advanced across all trees"),
+      r.GetCounter("mlq_governor_rebalances_total",
+                   "Catalog-governor budget rebalances run"),
+      r.GetCounter("mlq_governor_bytes_granted_total",
+                   "Budget bytes granted to growing entries by the governor"),
+      r.GetCounter("mlq_governor_bytes_reclaimed_total",
+                   "Budget bytes reclaimed from shrinking entries"),
+      r.GetCounter("mlq_governor_evictions_total",
+                   "Whole-model evictions to the governor snapshot store"),
+      r.GetCounter("mlq_governor_reloads_total",
+                   "Evicted models restored from snapshots on re-use"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
       r.GetHistogram("mlq_predict_batch_latency_ns",
                      "Whole-batch predict latency"),
@@ -408,6 +418,10 @@ CoreMetrics& Core() {
                  "Reclaimable slot fraction of the worst catalog arena"),
       r.GetGauge("mlq_model_staleness",
                  "Worst fast/slow windowed-error ratio across tracked models"),
+      r.GetGauge("mlq_governor_resident_models",
+                 "Catalog entries currently resident (not evicted)"),
+      r.GetGauge("mlq_governor_allocated_bytes",
+                 "Per-entry byte budgets summed after the last rebalance"),
   };
   return *core;
 }

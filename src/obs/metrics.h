@@ -217,6 +217,11 @@ struct CoreMetrics {
   Counter& maintenance_steps;     // mlq_maintenance_steps_total
   Counter& drift_events;          // mlq_drift_events_total
   Counter& decay_epochs;          // mlq_decay_epochs_total
+  Counter& governor_rebalances;   // mlq_governor_rebalances_total
+  Counter& governor_bytes_granted;    // mlq_governor_bytes_granted_total
+  Counter& governor_bytes_reclaimed;  // mlq_governor_bytes_reclaimed_total
+  Counter& governor_evictions;    // mlq_governor_evictions_total
+  Counter& governor_reloads;      // mlq_governor_reloads_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
   LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
@@ -242,6 +247,10 @@ struct CoreMetrics {
   // Fast/slow windowed-error ratio of the stalest model the drift detector
   // tracks (1 = calibrated; >> 1 = the model lags the workload).
   Gauge& model_staleness;        // mlq_model_staleness
+  // Catalog entries currently resident (not evicted to the snapshot store).
+  Gauge& governor_resident_models;  // mlq_governor_resident_models
+  // Sum of per-entry byte budgets after the last governor rebalance.
+  Gauge& governor_allocated_bytes;  // mlq_governor_allocated_bytes
 };
 
 CoreMetrics& Core();

@@ -50,6 +50,10 @@ void WriteHealthGauge(std::ostream& os, const char* name, const char* help,
   for (const ModelHealth& h : health) {
     os << name << "{model=\"";
     WriteEscaped(os, h.model);
+    if (!h.tenant.empty()) {
+      os << "\",tenant=\"";
+      WriteEscaped(os, h.tenant);
+    }
     os << "\"} " << field(h) << "\n";
   }
 }
@@ -144,6 +148,16 @@ void RenderPrometheusExposition(std::ostream& os,
     WriteHealthGauge(os, "mlq_model_health_accuracy_per_byte",
                      "1 / ((1 + windowed_nae) * bytes).", health,
                      [](const ModelHealth& h) { return h.accuracy_per_byte; });
+    WriteHealthGauge(os, "mlq_model_health_traffic",
+                     "Predictions served by this entry since registration.",
+                     health, [](const ModelHealth& h) {
+                       return static_cast<double>(h.traffic);
+                     });
+    WriteHealthGauge(os, "mlq_model_health_budget_bytes",
+                     "Entry-level byte budget granted by the governor.",
+                     health, [](const ModelHealth& h) {
+                       return static_cast<double>(h.budget_bytes);
+                     });
   }
 
   if (frame != nullptr) {
@@ -227,7 +241,11 @@ void RenderTelemetryFrameJsonl(std::ostream& os, const TelemetryFrame& frame) {
     first = false;
     out << "{\"model\":\"";
     WriteEscaped(out, h.model);
+    out << "\",\"tenant\":\"";
+    WriteEscaped(out, h.tenant);
     out << "\",\"bytes\":" << h.bytes << ",\"nodes\":" << h.nodes
+        << ",\"budget_bytes\":" << h.budget_bytes
+        << ",\"traffic\":" << h.traffic
         << ",\"observations\":" << h.observations << ",\"windowed_nae\":";
     WriteJsonNumber(out, h.windowed_nae);
     out << ",\"staleness\":";

@@ -24,7 +24,14 @@ namespace obs {
 // signal a catalog-scale memory governor redistributes byte budget by.
 struct ModelHealth {
   std::string model;        // UDF name (the `model` label).
+  std::string tenant;       // Owning tenant (the `tenant` label).
   int64_t bytes = 0;        // Logical bytes across the entry's models.
+  // Entry-level byte budget currently granted (split across the entry's
+  // models); 0 when the catalog has never re-budgeted the entry.
+  int64_t budget_bytes = 0;
+  // Predictions served by this entry since registration (the governor's
+  // LRU-by-traffic admission signal).
+  int64_t traffic = 0;
   int64_t nodes = 0;        // Tree nodes across the entry's models.
   int64_t observations = 0; // Executions folded into the windowed actuals.
   // Windowed NAE-style error signal: normalized deviation of the fast

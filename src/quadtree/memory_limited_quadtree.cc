@@ -512,6 +512,21 @@ NodeIndex MemoryLimitedQuadtree::TryCreateChild(
 
 void MemoryLimitedQuadtree::Compress() { CompressInternal({}); }
 
+int64_t MemoryLimitedQuadtree::SetMemoryLimit(int64_t limit_bytes) {
+  // The root is never evictable, so no budget below its charge is
+  // enforceable.
+  const int64_t applied = std::max<int64_t>(limit_bytes, kNodeBaseBytes);
+  budget_.SetLimit(applied);
+  config_.memory_limit_bytes = applied;
+  // Shrink-to-fit: every CompressInternal pass frees at least one node
+  // (when any non-root leaf exists), so this loop strictly decreases the
+  // footprint and terminates — at the latest when only the root remains.
+  while (budget_.used() > budget_.limit() && pool_.live_count() > 1) {
+    CompressInternal({});
+  }
+  return applied;
+}
+
 void MemoryLimitedQuadtree::CompressInternal(
     const std::vector<NodeIndex>& protected_path) {
   WallTimer timer;

@@ -142,6 +142,17 @@ class MemoryLimitedQuadtree {
   // tests and ablations can exercise compression in isolation.
   void Compress();
 
+  // Re-targets the tree's logical byte budget (clamped to at least the
+  // root's own charge). Shrinking below the current footprint runs
+  // SSEG-guided compression passes until the tree fits — the same eviction
+  // order a budget-pressure compression would have used, so the surviving
+  // summaries are exactly the ones compression would have kept. Growing
+  // only raises the limit; the insertion path fills the headroom. The new
+  // limit is also written into config().memory_limit_bytes so serialized
+  // snapshots carry the governed budget. Returns the applied (clamped)
+  // limit.
+  int64_t SetMemoryLimit(int64_t limit_bytes);
+
   // --- Windowed-summary decay (see MlqConfig::decay_half_life) -------------
 
   // True when this tree ages its summaries (config.decay_half_life > 0).

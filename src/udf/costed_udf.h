@@ -2,7 +2,10 @@
 #define MLQ_UDF_COSTED_UDF_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/geometry.h"
 #include "common/timer.h"
@@ -78,6 +81,36 @@ class CostedUdf {
   // UDFs whose results the engine turns into predicates (e.g. "at least k
   // matches"). Default: no result notion.
   virtual int64_t last_result_count() const { return 0; }
+};
+
+// Forwards every call to an owned inner UDF under a different name.
+// Catalog-scale harnesses register many instances of one synthetic surface;
+// per-entry bookkeeping (governor traffic keys, metric labels, snapshot
+// store keys) requires the registered names to be distinct.
+class RenamedUdf final : public CostedUdf {
+ public:
+  RenamedUdf(std::string name, std::unique_ptr<CostedUdf> inner)
+      : name_(std::move(name)), inner_(std::move(inner)) {}
+
+  std::string_view name() const override { return name_; }
+  Box model_space() const override { return inner_->model_space(); }
+  Box execution_space() const override { return inner_->execution_space(); }
+  Point ToModelPoint(const Point& execution_point) const override {
+    return inner_->ToModelPoint(execution_point);
+  }
+  UdfCost Execute(const Point& model_point) override {
+    return inner_->Execute(model_point);
+  }
+  void ResetState() override { inner_->ResetState(); }
+  int64_t last_result_count() const override {
+    return inner_->last_result_count();
+  }
+
+  CostedUdf& inner() { return *inner_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<CostedUdf> inner_;
 };
 
 }  // namespace mlq

@@ -21,6 +21,10 @@
 //                     [--budget=1800] [--shards=4]
 //                     [--maintenance-policy=incremental|full]
 //                     [--step-slots=4096] [--json]
+//   mlq_tool govern   [--models=48] [--tenants=3] [--n=30000] [--seed=42]
+//                     [--budget=1800] [--global-budget=BYTES] [--zipf=1.1]
+//                     [--max-resident=0] [--quota=tenant0=BYTES,...]
+//                     [--json]
 //   mlq_tool selftest
 //
 // UDF names: synth (synthetic surface; --peaks) or one of
@@ -35,12 +39,21 @@
 // `--trace-out` (on replay or metrics) writes the recorded events as
 // Chrome trace JSON, loadable in chrome://tracing.
 //
+// `govern` builds a multi-tenant catalog of uniquely named synthetic UDFs,
+// serves Zipf-skewed traffic through it with a CatalogGovernor wired into
+// the maintenance tick stream, and prints the resulting budget allocation
+// (per-tenant aggregates plus the hottest entries). `--global-budget`
+// defaults to half the fleet's unconstrained footprint so the governor has
+// real scarcity to arbitrate; `--quota` caps named tenants; a nonzero
+// `--max-resident` turns on whole-model eviction.
+//
 // `telemetry` runs a drifting catalog workload (or a trace replay) under
 // the continuous TelemetryExporter: scrapes every --interval ms onto the
 // configured sinks (--prom-out Prometheus text file, --series-out JSONL
 // frame series), then dumps the structured event journal (--events-out)
 // and a run summary (--json for machine-readable).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +67,8 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/zipf.h"
+#include "engine/catalog_governor.h"
 #include "engine/cost_catalog.h"
 #include "engine/maintenance_scheduler.h"
 #include "eval/experiment_setup.h"
@@ -71,7 +86,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mlq_tool <capture|replay|metrics|telemetry|inspect|"
-               "predict|maintenance|selftest> [--flags]\n"
+               "predict|maintenance|govern|selftest> [--flags]\n"
                "  capture  --udf=NAME --out=FILE [--n=2000] [--dist=uniform|"
                "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
                " [--peaks=50]\n"
@@ -94,6 +109,10 @@ int Usage() {
                "[--budget=1800] [--shards=4] "
                "[--maintenance-policy=incremental|full] [--step-slots=4096] "
                "[--json]\n"
+               "  govern   [--models=48] [--tenants=3] [--n=30000] "
+               "[--seed=42] [--budget=1800] [--global-budget=BYTES] "
+               "[--zipf=1.1] [--max-resident=0] "
+               "[--quota=tenant0=BYTES,...] [--json]\n"
                "  selftest\n");
   return 1;
 }
@@ -846,6 +865,185 @@ int RunMaintenance(int argc, char** argv) {
   return 0;
 }
 
+int RunGovern(int argc, char** argv) {
+  const int models = std::atoi(ArgValue(argc, argv, "models", "48").c_str());
+  const int tenants = std::atoi(ArgValue(argc, argv, "tenants", "3").c_str());
+  const int n = std::atoi(ArgValue(argc, argv, "n", "30000").c_str());
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(ArgValue(argc, argv, "seed", "42").c_str()));
+  const int64_t budget =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  const double zipf_z = std::atof(ArgValue(argc, argv, "zipf", "1.1").c_str());
+  const int max_resident =
+      std::atoi(ArgValue(argc, argv, "max-resident", "0").c_str());
+  const std::string quota_spec = ArgValue(argc, argv, "quota");
+  const bool json = HasFlag(argc, argv, "json");
+  if (models <= 0 || tenants <= 0 || n <= 0 || budget <= 0) return Usage();
+  // Default global budget: half of what the fleet would hold unconstrained
+  // (three models of `budget` bytes per entry), so the governor actually
+  // has scarcity to arbitrate.
+  const int64_t global = std::atoll(
+      ArgValue(argc, argv, "global-budget",
+               std::to_string(models * 3 * budget / 2))
+          .c_str());
+
+  // The fleet: uniquely named instances of the paper's synthetic surface
+  // (distinct peak layouts via the seed), round-robined across tenants.
+  std::vector<std::unique_ptr<RenamedUdf>> udfs;
+  udfs.reserve(static_cast<size_t>(models));
+  for (int i = 0; i < models; ++i) {
+    udfs.push_back(std::make_unique<RenamedUdf>(
+        "synth-" + std::to_string(i),
+        MakePaperSyntheticUdf(/*num_peaks=*/20, /*noise_probability=*/0.0,
+                              seed + static_cast<uint64_t>(i))));
+  }
+
+  CostCatalog catalog(budget);
+  for (int i = 0; i < models; ++i) {
+    catalog.For(udfs[static_cast<size_t>(i)].get(),
+                "tenant" + std::to_string(i % tenants));
+  }
+
+  GovernorPolicy policy;
+  policy.global_budget_bytes = global;
+  policy.max_resident_models = max_resident;
+  if (!quota_spec.empty()) {
+    std::stringstream ss(quota_spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) return Usage();
+      policy.tenant_quota_bytes[item.substr(0, eq)] =
+          std::atoll(item.c_str() + eq + 1);
+    }
+  }
+  CatalogGovernor governor(&catalog, policy);
+  MaintenanceScheduler scheduler(&catalog, MaintenancePolicy{});
+  scheduler.SetGovernor(&governor);
+
+  // Zipf-skewed serving: model i serves rank i+1, so low indices are hot.
+  // One shared point pool keeps the surface sampling uniform per model.
+  const auto points =
+      MakePaperWorkload(udfs[0]->model_space(),
+                        QueryDistributionKind::kUniform, 512, seed);
+  ZipfDistribution zipf(models, zipf_z);
+  Rng rng(seed ^ 0x90BE12ULL);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<size_t>(zipf.Sample(rng) - 1);
+    CostedUdf* udf = udfs[idx].get();
+    const Point& p = points[static_cast<size_t>(i) % points.size()];
+    catalog.PredictCostMicros(udf, p);
+    if (i % 4 == 0) {
+      const UdfCost cost = udf->Execute(p);
+      catalog.RecordExecution(udf, p, cost, (i % 3) == 0);
+    }
+    // The serving stack normally ticks at executor block boundaries; the
+    // tool stands in for it every 64 ops (default governor cadence then
+    // rebalances every 16 ticks = 1024 ops).
+    if (i % 64 == 0) catalog.MaintenanceTick();
+  }
+  catalog.FlushFeedback();
+  // Final settle so the printed allocation reflects the full run.
+  governor.RebalanceNow();
+
+  std::vector<obs::ModelHealth> health = catalog.ReadModelHealth();
+  std::sort(health.begin(), health.end(),
+            [](const obs::ModelHealth& a, const obs::ModelHealth& b) {
+              return a.budget_bytes > b.budget_bytes;
+            });
+  struct TenantAgg {
+    int entries = 0;
+    int64_t traffic = 0;
+    int64_t budget = 0;
+    int64_t bytes = 0;
+  };
+  std::map<std::string, TenantAgg> by_tenant;
+  int64_t allocated = 0;
+  for (const obs::ModelHealth& h : health) {
+    TenantAgg& agg = by_tenant[h.tenant];
+    ++agg.entries;
+    agg.traffic += h.traffic;
+    agg.budget += h.budget_bytes;
+    agg.bytes += h.bytes;
+    allocated += h.budget_bytes;
+  }
+  const GovernorStats stats = governor.stats();
+
+  if (json) {
+    std::printf(
+        "{\"models\": %d, \"tenants\": %d, \"ops\": %d, "
+        "\"global_budget_bytes\": %lld, \"allocated_bytes\": %lld, "
+        "\"rebalances\": %lld, \"bytes_granted\": %lld, "
+        "\"bytes_reclaimed\": %lld, \"entries_rebalanced\": %lld, "
+        "\"evictions\": %lld, \"resident_models\": %zu, "
+        "\"evicted_models\": %d, \"tenant\": {",
+        models, tenants, n, static_cast<long long>(global),
+        static_cast<long long>(allocated),
+        static_cast<long long>(stats.rebalances),
+        static_cast<long long>(stats.bytes_granted),
+        static_cast<long long>(stats.bytes_reclaimed),
+        static_cast<long long>(stats.entries_rebalanced),
+        static_cast<long long>(stats.evictions), health.size(),
+        catalog.evicted_count());
+    bool first = true;
+    for (const auto& [tenant, agg] : by_tenant) {
+      std::printf("%s\"%s\": {\"entries\": %d, \"traffic\": %lld, "
+                  "\"budget_bytes\": %lld, \"logical_bytes\": %lld}",
+                  first ? "" : ", ", tenant.c_str(), agg.entries,
+                  static_cast<long long>(agg.traffic),
+                  static_cast<long long>(agg.budget),
+                  static_cast<long long>(agg.bytes));
+      first = false;
+    }
+    std::printf("}}\n");
+    return 0;
+  }
+
+  std::printf("governed catalog: %d models, %d tenants, %d ops, "
+              "global budget %lld bytes\n",
+              models, tenants, n, static_cast<long long>(global));
+  std::printf("  rebalances=%lld granted=%lld reclaimed=%lld "
+              "changed=%lld evictions=%lld resident=%zu evicted=%d\n",
+              static_cast<long long>(stats.rebalances),
+              static_cast<long long>(stats.bytes_granted),
+              static_cast<long long>(stats.bytes_reclaimed),
+              static_cast<long long>(stats.entries_rebalanced),
+              static_cast<long long>(stats.evictions), health.size(),
+              catalog.evicted_count());
+  std::printf("  allocated %lld / %lld bytes (%.1f%%)\n",
+              static_cast<long long>(allocated),
+              static_cast<long long>(global),
+              global > 0 ? 100.0 * static_cast<double>(allocated) /
+                               static_cast<double>(global)
+                         : 0.0);
+  std::printf("  %-10s %8s %12s %14s %14s\n", "tenant", "entries", "traffic",
+              "budget_bytes", "logical_bytes");
+  for (const auto& [tenant, agg] : by_tenant) {
+    const auto quota = policy.tenant_quota_bytes.find(tenant);
+    std::printf("  %-10s %8d %12lld %14lld %14lld%s\n", tenant.c_str(),
+                agg.entries, static_cast<long long>(agg.traffic),
+                static_cast<long long>(agg.budget),
+                static_cast<long long>(agg.bytes),
+                quota != policy.tenant_quota_bytes.end()
+                    ? ("  (quota " + std::to_string(quota->second) + ")")
+                          .c_str()
+                    : "");
+  }
+  std::printf("  hottest entries by granted budget:\n");
+  std::printf("  %-12s %-8s %10s %12s %12s %8s %9s\n", "model", "tenant",
+              "traffic", "budget", "bytes", "nae", "staleness");
+  const size_t top = std::min<size_t>(health.size(), 10);
+  for (size_t i = 0; i < top; ++i) {
+    const obs::ModelHealth& h = health[i];
+    std::printf("  %-12s %-8s %10lld %12lld %12lld %8.3f %9.2f\n",
+                h.model.c_str(), h.tenant.c_str(),
+                static_cast<long long>(h.traffic),
+                static_cast<long long>(h.budget_bytes),
+                static_cast<long long>(h.bytes), h.windowed_nae, h.staleness);
+  }
+  return 0;
+}
+
 int RunSelfTest() {
   // capture -> replay -> save -> inspect -> predict, via temp files.
   const std::string trace_path = "/tmp/mlq_tool_selftest_trace.txt";
@@ -945,6 +1143,7 @@ int Main(int argc, char** argv) {
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "predict") return RunPredict(argc, argv);
   if (command == "maintenance") return RunMaintenance(argc, argv);
+  if (command == "govern") return RunGovern(argc, argv);
   if (command == "selftest") return RunSelfTest();
   return Usage();
 }
