@@ -82,6 +82,33 @@ void BM_QuadtreePredictBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_QuadtreePredictBatch)->Arg(1800)->Arg(16384)->Arg(262144);
 
+void BM_QuadtreePredictStatsBatch(benchmark::State& state) {
+  // The variance-aware batched entry point: same descents as
+  // BM_QuadtreePredictBatch plus one Prediction -> CostEstimate conversion
+  // per point. Read next to that row: the per-point gap is the whole cost
+  // of the stats currency on the opt-in path (the scalar path's bound
+  // lives in bench/variance_overhead.cc).
+  constexpr size_t kBatch = 256;
+  MlqModel model(Box::Cube(kDims, 0.0, 1000.0),
+                 ConfigWithBudget(state.range(0), InsertionStrategy::kEager));
+  Rng rng(1);
+  for (const Point& p : RandomPoints(4000, 2)) {
+    model.Observe(p, rng.Uniform(0.0, 10000.0));
+  }
+  const auto queries = RandomPoints(1024, 3);
+  std::vector<CostEstimate> out(kBatch);
+  size_t offset = 0;
+  for (auto _ : state) {
+    const std::span<const Point> batch(&queries[offset], kBatch);
+    model.PredictStatsBatch(batch, out);
+    benchmark::DoNotOptimize(out.data());
+    offset = (offset + kBatch) & 1023;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+  state.SetLabel(std::to_string(model.tree().num_nodes()) + " nodes");
+}
+BENCHMARK(BM_QuadtreePredictStatsBatch)->Arg(1800)->Arg(16384)->Arg(262144);
+
 void BM_QuadtreeInsertEager(benchmark::State& state) {
   auto tree = FilledTree(state.range(0), InsertionStrategy::kEager);
   const auto points = RandomPoints(1024, 4);

@@ -1,6 +1,7 @@
 #ifndef MLQ_COMMON_STATS_H_
 #define MLQ_COMMON_STATS_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace mlq {
@@ -41,6 +42,15 @@ struct SummaryTriple {
     double avg = Avg();
     double sse = sum_squares - static_cast<double>(count) * avg * avg;
     return sse > 0.0 ? sse : 0.0;
+  }
+
+  // Standard deviation of the summarized values, sqrt(SSE/C). The single
+  // robust spelling every prediction path must use: 0 when the summary is
+  // empty (a bare sqrt(SSE/C) would be sqrt(0/0) = NaN), and never NaN for
+  // near-constant values because Sse() clamps cancellation residue at 0.
+  double Stddev() const {
+    if (count <= 0) return 0.0;
+    return std::sqrt(Sse() / static_cast<double>(count));
   }
 
   bool Empty() const { return count == 0; }

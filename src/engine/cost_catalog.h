@@ -186,6 +186,31 @@ class CostCatalog {
                                std::span<const Point> model_points,
                                std::span<double> out);
 
+  // --- Variance-aware prediction currency ----------------------------------
+  //
+  // Stats forms of the predictors above. Values are bit-identical to the
+  // scalar calls (same model probes, same arithmetic); the extra fields
+  // carry per-point uncertainty for risk-aware planning:
+  //   * cost: CPU and IO estimates combine as independent scaled terms —
+  //     value = cpu*kMicrosPerWorkUnit + io*kMicrosPerPageMiss, stddev is
+  //     the root-sum-square of the scaled stddevs, count is the smaller
+  //     support, reliable requires both.
+  //   * selectivity: the unknown-UDF fallback reports the max-uncertainty
+  //     prior {0.5, stddev 0.5, count 0, unreliable}.
+  // Both cross-check against the entry's windowed actuals: when the fast
+  // and slow windows of OBSERVED outcomes disagree strongly (the workload
+  // is moving), in-node variance understates true uncertainty, so the
+  // windowed disagreement is folded into stddev and `reliable` is dropped.
+  CostEstimate PredictCostStats(CostedUdf* udf, const Point& model_point);
+  CostEstimate PredictSelectivityStats(CostedUdf* udf,
+                                       const Point& model_point);
+  void PredictCostStatsBatch(CostedUdf* udf,
+                             std::span<const Point> model_points,
+                             std::span<CostEstimate> out);
+  void PredictSelectivityStatsBatch(CostedUdf* udf,
+                                    std::span<const Point> model_points,
+                                    std::span<CostEstimate> out);
+
   // Snapshot of the windowed actual-outcome EWMAs for `udf` (all zeros when
   // the UDF is unknown or has never executed).
   WindowedActuals ReadWindowedActuals(const CostedUdf* udf) const;
@@ -351,6 +376,12 @@ class CostCatalog {
   // the drift detectors. Takes entry.windowed_mutex; returns the worst
   // drift classification this outcome triggered.
   DriftKind UpdateWindowed(Entry& entry, const UdfCost& cost, bool passed);
+
+  // Cross-check input for the stats predictors: how far the entry's fast
+  // and slow windowed-actual cost EWMAs disagree (in micros), or 0 when
+  // the windows agree / lack support. Takes entry.windowed_mutex briefly;
+  // the batch predictors read it once per batch, not per point.
+  double WindowedCostDisagreement(const Entry& entry) const;
 
   // Forwards a non-kNone detector verdict to the registered scheduler.
   // Must be called with no catalog or entry lock held.

@@ -57,6 +57,15 @@ double PredicateAudit::EffectiveSelectivityDrift() const {
                                    : SelectivityDrift();
 }
 
+bool PredicateAudit::WindowedWithinConfidence() const {
+  if (windowed_observations <= 0) return false;
+  // A degenerate interval (zero stddev) still tolerates epsilon-level
+  // numeric noise between the estimate and the windowed EWMA.
+  constexpr double kSlack = 1e-9;
+  const double half_width = 1.96 * estimated_cost_stddev + kSlack;
+  return std::abs(windowed_cost_micros - estimated_cost_micros) <= half_width;
+}
+
 std::string PlanAudit::ToString() const {
   std::string out = "estimate audit:\n";
   char buf[200];
@@ -80,6 +89,13 @@ std::string PlanAudit::ToString() const {
   }
   std::snprintf(buf, sizeof(buf), "  max cost drift: x%.2f\n", max_cost_drift);
   out += buf;
+  if (confidence_coverage >= 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  confidence coverage: %.0f%% of windowed actuals inside "
+                  "the plan's 95%% CI\n",
+                  confidence_coverage * 100.0);
+    out += buf;
+  }
   return out;
 }
 
@@ -98,6 +114,8 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
     entry.predicate_name = predicate->name();
     entry.estimated_cost_micros = plan.estimates[i].estimated_cost_micros;
     entry.estimated_selectivity = plan.estimates[i].estimated_selectivity;
+    entry.estimated_cost_stddev = plan.estimates[i].estimated_cost_stddev;
+    entry.support = plan.estimates[i].support;
 
     std::vector<Point> points;
     points.reserve(static_cast<size_t>(n / stride) + 1);
@@ -130,6 +148,17 @@ PlanAudit AuditPlan(const Query& query, const Plan& plan,
     audit.max_cost_drift =
         std::max(audit.max_cost_drift, entry.EffectiveCostDrift());
     audit.predicates.push_back(std::move(entry));
+  }
+  int with_window = 0;
+  int covered = 0;
+  for (const PredicateAudit& p : audit.predicates) {
+    if (p.windowed_observations <= 0) continue;
+    ++with_window;
+    if (p.WindowedWithinConfidence()) ++covered;
+  }
+  if (with_window > 0) {
+    audit.confidence_coverage =
+        static_cast<double>(covered) / static_cast<double>(with_window);
   }
   if (obs::Enabled()) {
     obs::CoreMetrics& core = obs::Core();

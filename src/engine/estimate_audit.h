@@ -22,6 +22,12 @@ struct PredicateAudit {
   // The plan's estimates at planning time.
   double estimated_cost_micros = 0.0;
   double estimated_selectivity = 1.0;
+  // The plan's own uncertainty about its cost estimate (stddev of the
+  // sample mean) and the weakest model support behind it — copied from
+  // PlannedPredicate so the audit can judge whether reality landed inside
+  // the interval the planner claimed.
+  double estimated_cost_stddev = 0.0;
+  int64_t support = 0;
   // Catalog estimates for the same rows after execution feedback.
   double post_cost_micros = 0.0;
   double post_selectivity = 1.0;
@@ -49,6 +55,12 @@ struct PredicateAudit {
   // window to compare against).
   double EffectiveCostDrift() const;
   double EffectiveSelectivityDrift() const;
+
+  // Calibration check: did the windowed ACTUAL cost land inside the plan's
+  // ~95% confidence interval (estimate +/- 1.96 * stddev)? False when no
+  // windowed observations exist, or when the interval is degenerate (zero
+  // stddev) and the actual moved away from the point estimate.
+  bool WindowedWithinConfidence() const;
 };
 
 struct PlanAudit {
@@ -56,6 +68,11 @@ struct PlanAudit {
   // Largest effective cost drift over all predicates (the "most wrong"
   // estimate, judged against windowed actuals where available).
   double max_cost_drift = 1.0;
+  // Fraction of predicates WITH windowed feedback whose actual cost landed
+  // inside the plan's claimed confidence interval; -1 when no predicate has
+  // windowed feedback yet. 1.0 = the planner's uncertainty estimates are
+  // honest (or conservative); low values mean the intervals are too tight.
+  double confidence_coverage = -1.0;
 
   std::string ToString() const;
 };

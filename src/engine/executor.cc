@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <mutex>
 #include <numeric>
@@ -184,9 +185,10 @@ ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog) {
 
 ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
                                            CostCatalog& catalog,
-                                           int block_rows) {
+                                           int block_rows, double risk_k) {
   assert(query.table != nullptr);
   assert(block_rows >= 1);
+  const bool risk_aware = risk_k > 0.0;
   const bool obs_on = obs::Enabled();
   const int64_t obs_t0 = obs_on ? obs::NowNs() : 0;
   ExecutionStats stats;
@@ -196,10 +198,13 @@ ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
   const size_t n = query.predicates.size();
   std::vector<int> order(n);
   std::vector<double> rank(n);
-  // Per-predicate probe buffers, reused across blocks.
+  // Per-predicate probe buffers, reused across blocks. In risk-aware mode
+  // the stats batches fill `stats_scratch` and `costs` holds the
+  // risk-ADJUSTED per-point cost, so the ranking loop below is shared.
   std::vector<std::vector<Point>> points(n);
   std::vector<std::vector<double>> costs(n);
   std::vector<std::vector<double>> selectivities(n);
+  std::vector<CostEstimate> stats_scratch;
   // Per-predicate feedback buffers, flushed once per block through
   // RecordExecutionBatch. Deferring feedback to block end cannot change
   // any decision: the block's probes are precomputed above, and each
@@ -221,10 +226,27 @@ ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
       }
       costs[i].resize(block_size);
       selectivities[i].resize(block_size);
-      catalog.PredictCostMicrosBatch(query.predicates[i]->udf(), points[i],
-                                     costs[i]);
-      catalog.PredictSelectivityBatch(query.predicates[i]->udf(), points[i],
-                                      selectivities[i]);
+      if (risk_aware) {
+        stats_scratch.resize(block_size);
+        catalog.PredictCostStatsBatch(query.predicates[i]->udf(), points[i],
+                                      stats_scratch);
+        for (size_t k = 0; k < block_size; ++k) {
+          const CostEstimate& e = stats_scratch[k];
+          const double denom = std::sqrt(
+              static_cast<double>(e.count > 0 ? e.count : 1));
+          costs[i][k] = e.value + risk_k * e.stddev / denom;
+        }
+        catalog.PredictSelectivityStatsBatch(query.predicates[i]->udf(),
+                                             points[i], stats_scratch);
+        for (size_t k = 0; k < block_size; ++k) {
+          selectivities[i][k] = stats_scratch[k].value;
+        }
+      } else {
+        catalog.PredictCostMicrosBatch(query.predicates[i]->udf(), points[i],
+                                       costs[i]);
+        catalog.PredictSelectivityBatch(query.predicates[i]->udf(), points[i],
+                                        selectivities[i]);
+      }
     }
     // Evaluation phase: same per-row ranking and short-circuiting as
     // ExecuteQueryAdaptive, reading the precomputed probes.

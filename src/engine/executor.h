@@ -58,9 +58,15 @@ ExecutionStats ExecuteQueryAdaptive(const Query& query, CostCatalog& catalog);
 // ExecuteQueryAdaptive's mid-block. Query RESULTS are identical regardless
 // (pass/fail depends only on the row): rows_in and rows_out always match
 // the unbatched variant; only evaluation counts and cost may drift.
+//
+// `risk_k` > 0 ranks each row with risk-adjusted per-point costs
+// (mean + k * stddev / sqrt(count), from the catalog's stats batches)
+// instead of point estimates; risk_k = 0 keeps the classical per-row rank
+// and the scalar batch predictors — that path is untouched.
 ExecutionStats ExecuteQueryAdaptiveBatched(const Query& query,
                                            CostCatalog& catalog,
-                                           int block_rows = 64);
+                                           int block_rows = 64,
+                                           double risk_k = 0.0);
 
 // Convenience: the full loop for one query arrival — plan, execute with
 // feedback, return both.

@@ -1,6 +1,8 @@
 #include "engine/join_query.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 #include <vector>
@@ -9,10 +11,13 @@ namespace mlq {
 namespace {
 
 // Mean (cost, selectivity) estimates for a predicate over a stride sample
-// of its table.
+// of its table, with the stddev of each mean riding along for risk-aware
+// placement.
 struct PredicateEstimates {
   double cost_micros = 0.0;
   double selectivity = 0.5;
+  double cost_stddev = 0.0;
+  double selectivity_stddev = 0.0;
 };
 
 PredicateEstimates EstimateOver(const UdfPredicate& predicate,
@@ -27,19 +32,39 @@ PredicateEstimates EstimateOver(const UdfPredicate& predicate,
   for (int64_t row = 0; row < n; row += stride) {
     points.push_back(predicate.ModelPointFor(table.Row(row)));
   }
-  std::vector<double> costs(points.size());
-  std::vector<double> selectivities(points.size());
-  catalog.PredictCostMicrosBatch(predicate.udf(), points, costs);
-  catalog.PredictSelectivityBatch(predicate.udf(), points, selectivities);
+  // Stats batches: .value matches the scalar batch predictors bit-for-bit,
+  // so the means below are unchanged; the stddevs are new information.
+  std::vector<CostEstimate> costs(points.size());
+  std::vector<CostEstimate> selectivities(points.size());
+  catalog.PredictCostStatsBatch(predicate.udf(), points, costs);
+  catalog.PredictSelectivityStatsBatch(predicate.udf(), points,
+                                       selectivities);
   double cost = 0.0;
   double selectivity = 0.0;
+  double cost_var = 0.0;
+  double selectivity_var = 0.0;
   for (size_t s = 0; s < points.size(); ++s) {
-    cost += costs[s];
-    selectivity += selectivities[s];
+    cost += costs[s].value;
+    selectivity += selectivities[s].value;
+    cost_var += costs[s].stddev * costs[s].stddev;
+    selectivity_var += selectivities[s].stddev * selectivities[s].stddev;
   }
-  out.cost_micros = cost / static_cast<double>(points.size());
-  out.selectivity = selectivity / static_cast<double>(points.size());
+  const double samples = static_cast<double>(points.size());
+  out.cost_micros = cost / samples;
+  out.selectivity = selectivity / samples;
+  out.cost_stddev = std::sqrt(cost_var) / samples;
+  out.selectivity_stddev = std::sqrt(selectivity_var) / samples;
   return out;
+}
+
+// Combined selectivity uncertainty of one side's estimates (root sum of
+// squares): > 0 means any selectivity product over that side is uncertain.
+double SelectivityUncertainty(const std::vector<PredicateEstimates>& v) {
+  double var = 0.0;
+  for (const PredicateEstimates& e : v) {
+    var += e.selectivity_stddev * e.selectivity_stddev;
+  }
+  return std::sqrt(var);
 }
 
 }  // namespace
@@ -61,8 +86,9 @@ double ExpectedJoinRows(const JoinQuery& query) {
 }
 
 JoinPlan PlanJoinQuery(const JoinQuery& query, CostCatalog& catalog,
-                       int sample_rows) {
+                       int sample_rows, double risk_k) {
   JoinPlan plan;
+  plan.risk_k = risk_k > 0.0 ? risk_k : 0.0;
   plan.estimated_join_rows = ExpectedJoinRows(query);
 
   std::vector<PredicateEstimates> left_estimates;
@@ -90,24 +116,39 @@ JoinPlan PlanJoinQuery(const JoinQuery& query, CostCatalog& catalog,
   // Independent last-in-chain comparison for each predicate: evaluations if
   // placed below the join (its side's rows, filtered by the other same-side
   // predicates) vs above it (join rows, filtered by everything else).
+  //
+  // With risk_k > 0, near-ties (counts within 10%) break toward "below"
+  // whenever the other side's selectivities are uncertain: the below count
+  // rests on exact base cardinality and same-side estimates only, while the
+  // above count additionally multiplies in the other side's (uncertain)
+  // selectivity product. Decisive comparisons are never overridden.
   auto decide = [&](const std::vector<PredicateEstimates>& side_estimates,
-                    int index, double side_rows, double other_side_product) {
+                    int index, double side_rows, double other_side_product,
+                    double other_side_uncertainty) {
     const double below =
         side_rows * product_excluding(side_estimates, index);
     const double above = plan.estimated_join_rows *
                          product_excluding(side_estimates, index) *
                          other_side_product;
+    if (plan.risk_k > 0.0 && other_side_uncertainty > 0.0) {
+      const double near_tie = 0.1 * std::max(below, above);
+      if (std::abs(below - above) <= near_tie) return true;
+    }
     return below <= above;  // Fewer (or equal) evaluations below: push down.
   };
+  const double left_uncertainty = SelectivityUncertainty(left_estimates);
+  const double right_uncertainty = SelectivityUncertainty(right_estimates);
   for (size_t i = 0; i < left_estimates.size(); ++i) {
     plan.left_before.push_back(
         decide(left_estimates, static_cast<int>(i),
-               static_cast<double>(query.left->num_rows()), all_right));
+               static_cast<double>(query.left->num_rows()), all_right,
+               right_uncertainty));
   }
   for (size_t i = 0; i < right_estimates.size(); ++i) {
     plan.right_before.push_back(
         decide(right_estimates, static_cast<int>(i),
-               static_cast<double>(query.right->num_rows()), all_left));
+               static_cast<double>(query.right->num_rows()), all_left,
+               left_uncertainty));
   }
 
   // Expected cost of the chosen plan (independence assumptions throughout):
@@ -147,9 +188,18 @@ JoinPlan PlanJoinQuery(const JoinQuery& query, CostCatalog& catalog,
 std::string JoinPlan::Explain(const JoinQuery& query) const {
   char buf[160];
   std::string out;
-  std::snprintf(buf, sizeof(buf),
-                "join plan (estimated join rows %.0f, expected cost %.0f us):\n",
-                estimated_join_rows, expected_cost_micros);
+  if (risk_k > 0.0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "join plan (estimated join rows %.0f, expected cost %.0f us, "
+        "risk k=%.2f):\n",
+        estimated_join_rows, expected_cost_micros, risk_k);
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "join plan (estimated join rows %.0f, expected cost %.0f us):\n",
+        estimated_join_rows, expected_cost_micros);
+  }
   out += buf;
   for (size_t i = 0; i < query.left_predicates.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "  %-14s [left]  %s join\n",

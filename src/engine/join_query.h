@@ -45,6 +45,8 @@ struct JoinPlan {
   // Estimates used for the decision, for EXPLAIN-style output.
   double estimated_join_rows = 0.0;
   double expected_cost_micros = 0.0;
+  // The risk knob the plan was made with (0 = classical placement).
+  double risk_k = 0.0;
 
   std::string Explain(const JoinQuery& query) const;
 };
@@ -55,8 +57,17 @@ struct JoinPlan {
 double ExpectedJoinRows(const JoinQuery& query);
 
 // Chooses a placement for every UDF predicate using catalog estimates.
+//
+// `risk_k` > 0 makes placement variance-aware on NEAR-TIES only: when the
+// below/above evaluation counts are within 10% of each other, the
+// predicate is pushed below the join whenever the other side's selectivity
+// estimates carry any uncertainty — the below-join count depends only on
+// exact base cardinality and same-side selectivities, while the above-join
+// count additionally inherits the other side's (uncertain) selectivity
+// product. risk_k = 0 (the default) reproduces the classical placement
+// bit-identically. Decisive (non-tie) comparisons are never overridden.
 JoinPlan PlanJoinQuery(const JoinQuery& query, CostCatalog& catalog,
-                       int sample_rows = 32);
+                       int sample_rows = 32, double risk_k = 0.0);
 
 // Hash-join executor honoring the placement; feeds every UDF execution
 // back into the catalog when non-null. Returns the same stats shape as the

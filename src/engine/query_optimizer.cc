@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <thread>
 
 #include "obs/obs.h"
@@ -13,26 +15,39 @@ namespace mlq {
 
 std::string Plan::Explain() const {
   std::string out = "plan (expected cost/row = ";
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%.2f us):\n",
-                expected_cost_per_row_micros);
+  char buf[160];
+  if (risk_k > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f us, risk(k=%.2f)/row = %.2f us):\n",
+                  expected_cost_per_row_micros, risk_k,
+                  risk_cost_per_row_micros);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us):\n",
+                  expected_cost_per_row_micros);
+  }
   out += buf;
   for (size_t i = 0; i < order.size(); ++i) {
     const PlannedPredicate& p = estimates[static_cast<size_t>(order[i])];
-    std::snprintf(buf, sizeof(buf), "  %zu. %-12s cost=%9.2f us  sel=%.3f\n",
+    // The +/- terms are ~95% confidence half-widths around the sample-mean
+    // estimates; n is the weakest model support behind the samples.
+    std::snprintf(buf, sizeof(buf),
+                  "  %zu. %-12s cost=%9.2f +/-%.2f us  sel=%.3f +/-%.3f  "
+                  "n=%lld\n",
                   i + 1, p.predicate->name().c_str(), p.estimated_cost_micros,
-                  p.estimated_selectivity);
+                  p.CostConfidenceHalfWidthMicros(), p.estimated_selectivity,
+                  1.96 * p.estimated_selectivity_stddev,
+                  static_cast<long long>(p.support));
     out += buf;
   }
   return out;
 }
 
 Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
-               int planner_threads) {
+               int planner_threads, double risk_k) {
   assert(query.table != nullptr);
   obs::ScopedLatency latency(obs::Core().plan_ns, obs::Core().plans,
                              obs::TraceEventType::kPlan);
   Plan plan;
+  plan.risk_k = risk_k > 0.0 ? risk_k : 0.0;
 
   // Deterministic stride sample of the table's rows; per-row model points
   // differ, so estimates are sample averages.
@@ -59,19 +74,36 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
       planned.estimated_selectivity = 0.5;
       return;
     }
-    std::vector<double> costs(points.size());
-    std::vector<double> selectivities(points.size());
-    catalog.PredictCostMicrosBatch(predicate->udf(), points, costs);
-    catalog.PredictSelectivityBatch(predicate->udf(), points, selectivities);
+    // Stats batches instead of the scalar batches: .value is bit-identical
+    // to what PredictCostMicrosBatch / PredictSelectivityBatch return (same
+    // probes, same arithmetic), and the stddev/count ride along for free.
+    std::vector<CostEstimate> costs(points.size());
+    std::vector<CostEstimate> selectivities(points.size());
+    catalog.PredictCostStatsBatch(predicate->udf(), points, costs);
+    catalog.PredictSelectivityStatsBatch(predicate->udf(), points,
+                                         selectivities);
     double cost_sum = 0.0;
     double selectivity_sum = 0.0;
+    double cost_var_sum = 0.0;
+    double selectivity_var_sum = 0.0;
+    int64_t support = std::numeric_limits<int64_t>::max();
     for (size_t s = 0; s < points.size(); ++s) {
-      cost_sum += costs[s];
-      selectivity_sum += selectivities[s];
+      cost_sum += costs[s].value;
+      selectivity_sum += selectivities[s].value;
+      cost_var_sum += costs[s].stddev * costs[s].stddev;
+      selectivity_var_sum +=
+          selectivities[s].stddev * selectivities[s].stddev;
+      support = std::min(support, costs[s].count);
     }
     const double samples = static_cast<double>(points.size());
     planned.estimated_cost_micros = cost_sum / samples;
     planned.estimated_selectivity = selectivity_sum / samples;
+    // Stddev of the sample MEAN: independent per-point estimates combine
+    // as sqrt(sum of variances) / n.
+    planned.estimated_cost_stddev = std::sqrt(cost_var_sum) / samples;
+    planned.estimated_selectivity_stddev =
+        std::sqrt(selectivity_var_sum) / samples;
+    planned.support = support;
   };
 
   // Concurrency-mode switch: predicates are estimated in parallel only
@@ -105,12 +137,23 @@ Plan PlanQuery(const Query& query, CostCatalog& catalog, int sample_rows,
   for (const PlannedPredicate& planned : plan.estimates) {
     estimates.push_back(PredicateEstimate{
         planned.predicate->name(), planned.estimated_cost_micros,
-        planned.estimated_selectivity});
+        planned.estimated_selectivity, planned.estimated_cost_stddev,
+        planned.support});
   }
 
-  const OrderingResult ordering = OrderPredicates(estimates);
+  RiskPolicy policy;
+  policy.k = plan.risk_k;
+  const OrderingResult ordering = OrderPredicatesRisk(estimates, policy);
   plan.order = ordering.order;
   plan.expected_cost_per_row_micros = ordering.expected_cost_per_tuple;
+  plan.risk_cost_per_row_micros = ordering.risk_cost_per_tuple;
+  if (plan.risk_k > 0.0 && obs::Enabled()) {
+    obs::Core().risk_plans.Inc();
+    // Did the variance signal actually change a decision? Only worth the
+    // second (classical) sort when someone is watching the counter.
+    const OrderingResult classical = OrderPredicates(estimates);
+    if (classical.order != plan.order) obs::Core().risk_reorders.Inc();
+  }
   latency.set_args(static_cast<double>(num_predicates),
                    plan.expected_cost_per_row_micros);
   return plan;

@@ -25,6 +25,17 @@ struct PlannedPredicate {
   const UdfPredicate* predicate = nullptr;
   double estimated_cost_micros = 0.0;
   double estimated_selectivity = 1.0;
+  // Uncertainty of the sample-mean estimates above: stddev of the MEAN
+  // (per-point stddevs combined across the sample, already divided by the
+  // sample size) and the weakest per-point model support behind it.
+  double estimated_cost_stddev = 0.0;
+  double estimated_selectivity_stddev = 0.0;
+  int64_t support = 0;
+
+  // Half-width of the ~95% confidence interval around the cost estimate.
+  double CostConfidenceHalfWidthMicros() const {
+    return 1.96 * estimated_cost_stddev;
+  }
 };
 
 // An execution plan: the predicate evaluation order plus its estimates.
@@ -33,6 +44,10 @@ struct Plan {
   std::vector<int> order;
   std::vector<PlannedPredicate> estimates;  // Parallel to Query::predicates.
   double expected_cost_per_row_micros = 0.0;
+  // The risk knob the plan was costed with and the risk-adjusted expected
+  // cost (== expected_cost_per_row_micros when risk_k is 0).
+  double risk_k = 0.0;
+  double risk_cost_per_row_micros = 0.0;
 
   std::string Explain() const;
 };
@@ -46,8 +61,15 @@ struct Plan {
 // predicate; model probes only, no UDF execution) and requires the catalog
 // to be in a concurrent mode. The plan is bit-identical to the serial one:
 // per-predicate estimates are independent and the sample is deterministic.
+//
+// `risk_k` > 0 enables risk-aware ordering: each predicate's cost is
+// padded by k standard errors (mean + k * stddev / sqrt(support)) before
+// ranking, so a noisy cheap-looking predicate loses near-ties against a
+// well-supported one. risk_k = 0 (the default) produces the classical
+// plan bit-identically — same order, same expected cost.
 Plan PlanQuery(const Query& query, CostCatalog& catalog,
-               int sample_rows = 32, int planner_threads = 1);
+               int sample_rows = 32, int planner_threads = 1,
+               double risk_k = 0.0);
 
 }  // namespace mlq
 

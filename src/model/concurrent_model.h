@@ -42,6 +42,18 @@ class ConcurrentCostModel : public CostModel {
     inner_->PredictBatch(points, out);
   }
 
+  CostEstimate PredictStats(const Point& point) const override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    return inner_->PredictStats(point);
+  }
+
+  // Like PredictBatch: the whole stats batch rides one lock acquisition.
+  void PredictStatsBatch(std::span<const Point> points,
+                         std::span<CostEstimate> out) const override {
+    std::lock_guard<std::mutex> lock(mutex_, LockTimed());
+    inner_->PredictStatsBatch(points, out);
+  }
+
   void Observe(const Point& point, double actual_cost) override {
     std::lock_guard<std::mutex> lock(mutex_, LockTimed());
     inner_->Observe(point, actual_cost);

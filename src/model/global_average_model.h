@@ -19,6 +19,14 @@ class GlobalAverageModel : public CostModel {
     return summary_.Avg();
   }
 
+  // Native stats from the single summary triple: the model IS a one-node
+  // MLQ, so its global stddev/count are the honest uncertainty report.
+  CostEstimate PredictStats(const Point& point) const override {
+    (void)point;
+    return CostEstimate{summary_.Avg(), summary_.Stddev(), summary_.count,
+                        summary_.count > 0};
+  }
+
   void Observe(const Point& point, double actual_cost) override {
     (void)point;
     summary_.Add(actual_cost);

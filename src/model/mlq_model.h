@@ -61,6 +61,21 @@ class MlqModel : public CostModel {
     tree_->PredictBatch(points, out);
   }
 
+  // Native stats: the tree's stored sum-of-squares makes the full
+  // CostEstimate free — one descent, no extra work over Predict.
+  CostEstimate PredictStats(const Point& point) const override {
+    return CostEstimate::FromPrediction(tree_->Predict(point));
+  }
+
+  void PredictStatsBatch(std::span<const Point> points,
+                         std::span<CostEstimate> out) const override {
+    std::vector<Prediction> scratch(points.size());
+    tree_->PredictBatch(points, scratch);
+    for (size_t i = 0; i < points.size(); ++i) {
+      out[i] = CostEstimate::FromPrediction(scratch[i]);
+    }
+  }
+
   const MemoryLimitedQuadtree& tree() const { return *tree_; }
 
  private:

@@ -71,6 +71,17 @@ double NeuralCostModel::Predict(const Point& point) const {
   return std::max(0.0, target_mean_ + standardized * stddev);
 }
 
+CostEstimate NeuralCostModel::PredictStats(const Point& point) const {
+  CostEstimate e;
+  e.value = Predict(point);
+  e.count = observations_;
+  e.reliable = observations_ > 0;
+  e.stddev = observations_ > 1
+                 ? std::sqrt(target_m2_ / static_cast<double>(observations_))
+                 : 0.0;
+  return e;
+}
+
 void NeuralCostModel::Observe(const Point& point, double actual_cost) {
   WallTimer timer;
   ++observations_;

@@ -50,6 +50,17 @@ double OnlineGridModel::Predict(const Point& point) const {
   return bucket.Avg();
 }
 
+CostEstimate OnlineGridModel::PredictStats(const Point& point) const {
+  const SummaryTriple& bucket =
+      buckets_[static_cast<size_t>(BucketIndexOf(point))];
+  if (bucket.Empty()) {
+    // Global fallback, like Predict: report the global spread but flag the
+    // estimate as locally unsupported.
+    return CostEstimate{global_.Avg(), global_.Stddev(), 0, false};
+  }
+  return CostEstimate{bucket.Avg(), bucket.Stddev(), bucket.count, true};
+}
+
 void OnlineGridModel::Observe(const Point& point, double actual_cost) {
   if (!std::isfinite(actual_cost)) return;
   WallTimer timer;

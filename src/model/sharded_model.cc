@@ -158,6 +158,23 @@ void ShardedCostModel::PredictBatch(std::span<const Point> points,
   }
 }
 
+CostEstimate ShardedCostModel::PredictStats(const Point& point) const {
+  return CostEstimate::FromPrediction(PredictDetailed(point));
+}
+
+void ShardedCostModel::PredictStatsBatch(std::span<const Point> points,
+                                         std::span<CostEstimate> out) const {
+  assert(points.size() == out.size());
+  // Reuse the shard-bucketed batch descent — per-point stddev/count travel
+  // through the same gather/scatter, so out[i] is exactly
+  // PredictStats(points[i]) would have been (modulo drain interleaving).
+  std::vector<Prediction> scratch(points.size());
+  PredictBatch(points, scratch);
+  for (size_t i = 0; i < points.size(); ++i) {
+    out[i] = CostEstimate::FromPrediction(scratch[i]);
+  }
+}
+
 void ShardedCostModel::Observe(const Point& point, double actual_cost) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(point))];
   const bool dropped = !shard.queue.Push(Observation{point, actual_cost});

@@ -103,6 +103,16 @@ double StaticHistogram::Predict(const Point& point) const {
   return bucket_avgs_[static_cast<size_t>(b)];
 }
 
+CostEstimate StaticHistogram::PredictStats(const Point& point) const {
+  CostEstimate e;
+  e.value = Predict(point);
+  if (!trained_) return e;
+  const int64_t count = bucket_counts_[static_cast<size_t>(BucketIndexOf(point))];
+  e.count = count;
+  e.reliable = count > 0;
+  return e;
+}
+
 EquiWidthHistogram::EquiWidthHistogram(const Box& space,
                                        int64_t memory_limit_bytes)
     : StaticHistogram(space, memory_limit_bytes) {}
@@ -234,6 +244,17 @@ double InfluenceWeightedHistogram::Predict(const Point& point) const {
   const int64_t b = BucketIndexOf(point);
   if (bucket_counts_[static_cast<size_t>(b)] == 0) return global_avg_;
   return bucket_avgs_[static_cast<size_t>(b)];
+}
+
+CostEstimate InfluenceWeightedHistogram::PredictStats(
+    const Point& point) const {
+  CostEstimate e;
+  e.value = Predict(point);
+  if (!trained_) return e;
+  const int64_t count = bucket_counts_[static_cast<size_t>(BucketIndexOf(point))];
+  e.count = count;
+  e.reliable = count > 0;
+  return e;
 }
 
 EquiHeightHistogram::EquiHeightHistogram(const Box& space,

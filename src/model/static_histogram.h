@@ -34,6 +34,11 @@ class StaticHistogram : public CostModel {
   void Train(std::span<const Point> points, std::span<const double> costs);
 
   double Predict(const Point& point) const override;
+  // Stats default: value == Predict exactly; count is the serving bucket's
+  // training population; stddev stays 0 (buckets store averages, not
+  // second moments). reliable only when a non-empty bucket answered —
+  // the global-average fallback is flagged like MLQ's root fallback.
+  CostEstimate PredictStats(const Point& point) const override;
   void Observe(const Point& point, double actual_cost) override {
     (void)point;
     (void)actual_cost;  // Static: not self-tuning.
@@ -139,6 +144,8 @@ class InfluenceWeightedHistogram : public CostModel {
 
   std::string_view name() const override { return "SH-V"; }
   double Predict(const Point& point) const override;
+  // Same stats semantics as StaticHistogram::PredictStats.
+  CostEstimate PredictStats(const Point& point) const override;
   void Observe(const Point& point, double actual_cost) override {
     (void)point;
     (void)actual_cost;  // Static.

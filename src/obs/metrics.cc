@@ -391,6 +391,10 @@ CoreMetrics& Core() {
                    "Whole-model evictions to the governor snapshot store"),
       r.GetCounter("mlq_governor_reloads_total",
                    "Evicted models restored from snapshots on re-use"),
+      r.GetCounter("mlq_risk_plans_total",
+                   "Plans costed with a non-zero risk knob"),
+      r.GetCounter("mlq_plan_risk_reorders_total",
+                   "Risk-costed plans whose order differs from classical rank"),
       r.GetHistogram("mlq_predict_latency_ns", "Predict latency"),
       r.GetHistogram("mlq_predict_batch_latency_ns",
                      "Whole-batch predict latency"),
@@ -408,6 +412,8 @@ CoreMetrics& Core() {
                      "Shared node-arena compaction pass latency"),
       r.GetHistogram("mlq_maintenance_pause_ns",
                      "Serving pause per maintenance quiesce window"),
+      r.GetHistogram("mlq_predict_stddev",
+                     "Per-prediction cost-estimate stddev (milli-units)"),
       r.GetGauge("mlq_model_max_cost_drift",
                  "Max multiplicative cost-estimate drift from the last audit"),
       r.GetGauge("mlq_model_max_selectivity_drift",

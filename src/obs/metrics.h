@@ -222,6 +222,11 @@ struct CoreMetrics {
   Counter& governor_bytes_reclaimed;  // mlq_governor_bytes_reclaimed_total
   Counter& governor_evictions;    // mlq_governor_evictions_total
   Counter& governor_reloads;      // mlq_governor_reloads_total
+  // Plans costed with a non-zero risk knob, and how many of those chose an
+  // order different from the classical rank (the variance signal actually
+  // changed a decision).
+  Counter& risk_plans;            // mlq_risk_plans_total
+  Counter& risk_reorders;         // mlq_plan_risk_reorders_total
 
   LatencyHistogram& predict_ns;    // mlq_predict_latency_ns
   LatencyHistogram& predict_batch_ns;  // mlq_predict_batch_latency_ns
@@ -238,6 +243,10 @@ struct CoreMetrics {
   // One maintenance quiesce window (locks held + compaction work) — the
   // serving pause an epoch or an incremental step imposes.
   LatencyHistogram& maintenance_pause_ns;  // mlq_maintenance_pause_ns
+  // Per-prediction stddev of catalog cost estimates, recorded in
+  // MILLI-units (log2 buckets) so sub-unit uncertainty stays visible: the
+  // uncertainty stream the risk-aware planner consumes.
+  LatencyHistogram& predict_stddev;  // mlq_predict_stddev
 
   Gauge& max_cost_drift;         // mlq_model_max_cost_drift
   Gauge& max_selectivity_drift;  // mlq_model_max_selectivity_drift

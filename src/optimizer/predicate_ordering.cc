@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -14,6 +15,21 @@ double PredicateEstimate::Rank() const {
     return -std::numeric_limits<double>::infinity();
   }
   return (selectivity - 1.0) / cost_per_tuple;
+}
+
+double PredicateEstimate::RiskAdjustedCost(double k) const {
+  if (k <= 0.0 || cost_stddev <= 0.0) return cost_per_tuple;
+  const double denom =
+      std::sqrt(static_cast<double>(support > 0 ? support : 1));
+  return cost_per_tuple + k * cost_stddev / denom;
+}
+
+double PredicateEstimate::RiskRank(double k) const {
+  const double cost = RiskAdjustedCost(k);
+  if (cost <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return (selectivity - 1.0) / cost;
 }
 
 double SequenceCostPerTuple(std::span<const PredicateEstimate> predicates,
@@ -29,6 +45,19 @@ double SequenceCostPerTuple(std::span<const PredicateEstimate> predicates,
   return cost;
 }
 
+double RiskSequenceCostPerTuple(std::span<const PredicateEstimate> predicates,
+                                std::span<const int> order, double k) {
+  assert(order.size() == predicates.size());
+  double cost = 0.0;
+  double pass_probability = 1.0;
+  for (int index : order) {
+    const PredicateEstimate& p = predicates[static_cast<size_t>(index)];
+    cost += pass_probability * p.RiskAdjustedCost(k);
+    pass_probability *= p.selectivity;
+  }
+  return cost;
+}
+
 OrderingResult OrderPredicates(std::span<const PredicateEstimate> predicates) {
   OrderingResult result;
   result.order.resize(predicates.size());
@@ -39,6 +68,99 @@ OrderingResult OrderPredicates(std::span<const PredicateEstimate> predicates) {
                             predicates[static_cast<size_t>(b)].Rank();
                    });
   result.expected_cost_per_tuple = SequenceCostPerTuple(predicates, result.order);
+  result.risk_cost_per_tuple = result.expected_cost_per_tuple;
+  return result;
+}
+
+namespace {
+
+// One partial ordering in the beam: the prefix chosen so far, which inputs
+// it has consumed, the accumulated risk-adjusted cost and the probability a
+// tuple survives the prefix.
+struct BeamState {
+  std::vector<int> prefix;
+  uint64_t used_mask = 0;
+  double risk_cost = 0.0;
+  double pass_probability = 1.0;
+};
+
+}  // namespace
+
+OrderingResult OrderPredicatesRisk(
+    std::span<const PredicateEstimate> predicates, const RiskPolicy& policy) {
+  // k <= 0 must reproduce the classical ordering bit-for-bit so existing
+  // callers see zero behavior change with the default policy.
+  if (policy.k <= 0.0 || predicates.empty()) {
+    return OrderPredicates(predicates);
+  }
+
+  const size_t n = predicates.size();
+  const size_t beam_width =
+      static_cast<size_t>(std::max(policy.beam_width, 1));
+
+  // Beam search over ordering prefixes scored by risk-adjusted sequence
+  // cost. The used_mask bounds us to 64 predicates — far beyond any
+  // realistic conjunctive chain; beyond that, fall back to a plain
+  // risk-rank sort (greedy, still variance-aware).
+  if (n > 64) {
+    OrderingResult result;
+    result.order.resize(n);
+    std::iota(result.order.begin(), result.order.end(), 0);
+    std::stable_sort(result.order.begin(), result.order.end(),
+                     [&predicates, &policy](int a, int b) {
+                       return predicates[static_cast<size_t>(a)].RiskRank(
+                                  policy.k) <
+                              predicates[static_cast<size_t>(b)].RiskRank(
+                                  policy.k);
+                     });
+    result.expected_cost_per_tuple =
+        SequenceCostPerTuple(predicates, result.order);
+    result.risk_cost_per_tuple =
+        RiskSequenceCostPerTuple(predicates, result.order, policy.k);
+    return result;
+  }
+
+  std::vector<BeamState> beam(1);
+  beam.front().prefix.reserve(n);
+  for (size_t depth = 0; depth < n; ++depth) {
+    std::vector<BeamState> next;
+    next.reserve(beam.size() * (n - depth));
+    for (const BeamState& state : beam) {
+      for (size_t i = 0; i < n; ++i) {
+        if (state.used_mask & (uint64_t{1} << i)) continue;
+        const PredicateEstimate& p = predicates[i];
+        BeamState extended = state;
+        extended.prefix.push_back(static_cast<int>(i));
+        extended.used_mask |= uint64_t{1} << i;
+        extended.risk_cost +=
+            state.pass_probability * p.RiskAdjustedCost(policy.k);
+        extended.pass_probability *= p.selectivity;
+        next.push_back(std::move(extended));
+      }
+    }
+    // Prune to the beam_width cheapest prefixes. Ties break toward the
+    // lexicographically smaller prefix (stable input order), keeping the
+    // search deterministic.
+    if (next.size() > beam_width) {
+      std::stable_sort(next.begin(), next.end(),
+                       [](const BeamState& a, const BeamState& b) {
+                         return a.risk_cost < b.risk_cost;
+                       });
+      next.resize(beam_width);
+    }
+    beam = std::move(next);
+  }
+
+  const BeamState* best = &beam.front();
+  for (const BeamState& state : beam) {
+    if (state.risk_cost < best->risk_cost) best = &state;
+  }
+
+  OrderingResult result;
+  result.order = best->prefix;
+  result.expected_cost_per_tuple =
+      SequenceCostPerTuple(predicates, result.order);
+  result.risk_cost_per_tuple = best->risk_cost;
   return result;
 }
 

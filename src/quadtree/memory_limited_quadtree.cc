@@ -93,10 +93,7 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
   if (under_beta(*cn)) {
     // Not even the root qualifies; fall back to whatever average exists.
     out.value = cn->summary.Avg();
-    out.stddev = cn->summary.count > 0
-                     ? std::sqrt(cn->summary.Sse() /
-                                 static_cast<double>(cn->summary.count))
-                     : 0.0;
+    out.stddev = cn->summary.Stddev();
     out.count = cn->summary.count;
     out.depth = 0;
     out.reliable = false;
@@ -136,8 +133,9 @@ Prediction MemoryLimitedQuadtree::PredictInternal(const Point& point,
     }
   }
   out.value = cn->summary.Avg();
-  out.stddev =
-      std::sqrt(cn->summary.Sse() / static_cast<double>(cn->summary.count));
+  // Stddev() rather than a bare sqrt(SSE/C): an explicit beta <= 0 admits
+  // empty nodes as "reliable", and 0/0 under the sqrt would surface NaN.
+  out.stddev = cn->summary.Stddev();
   out.count = cn->summary.count;
   out.depth = cn->depth;
   out.reliable = true;

@@ -17,6 +17,9 @@
 //                     [--events-out=FILE] [--json]
 //   mlq_tool inspect  --model=model.bin
 //   mlq_tool predict  --model=model.bin --point=x0,x1,...
+//   mlq_tool plan     [--rows=300] [--seed=7] [--train-queries=2]
+//                     [--risk-k=0] [--sample-rows=32] [--budget=1800]
+//                     [--scale=small] [--json]
 //   mlq_tool maintenance [--udf=synth] [--n=20000] [--seed=42]
 //                     [--budget=1800] [--shards=4]
 //                     [--maintenance-policy=incremental|full]
@@ -38,6 +41,14 @@
 // replayed records, one line (or, with --json, one JSONL frame) each.
 // `--trace-out` (on replay or metrics) writes the recorded events as
 // Chrome trace JSON, loadable in chrome://tracing.
+//
+// `plan` runs the optimizer end to end on the real-UDF demo query (PROX +
+// WIN + KNN predicates over a generated table): a few training queries warm
+// the catalog's models through execution feedback, then the final plan is
+// printed with a ~95% confidence interval on every estimate. `--risk-k=K`
+// plans with risk-adjusted costs (mean + K standard errors), the
+// variance-aware ordering; --json emits the plan as one JSON object with
+// per-predicate CI fields.
 //
 // `govern` builds a multi-tenant catalog of uniquely named synthetic UDFs,
 // serves Zipf-skewed traffic through it with a CatalogGovernor wired into
@@ -67,10 +78,15 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/rng.h"
 #include "common/zipf.h"
 #include "engine/catalog_governor.h"
 #include "engine/cost_catalog.h"
+#include "engine/executor.h"
 #include "engine/maintenance_scheduler.h"
+#include "engine/query_optimizer.h"
+#include "engine/table.h"
+#include "engine/udf_predicate.h"
 #include "eval/experiment_setup.h"
 #include "eval/metrics.h"
 #include "eval/trace.h"
@@ -86,7 +102,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: mlq_tool <capture|replay|metrics|telemetry|inspect|"
-               "predict|maintenance|govern|selftest> [--flags]\n"
+               "predict|plan|maintenance|govern|selftest> [--flags]\n"
                "  capture  --udf=NAME --out=FILE [--n=2000] [--dist=uniform|"
                "gauss-random|gauss-sequential] [--seed=42] [--scale=small|full]"
                " [--peaks=50]\n"
@@ -105,6 +121,9 @@ int Usage() {
                "[--json]\n"
                "  inspect  --model=FILE\n"
                "  predict  --model=FILE --point=x0,x1,...\n"
+               "  plan     [--rows=300] [--seed=7] [--train-queries=2] "
+               "[--risk-k=0] [--sample-rows=32] [--budget=1800] "
+               "[--scale=small|full] [--json]\n"
                "  maintenance [--udf=synth] [--n=20000] [--seed=42] "
                "[--budget=1800] [--shards=4] "
                "[--maintenance-policy=incremental|full] [--step-slots=4096] "
@@ -758,10 +777,104 @@ int RunPredict(int argc, char** argv) {
     p[d] = std::atof(field.c_str());
   }
   const Prediction prediction = tree->Predict(p);
-  std::printf("predict%s = %.6g  (depth %d, %lld supporting points%s)\n",
-              p.ToString().c_str(), prediction.value, prediction.depth,
-              static_cast<long long>(prediction.count),
-              prediction.reliable ? "" : "; UNRELIABLE — fewer than beta");
+  std::printf(
+      "predict%s = %.6g +/- %.6g  (depth %d, %lld supporting points%s)\n",
+      p.ToString().c_str(), prediction.value, prediction.stddev,
+      prediction.depth, static_cast<long long>(prediction.count),
+      prediction.reliable ? "" : "; UNRELIABLE — fewer than beta");
+  return 0;
+}
+
+// `plan`: the optimizer demo loop — build the real-UDF query, warm the
+// catalog's models with a few executed training queries, then print the
+// final plan with confidence intervals (optionally risk-aware).
+int RunPlan(int argc, char** argv) {
+  const int rows = std::atoi(ArgValue(argc, argv, "rows", "300").c_str());
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(ArgValue(argc, argv, "seed", "7").c_str()));
+  const int train_queries =
+      std::atoi(ArgValue(argc, argv, "train-queries", "2").c_str());
+  const double risk_k =
+      std::atof(ArgValue(argc, argv, "risk-k", "0").c_str());
+  const int sample_rows =
+      std::atoi(ArgValue(argc, argv, "sample-rows", "32").c_str());
+  const int64_t budget =
+      std::atoll(ArgValue(argc, argv, "budget", "1800").c_str());
+  const SubstrateScale scale = ArgValue(argc, argv, "scale", "small") == "full"
+                                   ? SubstrateScale::kFull
+                                   : SubstrateScale::kSmall;
+  const bool json = HasFlag(argc, argv, "json");
+  if (rows <= 0 || train_queries < 0 || sample_rows <= 0) return Usage();
+
+  RealUdfSuite suite = MakeRealUdfSuite(scale, seed);
+  Table table("docs_and_places", {"kw1", "kw2", "x", "y"});
+  Rng rng(seed);
+  const auto vocab =
+      static_cast<double>(suite.text_engine->index().vocab_size());
+  for (int i = 0; i < rows; ++i) {
+    table.AddRow(std::vector<double>{
+        std::floor(rng.Uniform(1.0, vocab)),
+        std::floor(rng.Uniform(1.0, vocab)),
+        rng.Uniform(0.0, 1000.0),
+        rng.Uniform(0.0, 1000.0),
+    });
+  }
+
+  // The demo conjunction: text proximity, spatial window, kNN.
+  UdfPredicate contains(
+      "Contains", suite.Find("PROX"),
+      {table.ColumnIndex("kw1"), table.ColumnIndex("kw2"), -1},
+      Point{0.0, 0.0, 30.0}, /*min_result_count=*/1);
+  UdfPredicate in_urban_area(
+      "InUrbanArea", suite.Find("WIN"),
+      {table.ColumnIndex("x"), table.ColumnIndex("y"), -1, -1},
+      Point{0.0, 0.0, 120.0, 120.0}, /*min_result_count=*/5);
+  UdfPredicate near10("Near10", suite.Find("KNN"),
+                      {table.ColumnIndex("x"), table.ColumnIndex("y"), -1},
+                      Point{0.0, 0.0, 10.0}, /*min_result_count=*/1);
+  Query query;
+  query.table = &table;
+  query.predicates = {&contains, &in_urban_area, &near10};
+
+  CostCatalog catalog(budget);
+  for (int t = 0; t < train_queries; ++t) {
+    const Plan training_plan = PlanQuery(query, catalog, sample_rows);
+    ExecuteQuery(query, training_plan, &catalog);
+    catalog.FlushFeedback();
+  }
+
+  const Plan plan =
+      PlanQuery(query, catalog, sample_rows, /*planner_threads=*/1, risk_k);
+
+  if (json) {
+    std::printf("{\"risk_k\": %g, \"expected_cost_per_row_micros\": %g, "
+                "\"risk_cost_per_row_micros\": %g, \"order\": [",
+                plan.risk_k, plan.expected_cost_per_row_micros,
+                plan.risk_cost_per_row_micros);
+    for (size_t i = 0; i < plan.order.size(); ++i) {
+      const PlannedPredicate& p =
+          plan.estimates[static_cast<size_t>(plan.order[i])];
+      std::printf("%s\"%s\"", i == 0 ? "" : ", ",
+                  p.predicate->name().c_str());
+    }
+    std::printf("], \"predicates\": [");
+    for (size_t i = 0; i < plan.estimates.size(); ++i) {
+      const PlannedPredicate& p = plan.estimates[i];
+      std::printf(
+          "%s{\"name\": \"%s\", \"cost_micros\": %g, "
+          "\"cost_ci_half_width_micros\": %g, \"selectivity\": %g, "
+          "\"selectivity_ci_half_width\": %g, \"support\": %lld}",
+          i == 0 ? "" : ", ", p.predicate->name().c_str(),
+          p.estimated_cost_micros, p.CostConfidenceHalfWidthMicros(),
+          p.estimated_selectivity, 1.96 * p.estimated_selectivity_stddev,
+          static_cast<long long>(p.support));
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("%d training queries executed with feedback; final plan:\n",
+              train_queries);
+  std::printf("%s", plan.Explain().c_str());
   return 0;
 }
 
@@ -1142,6 +1255,7 @@ int Main(int argc, char** argv) {
   if (command == "telemetry") return RunTelemetry(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "predict") return RunPredict(argc, argv);
+  if (command == "plan") return RunPlan(argc, argv);
   if (command == "maintenance") return RunMaintenance(argc, argv);
   if (command == "govern") return RunGovern(argc, argv);
   if (command == "selftest") return RunSelfTest();

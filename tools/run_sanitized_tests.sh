@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 MODE="${1:-both}"
 REGEX="${2:-}"
 
-TSAN_DEFAULT_REGEX='sharded|telemetry|event_log|concurrent|invariant_fuzz|insert_predict|compression|mlq_tool|obs_|shared_arena|maintenance|observe_batch|decay|drift|catalog'
+TSAN_DEFAULT_REGEX='sharded|telemetry|event_log|concurrent|invariant_fuzz|insert_predict|compression|mlq_tool|obs_|shared_arena|maintenance|observe_batch|decay|drift|catalog|variance|risk'
 
 run_one() {
   local sanitizer="$1"
